@@ -1,0 +1,44 @@
+// Shared setup for the accuracy-reproduction benches (Tables 2/3/5, Figures
+// 7/16): builds the synthetic reference models, calibration data and eval
+// corpora once per binary.
+#pragma once
+
+#include "eval/harness.h"
+#include "model/qoq_quantizer.h"
+#include "model/quantized_model.h"
+#include "model/reference_model.h"
+
+namespace qserve::benchacc {
+
+struct AccuracySetup {
+  ModelWeights weights;
+  ReferenceModel ref;
+  CalibrationData calib;
+  EvalCorpus corpus;
+
+  explicit AccuracySetup(const ModelConfig& cfg, uint64_t seed = 42)
+      : weights(make_synthetic_weights(cfg, {.seed = seed})), ref(&weights) {
+    EvalCorpusOptions opt;
+    opt.calib_sequences = 2;
+    opt.calib_len = 40;
+    opt.eval_sequences = 3;
+    opt.eval_len = 36;
+    opt.n_choice_tasks = 24;
+    opt.n_long_prompts = 2;
+    opt.long_prompt_len = 72;
+    opt.seed = seed + 1;
+    corpus = build_eval_corpus(ref, opt);
+    // Calibrate on the concatenated calibration sequences (first one is
+    // enough for transform statistics at toy scale; use the longest).
+    ref.forward_calibrate(corpus.calibration[0], &calib);
+  }
+
+  double reference_perplexity() const {
+    ForwardFn fwd = [this](const std::vector<int>& t) {
+      return ref.forward(t);
+    };
+    return pseudo_perplexity(fwd, corpus.eval);
+  }
+};
+
+}  // namespace qserve::benchacc

@@ -1,0 +1,127 @@
+// System-design ablations (§5.2): quantifies each QServe kernel decision in
+// isolation —
+//   A. compute-aware weight reorder vs strided ldmatrix-incompatible access
+//   B. subtraction-after-multiplication vs the alternatives (saturated
+//      arithmetic / sub-before-mul) for level-2 dequantization
+//   C. per-channel vs per-group W4A8 on both devices (the §6.3 choice)
+#include <algorithm>
+#include <cstdio>
+#include <initializer_list>
+
+#include "bench_util.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "kernels/rlp.h"
+#include "quant/quantize.h"
+#include "simulator/gemm_model.h"
+
+using namespace qserve;
+using namespace qserve::sim;
+using namespace qserve::benchutil;
+
+int main() {
+  const DeviceSpec a100 = a100_80g();
+  const DeviceSpec l40s = l40s_48g();
+
+  header("A. compute-aware weight reorder (Fig. 12): modeled GEMM time");
+  row({"m", "strided access", "reordered", "speedup"}, 18);
+  for (int m : {8, 16, 32, 64, 128}) {
+    GemmShape s{.m = m, .n = 4096, .k = 4096};
+    s.strided_weight_access = true;
+    const double strided =
+        gemm_cost(a100, GemmPipeline::kW4A8PerGroup, s).seconds;
+    s.strided_weight_access = false;
+    const double reordered =
+        gemm_cost(a100, GemmPipeline::kW4A8PerGroup, s).seconds;
+    row({std::to_string(m), fmt_ms(strided, 3), fmt_ms(reordered, 3),
+         fmt(strided / reordered, 2) + "x"},
+        18);
+  }
+  std::printf("(the reorder removes per-fragment pointer arithmetic and "
+              "restores 128-bit loads; §4.1 quotes up to 67%% throughput "
+              "loss for the saturated alternative)\n");
+
+  header("B. level-2 dequant computation order (Fig. 14), 1M random groups");
+  {
+    Rng rng(9);
+    int after_ok = 0, before_ok = 0, total = 0;
+    for (int trial = 0; trial < 1000000; ++trial) {
+      const int s1 = rng.uniform_int(1, 16);
+      const int z = rng.uniform_int(0, std::min(15, 127 / s1));
+      const int lo = std::max(0, z - 128 / s1);
+      const int hi = std::min({15, z + 127 / s1, 255 / s1});
+      uint8_t q[4];
+      uint32_t lanes = 0;
+      for (int l = 0; l < 4; ++l) {
+        q[l] = static_cast<uint8_t>(rng.uniform_int(lo, hi));
+        lanes |= uint32_t(q[l]) << (8 * l);
+      }
+      const uint32_t after =
+          dequant4_sub_after_mul(lanes, uint8_t(s1), uint8_t(z));
+      const uint32_t before =
+          dequant4_sub_before_mul(lanes, uint8_t(s1), uint8_t(z));
+      bool after_all = true, before_all = true;
+      for (int l = 0; l < 4; ++l) {
+        const int expect = (int(q[l]) - z) * s1;
+        if (int(lane_s8(after, l)) != expect) after_all = false;
+        if (int(lane_s8(before, l)) != expect) before_all = false;
+      }
+      after_ok += after_all;
+      before_ok += before_all;
+      ++total;
+    }
+    row({"sub-after-mul correct", fmt(100.0 * after_ok / total, 2) + "%"}, 28);
+    row({"sub-before-mul correct", fmt(100.0 * before_ok / total, 2) + "%"},
+        28);
+    std::printf("(sub-before-mul corrupts every group containing a code "
+                "below the zero point — progressive quantization makes "
+                "sub-after-mul universally lane-safe)\n");
+  }
+
+  header("C. per-channel vs per-group W4A8 across devices (§6.3)");
+  row({"device", "per-channel", "per-group g128", "better"}, 18);
+  for (const DeviceSpec& dev : {a100, l40s}) {
+    GemmShape s{.m = 64, .n = 4096, .k = 4096};
+    const double pc =
+        gemm_cost(dev, GemmPipeline::kW4A8PerChannel, s).seconds;
+    const double pg = gemm_cost(dev, GemmPipeline::kW4A8PerGroup, s).seconds;
+    row({dev.name, fmt_ms(pc, 3), fmt_ms(pg, 3),
+         pc <= pg ? "per-channel" : "per-group"},
+        18);
+  }
+  std::printf("(accuracy favors per-group; the paper picks per-channel on "
+              "A100, where CUDA-core dequant is relatively expensive, and "
+              "per-group on L40S, whose strong CUDA cores absorb it)\n");
+
+  header("D. protective range: accuracy cost of [-119,119] vs [-127,127]");
+  {
+    Rng rng(11);
+    Tensor w({16, 512});
+    for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.heavy_tailed(1.0f);
+    ProgressiveOptions prot;  // 119
+    ProgressiveOptions naive;
+    naive.level1_range = 127;
+    const double e_prot = mse(w, dequantize(quantize_progressive(w, prot)));
+    // The naive variant needs saturation to stay correct; measure its error
+    // with clamped reconstruction.
+    const auto qn = quantize_progressive(w, naive);
+    const I32Tensor codes = dequantize_level1_codes(qn);
+    Tensor deq({w.rows(), w.cols()});
+    int saturated = 0;
+    for (int64_t r = 0; r < w.rows(); ++r)
+      for (int64_t c = 0; c < w.cols(); ++c) {
+        int v = codes.at2(r, c);
+        if (v > 127 || v < -128) ++saturated;
+        v = clamp(v, -128, 127);
+        deq.at2(r, c) = float(v) * qn.s0[r];
+      }
+    const double e_naive = mse(w, deq);
+    row({"protective [-119,119] MSE", fmt(e_prot * 1e4, 3) + "e-4"}, 30);
+    row({"naive [-127,127]+sat MSE", fmt(e_naive * 1e4, 3) + "e-4"}, 30);
+    row({"values needing saturation", std::to_string(saturated)}, 30);
+    std::printf("(the protective range costs ~nothing in accuracy and "
+                "removes the saturation instructions the paper measures at "
+                "up to 67%% throughput loss)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 18 reproduction: fraction of GEMM compute time spent on main-loop
+// dequantization (CUDA cores) for W8A8, W4A16, Atom-W4A4 and QServe-W4A8,
+// across decode batch sizes m = 8..128 (Llama-7B-sized 4096x4096 GEMMs).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "simulator/gemm_model.h"
+
+using namespace qserve::sim;
+using namespace qserve::benchutil;
+
+int main() {
+  const DeviceSpec dev = a100_80g();
+  const struct {
+    GemmPipeline pipe;
+    const char* name;
+  } pipes[] = {
+      {GemmPipeline::kW8A8, "W8A8"},
+      {GemmPipeline::kW4A16, "W4A16"},
+      {GemmPipeline::kW4A4Atom, "W4A4 (Atom)"},
+      {GemmPipeline::kW4A8PerGroup, "W4A8 (ours, g128)"},
+      {GemmPipeline::kW4A8PerChannel, "W4A8 (ours, per-chn)"},
+  };
+
+  header("Figure 18: main-loop dequantization overhead (A100, n=k=4096)");
+  std::printf("%-22s", "pipeline");
+  for (int m : {8, 16, 32, 64, 128}) std::printf("m=%-10d", m);
+  std::printf("\n");
+  for (const auto& p : pipes) {
+    std::printf("%-22s", p.name);
+    for (int m : {8, 16, 32, 64, 128}) {
+      GemmShape s;
+      s.m = m;
+      const auto cost = gemm_cost(dev, p.pipe, s);
+      std::printf("%-12s", (fmt(100 * cost.dequant_overhead(), 1) + "%").c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper: W8A8 has zero main-loop dequant; Atom reaches up to "
+              "90%%; QServe's RLP dequant keeps W4A8 small and comparable "
+              "to W4A16 while running on INT8 tensor cores)\n");
+
+  header("Achieved speed vs W8A8 (memory+compute model, same shapes)");
+  std::printf("%-22s", "pipeline");
+  for (int m : {8, 16, 32, 64, 128}) std::printf("m=%-10d", m);
+  std::printf("\n");
+  for (const auto& p : pipes) {
+    std::printf("%-22s", p.name);
+    for (int m : {8, 16, 32, 64, 128}) {
+      GemmShape s;
+      s.m = m;
+      const double base = gemm_cost(dev, GemmPipeline::kW8A8, s).seconds;
+      const double t = gemm_cost(dev, p.pipe, s).seconds;
+      std::printf("%-12s", (fmt(base / t, 2) + "x").c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(§4.1: QServe per-group W4A8 GEMM achieves ~1.5x over W8A8 "
+              "at decode batch sizes)\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 3 reproduction: A100 roofline for LLM serving — attainable TOPS vs
+// computation intensity for every weight x activation pairing, plus the
+// KV-precision attention operating points.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "simulator/roofline.h"
+
+using namespace qserve::sim;
+using namespace qserve::benchutil;
+
+int main() {
+  const DeviceSpec dev = a100_80g();
+
+  header("Figure 3: A100 GEMM rooflines (attainable TOPS)");
+  const auto curves = gemm_roofline_curves(dev);
+  std::printf("%-22s", "intensity (MACs/elem)");
+  for (const auto& c : curves) std::printf("%-22s", c.label.c_str());
+  std::printf("\n");
+  for (double i : {1.0, 4.0, 16.0, 32.0, 64.0, 78.0, 96.0, 128.0, 160.0,
+                   192.0}) {
+    std::printf("%-22s", fmt(i, 0).c_str());
+    for (const auto& c : curves)
+      std::printf("%-22s", fmt(attainable_tops(dev, c, i), 0).c_str());
+    std::printf("\n");
+  }
+
+  header("Turning points (intensity where compute-bound begins)");
+  for (const auto& c : curves)
+    row({c.label, fmt(turning_point(dev, c), 1)}, 24);
+  std::printf("(paper: W4A16 best below m=78, W8A8 best above; the W4A8 "
+              "roofline dominates both everywhere)\n");
+
+  header("Attention operating points (intensity = 1 MAC/element)");
+  for (const auto& c : attention_roofline_curves(dev))
+    row({c.label, fmt(attainable_tops(dev, c, 1.0), 2) + " TOPS"}, 24);
+  std::printf("(paper: each halving of KV precision doubles attention's "
+              "attainable throughput)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table 2 reproduction (synthetic proxy): pseudo-perplexity of the toy
+// models under every precision/algorithm pairing the paper tabulates.
+// Absolute values are not comparable to WikiText2; the reproducible claim is
+// the ORDERING: FP16 <= W8A8 ~ W4A16 < QoQ-W4A8KV4 < RTN/W4A4.
+#include <cstdio>
+
+#include "accuracy_common.h"
+#include "bench_util.h"
+
+using namespace qserve;
+using namespace qserve::benchacc;
+using namespace qserve::benchutil;
+
+namespace {
+
+struct SchemeRow {
+  const char* precision;
+  const char* algorithm;
+  QoQOptions qoq;
+  QuantSchemeConfig scheme;
+};
+
+QoQOptions awq_like() {
+  // AWQ: activation-aware clipping, no rotation/smoothing.
+  QoQOptions o = rtn_options();
+  o.weight_clip = true;
+  o.reorder_channels = true;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  for (const bool gqa : {true, false}) {
+    const ModelConfig cfg = gqa ? toy_config(2) : toy_config_mha(2);
+    AccuracySetup setup(cfg);
+    header(std::string("Table 2 (synthetic proxy): pseudo-perplexity, ") +
+           cfg.name);
+    row({"precision", "algorithm", "pseudo-ppl"}, 20);
+    row({"FP16", "-", fmt(setup.reference_perplexity(), 2)}, 20);
+
+    std::vector<SchemeRow> rows;
+    rows.push_back({"W8A8", "SmoothQuant", rtn_options(),
+                    QuantSchemeConfig::trt_w8a8()});
+    rows.push_back({"W4A16 g128", "AWQ", awq_like(),
+                    QuantSchemeConfig::trt_w4a16()});
+    rows.push_back({"W4A4 g128", "Atom", rtn_options(),
+                    QuantSchemeConfig::atom_w4a4()});
+    rows.push_back({"W4A8KV4", "RTN", rtn_options(),
+                    QuantSchemeConfig::qserve_w4a8kv4_per_channel()});
+    rows.push_back({"W4A8KV4", "QoQ", QoQOptions{},
+                    QuantSchemeConfig::qserve_w4a8kv4_per_channel()});
+    rows.push_back({"W4A8KV4 g128", "RTN", rtn_options(),
+                    QuantSchemeConfig::qserve_w4a8kv4_g128()});
+    rows.push_back({"W4A8KV4 g128", "QoQ", QoQOptions{},
+                    QuantSchemeConfig::qserve_w4a8kv4_g128()});
+    for (const auto& r : rows) {
+      const auto res = evaluate_scheme(r.algorithm, setup.weights, setup.calib,
+                                       r.qoq, r.scheme, setup.ref,
+                                       setup.corpus);
+      row({r.precision, r.algorithm, fmt(res.perplexity, 2)}, 20);
+    }
+  }
+  std::printf("\n(paper Table 2, Llama-2-7B: FP16 5.47 | W8A8 5.54 | W4A16-"
+              "AWQ 5.60 | W4A4-Atom 6.16 | W4A8KV4 RTN 6.51 / QoQ 5.75 | "
+              "g128 RTN 5.99 / QoQ 5.67 — QoQ recovers most of the RTN gap "
+              "and beats W4A4 everywhere)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 5 reproduction (synthetic proxy): long-context fidelity of QoQ
+// W4A8KV4 g128 vs the FP16/BF16 reference — greedy-continuation agreement
+// over long prompts (the LongBench substitute; DESIGN.md §1).
+#include <cstdio>
+
+#include "accuracy_common.h"
+#include "bench_util.h"
+
+using namespace qserve;
+using namespace qserve::benchacc;
+using namespace qserve::benchutil;
+
+int main() {
+  AccuracySetup setup(toy_config(2));
+  ForwardFn ref_fwd = [&](const std::vector<int>& t) {
+    return setup.ref.forward(t);
+  };
+
+  header("Table 5 (synthetic proxy): long-context greedy agreement vs BF16");
+  row({"scheme", "agreement@16", "pseudo-ppl(long)"}, 22);
+
+  // Reference against itself (sanity row).
+  row({"BF16", fmt(100 * greedy_agreement(ref_fwd, ref_fwd,
+                                          setup.corpus.long_prompts, 16), 1),
+       fmt(pseudo_perplexity(ref_fwd, setup.corpus.long_prompts), 2)},
+      22);
+
+  struct Row {
+    const char* name;
+    QoQOptions qoq;
+    QuantSchemeConfig scheme;
+  };
+  const std::vector<Row> rows = {
+      {"QoQ W4A8KV4 g128", QoQOptions{},
+       QuantSchemeConfig::qserve_w4a8kv4_g128()},
+      {"RTN W4A8KV4 g128", rtn_options(),
+       QuantSchemeConfig::qserve_w4a8kv4_g128()},
+      {"Atom W4A4 g128", rtn_options(), QuantSchemeConfig::atom_w4a4()},
+  };
+  for (const auto& r : rows) {
+    const ModelWeights transformed =
+        qoq_transform(setup.weights, setup.calib, r.qoq);
+    QuantizedModel qm(transformed, r.scheme);
+    ForwardFn fwd = [&](const std::vector<int>& t) { return qm.forward(t); };
+    row({r.name,
+         fmt(100 * greedy_agreement(ref_fwd, fwd, setup.corpus.long_prompts,
+                                    16), 1),
+         fmt(pseudo_perplexity(fwd, setup.corpus.long_prompts), 2)},
+        22);
+  }
+  std::printf("\n(paper Table 5: QoQ matches BF16 within 0.14 LongBench "
+              "points on average — the reproducible claim is that QoQ's "
+              "long-context agreement stays near the reference while "
+              "coarser schemes drift)\n");
+  return 0;
+}

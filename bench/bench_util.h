@@ -1,0 +1,29 @@
+// Shared formatting helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace qserve::benchutil {
+
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_ms(double seconds, int precision = 2) {
+  return fmt(seconds * 1e3, precision) + " ms";
+}
+
+}  // namespace qserve::benchutil

@@ -1,0 +1,139 @@
+// Google-benchmark microbenchmarks of the CPU kernel implementations: the
+// W4A8 GEMM family (per-channel, per-group, streamed/SWAR), the baselines
+// they are compared against, and the RLP dequantization primitives. These
+// measure the *reproduction's* CPU kernels — wall-clock GPU claims live in
+// the simulator benches.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "kernels/gemm.h"
+#include "kernels/rlp.h"
+#include "kernels/weight_layout.h"
+#include "quant/quantize.h"
+
+namespace qserve {
+namespace {
+
+struct GemmSetup {
+  Tensor x, w;
+  QuantizedActs qx, qx4;
+  W8PerChannel w8;
+  W4PerChannel w4c;
+  W4PerGroup w4g;
+  W4A4PerGroup w44;
+  ReorderedW4 stream;
+  ReorderedGroupMeta meta;
+
+  GemmSetup(int64_t m, int64_t n, int64_t k) {
+    Rng rng(1);
+    x = Tensor({m, k});
+    w = Tensor({n, k});
+    for (int64_t i = 0; i < x.numel(); ++i) x[i] = rng.normal();
+    for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal();
+    qx = quantize_acts_per_token(x);
+    qx4 = quantize_acts_per_token_int4(x);
+    w8 = quantize_w8_per_channel(w);
+    w4c = quantize_w4_per_channel(w);
+    w4g = quantize_progressive(w, {.group = 128});
+    w44 = quantize_w4a4_per_group(w, 128);
+    stream = reorder_w4_for_compute(w4g.qw);
+    meta = reorder_group_meta(w4g);
+  }
+};
+
+const GemmSetup& setup() {
+  static GemmSetup* s = new GemmSetup(8, 256, 512);
+  return *s;
+}
+
+void BM_GemmW8A8(benchmark::State& state) {
+  const auto& s = setup();
+  for (auto _ : state) benchmark::DoNotOptimize(gemm_w8a8(s.qx, s.w8));
+}
+BENCHMARK(BM_GemmW8A8);
+
+void BM_GemmW4A8PerChannel(benchmark::State& state) {
+  const auto& s = setup();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gemm_w4a8_per_channel(s.qx, s.w4c));
+}
+BENCHMARK(BM_GemmW4A8PerChannel);
+
+void BM_GemmW4A8PerGroup(benchmark::State& state) {
+  const auto& s = setup();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gemm_w4a8_per_group(s.qx, s.w4g));
+}
+BENCHMARK(BM_GemmW4A8PerGroup);
+
+void BM_GemmW4A8Streamed(benchmark::State& state) {
+  const auto& s = setup();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        gemm_w4a8_per_group_streamed(s.qx, s.w4g, s.stream, s.meta));
+}
+BENCHMARK(BM_GemmW4A8Streamed);
+
+void BM_GemmW4A4Atom(benchmark::State& state) {
+  const auto& s = setup();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gemm_w4a4_atom(s.qx4, s.w44));
+}
+BENCHMARK(BM_GemmW4A4Atom);
+
+void BM_GemmF32Reference(benchmark::State& state) {
+  const auto& s = setup();
+  for (auto _ : state) benchmark::DoNotOptimize(gemm_f32_ref(s.x, s.w));
+}
+BENCHMARK(BM_GemmF32Reference);
+
+// --- quantizers ----------------------------------------------------------------
+
+void BM_QuantizeProgressive(benchmark::State& state) {
+  const auto& s = setup();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(quantize_progressive(s.w, {.group = 128}));
+}
+BENCHMARK(BM_QuantizeProgressive);
+
+void BM_QuantizeActsPerToken(benchmark::State& state) {
+  const auto& s = setup();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(quantize_acts_per_token(s.x));
+}
+BENCHMARK(BM_QuantizeActsPerToken);
+
+// --- RLP primitives ---------------------------------------------------------------
+
+void BM_RlpDequantSubAfterMul(benchmark::State& state) {
+  uint32_t acc = 0;
+  for (auto _ : state) {
+    for (uint32_t i = 0; i < 1024; ++i) {
+      acc ^= dequant4_sub_after_mul(0x0F3A2C1Du ^ i, 7, 5);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 1024 * 8);
+}
+BENCHMARK(BM_RlpDequantSubAfterMul);
+
+void BM_ScalarDequantReference(benchmark::State& state) {
+  // Scalar one-code-at-a-time dequant for comparison with the SWAR path.
+  int acc = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      for (int l = 0; l < 8; ++l) {
+        const int q = (i >> l) & 0xF;
+        acc ^= (q - 5) * 7;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 1024 * 8);
+}
+BENCHMARK(BM_ScalarDequantReference);
+
+}  // namespace
+}  // namespace qserve
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Lightweight runtime-check macros used across the QServe reproduction.
+//
+// QS_CHECK is always on (including release builds): the library is a research
+// artifact and silent corruption is worse than a crash. QS_DCHECK compiles out
+// in NDEBUG builds and is reserved for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qserve {
+
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "QS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw CheckError(oss.str());
+}
+
+}  // namespace detail
+}  // namespace qserve
+
+#define QS_CHECK(expr)                                                 \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::qserve::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define QS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream qs_oss_;                                      \
+      qs_oss_ << msg;                                                  \
+      ::qserve::detail::check_failed(#expr, __FILE__, __LINE__,        \
+                                     qs_oss_.str());                   \
+    }                                                                  \
+  } while (0)
+
+#define QS_CHECK_EQ(a, b) QS_CHECK_MSG((a) == (b), (a) << " vs " << (b))
+#define QS_CHECK_NE(a, b) QS_CHECK_MSG((a) != (b), (a) << " vs " << (b))
+#define QS_CHECK_LT(a, b) QS_CHECK_MSG((a) < (b), (a) << " vs " << (b))
+#define QS_CHECK_LE(a, b) QS_CHECK_MSG((a) <= (b), (a) << " vs " << (b))
+#define QS_CHECK_GT(a, b) QS_CHECK_MSG((a) > (b), (a) << " vs " << (b))
+#define QS_CHECK_GE(a, b) QS_CHECK_MSG((a) >= (b), (a) << " vs " << (b))
+
+#ifdef NDEBUG
+#define QS_DCHECK(expr) ((void)0)
+#else
+#define QS_DCHECK(expr) QS_CHECK(expr)
+#endif

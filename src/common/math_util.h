@@ -1,0 +1,52 @@
+// Small numeric helpers shared by the quantization and kernel code.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace qserve {
+
+// Round-half-away-from-zero, the ⌊x⌉ used throughout the paper's equations.
+inline int round_half_away(float x) {
+  return static_cast<int>(x >= 0.0f ? std::floor(x + 0.5f)
+                                    : std::ceil(x - 0.5f));
+}
+
+inline int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+inline int64_t round_up(int64_t a, int64_t b) { return ceil_div(a, b) * b; }
+
+template <typename T>
+inline T clamp(T v, T lo, T hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+inline int8_t clamp_i8(int v) {
+  return static_cast<int8_t>(clamp(v, -128, 127));
+}
+
+inline uint8_t clamp_u4(int v) { return static_cast<uint8_t>(clamp(v, 0, 15)); }
+
+inline bool is_pow2(int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+inline int ilog2(int64_t x) {
+  int l = 0;
+  while ((int64_t(1) << (l + 1)) <= x) ++l;
+  return l;
+}
+
+// Numerically stable softmax over a contiguous row, in place.
+inline void softmax_inplace(float* x, int n) {
+  float m = x[0];
+  for (int i = 1; i < n; ++i) m = std::max(m, x[i]);
+  float sum = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - m);
+    sum += x[i];
+  }
+  const float inv = 1.0f / sum;
+  for (int i = 0; i < n; ++i) x[i] *= inv;
+}
+
+}  // namespace qserve

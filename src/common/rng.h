@@ -1,0 +1,71 @@
+// Deterministic random number generation for synthetic weights/activations.
+//
+// All stochastic pieces of the reproduction (synthetic model weights, outlier
+// injection, calibration data) flow through this RNG so that every test and
+// benchmark is reproducible from a seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace qserve {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  float uniform(float lo = 0.0f, float hi = 1.0f) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  // Student-t style heavy-tailed sample: normal / sqrt(chi2/df). LLM
+  // activations are famously heavy-tailed; df ~ 4-8 mimics published
+  // kurtosis levels.
+  float heavy_tailed(float scale = 1.0f, float df = 5.0f) {
+    const float z = normal();
+    float chi2 = 0.0f;
+    const int idf = static_cast<int>(df);
+    for (int i = 0; i < idf; ++i) {
+      const float g = normal();
+      chi2 += g * g;
+    }
+    return scale * z / std::sqrt(chi2 / df + 1e-12f);
+  }
+
+  int uniform_int(int lo, int hi) {  // inclusive
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  std::vector<float> normal_vec(size_t n, float mean = 0.0f,
+                                float stddev = 1.0f) {
+    std::vector<float> v(n);
+    for (auto& x : v) x = normal(mean, stddev);
+    return v;
+  }
+
+  // Fisher-Yates permutation of [0, n).
+  std::vector<int> permutation(int n) {
+    std::vector<int> p(n);
+    for (int i = 0; i < n; ++i) p[i] = i;
+    for (int i = n - 1; i > 0; --i) {
+      std::swap(p[i], p[uniform_int(0, i)]);
+    }
+    return p;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+  // Derive an independent child stream (for per-layer weight generation).
+  Rng fork() { return Rng(engine_()); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qserve

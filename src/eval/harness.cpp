@@ -1,0 +1,110 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace qserve {
+
+EvalCorpus build_eval_corpus(const ReferenceModel& ref,
+                             const EvalCorpusOptions& opt) {
+  Rng rng(opt.seed);
+  const int64_t vocab = ref.config().vocab;
+  EvalCorpus corpus;
+
+  auto random_prompt = [&](int len) {
+    std::vector<int> p(static_cast<size_t>(len));
+    for (auto& t : p) t = rng.uniform_int(0, static_cast<int>(vocab) - 1);
+    return p;
+  };
+
+  for (int i = 0; i < opt.calib_sequences; ++i) {
+    corpus.calibration.push_back(ref.generate(
+        random_prompt(8), opt.calib_len - 8, 1.0f, rng.engine()()));
+  }
+  for (int i = 0; i < opt.eval_sequences; ++i) {
+    corpus.eval.push_back(ref.generate(random_prompt(8), opt.eval_len - 8,
+                                       0.8f, rng.engine()()));
+  }
+  for (int i = 0; i < opt.n_choice_tasks; ++i) {
+    ChoiceTask task;
+    task.prompt = ref.generate(random_prompt(4), opt.choice_prompt_len - 4,
+                               0.8f, rng.engine()());
+    // Correct continuation: the model's own greedy continuation.
+    const auto full = ref.generate(task.prompt, opt.choice_cont_len, 0.0f,
+                                   rng.engine()());
+    task.correct.assign(full.begin() + static_cast<int64_t>(task.prompt.size()),
+                        full.end());
+    // Distractor: the correct continuation with one token replaced by a
+    // mid-rank alternative under the reference model. This makes the
+    // likelihood margin small, so the task discriminates quantization
+    // damage instead of being trivially separable (DESIGN.md §1).
+    task.distractor = task.correct;
+    {
+      const size_t pos = static_cast<size_t>(
+          rng.uniform_int(0, opt.choice_cont_len - 1));
+      std::vector<int> ctx = task.prompt;
+      ctx.insert(ctx.end(), task.correct.begin(),
+                 task.correct.begin() + static_cast<int64_t>(pos));
+      const Tensor logits = ref.forward(ctx);
+      const int64_t last = logits.rows() - 1;
+      // Pick the token ranked ~4-10 at that position.
+      const int target_rank = 4 + rng.uniform_int(0, 6);
+      std::vector<int> order(static_cast<size_t>(vocab));
+      for (size_t v = 0; v < order.size(); ++v) order[v] = static_cast<int>(v);
+      std::partial_sort(order.begin(), order.begin() + target_rank + 1,
+                        order.end(), [&](int a, int b) {
+                          return logits.at2(last, a) > logits.at2(last, b);
+                        });
+      int alt = order[static_cast<size_t>(target_rank)];
+      if (alt == task.correct[pos]) alt = order[0] == alt ? order[1] : order[0];
+      task.distractor[pos] = alt;
+    }
+    if (task.distractor == task.correct) continue;
+    corpus.choice_tasks.push_back(std::move(task));
+  }
+  for (int i = 0; i < opt.n_long_prompts; ++i) {
+    corpus.long_prompts.push_back(ref.generate(
+        random_prompt(8), opt.long_prompt_len - 8, 1.0f, rng.engine()()));
+  }
+  return corpus;
+}
+
+QoQOptions rtn_options() {
+  QoQOptions o;
+  o.fold_norms = false;
+  o.rotate_inputs = false;
+  o.smooth_attention = false;
+  o.smooth_outputs = false;
+  o.reorder_channels = false;
+  o.weight_clip = false;
+  return o;
+}
+
+EvalResult evaluate_scheme(const std::string& label,
+                           const ModelWeights& weights,
+                           const CalibrationData& calib,
+                           const QoQOptions& qoq,
+                           const QuantSchemeConfig& scheme,
+                           const ReferenceModel& ref, const EvalCorpus& corpus,
+                           bool with_kl) {
+  const ModelWeights transformed = qoq_transform(weights, calib, qoq);
+  QuantizedModel qmodel(transformed, scheme);
+
+  ForwardFn quant_fwd = [&](const std::vector<int>& toks) {
+    return qmodel.forward(toks);
+  };
+
+  EvalResult result;
+  result.label = label;
+  result.perplexity = pseudo_perplexity(quant_fwd, corpus.eval);
+  if (with_kl) {
+    ForwardFn ref_fwd = [&](const std::vector<int>& toks) {
+      return ref.forward(toks);
+    };
+    result.kl_to_ref = mean_kl_to_reference(ref_fwd, quant_fwd, corpus.eval);
+  }
+  return result;
+}
+
+}  // namespace qserve

@@ -1,0 +1,60 @@
+// Evaluation harness: builds synthetic corpora / tasks from a reference
+// model and evaluates quantization schemes against it — the machinery behind
+// Tables 2/3/5 and the Figure 16 ablation ladder.
+#pragma once
+
+#include <string>
+
+#include "eval/metrics.h"
+#include "model/qoq_quantizer.h"
+#include "model/quantized_model.h"
+#include "model/reference_model.h"
+
+namespace qserve {
+
+struct EvalCorpus {
+  std::vector<std::vector<int>> calibration;  // for QoQ transforms
+  std::vector<std::vector<int>> eval;         // for perplexity
+  std::vector<ChoiceTask> choice_tasks;       // zero-shot proxy
+  std::vector<std::vector<int>> long_prompts; // long-context proxy
+};
+
+struct EvalCorpusOptions {
+  int calib_sequences = 2;
+  int calib_len = 48;
+  int eval_sequences = 4;
+  int eval_len = 48;
+  int n_choice_tasks = 24;
+  int choice_prompt_len = 16;
+  int choice_cont_len = 4;
+  int n_long_prompts = 2;
+  int long_prompt_len = 96;
+  uint64_t seed = 123;
+};
+
+// Sequences are sampled from the reference model itself so that "perplexity"
+// measures how well a quantized variant preserves the model's own
+// distribution (see DESIGN.md §1).
+EvalCorpus build_eval_corpus(const ReferenceModel& ref,
+                             const EvalCorpusOptions& opt = {});
+
+struct EvalResult {
+  std::string label;
+  double perplexity = 0;
+  double kl_to_ref = 0;
+};
+
+// Evaluate one quantization configuration: QoQ-transform (per `qoq`),
+// quantize (per `scheme`), and measure pseudo-perplexity on the corpus.
+EvalResult evaluate_scheme(const std::string& label,
+                           const ModelWeights& weights,
+                           const CalibrationData& calib,
+                           const QoQOptions& qoq,
+                           const QuantSchemeConfig& scheme,
+                           const ReferenceModel& ref, const EvalCorpus& corpus,
+                           bool with_kl = false);
+
+// Convenience: QoQOptions with every technique disabled (plain RTN).
+QoQOptions rtn_options();
+
+}  // namespace qserve

@@ -1,0 +1,126 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace qserve {
+
+namespace {
+
+// Log-softmax of one logits row at index `target`.
+double token_logprob(const Tensor& logits, int64_t row, int target) {
+  const int64_t vocab = logits.cols();
+  double m = logits.at2(row, 0);
+  for (int64_t v = 1; v < vocab; ++v)
+    m = std::max(m, double(logits.at2(row, v)));
+  double lse = 0.0;
+  for (int64_t v = 0; v < vocab; ++v)
+    lse += std::exp(double(logits.at2(row, v)) - m);
+  return double(logits.at2(row, target)) - m - std::log(lse);
+}
+
+}  // namespace
+
+double pseudo_perplexity(const ForwardFn& forward,
+                         const std::vector<std::vector<int>>& corpus) {
+  double nll = 0.0;
+  int64_t count = 0;
+  for (const auto& tokens : corpus) {
+    QS_CHECK_GE(tokens.size(), 2u);
+    const Tensor logits = forward(tokens);
+    for (size_t t = 1; t < tokens.size(); ++t) {
+      nll -= token_logprob(logits, static_cast<int64_t>(t - 1), tokens[t]);
+      ++count;
+    }
+  }
+  return std::exp(nll / double(count));
+}
+
+double mean_kl_to_reference(const ForwardFn& reference, const ForwardFn& model,
+                            const std::vector<std::vector<int>>& corpus) {
+  double kl = 0.0;
+  int64_t count = 0;
+  for (const auto& tokens : corpus) {
+    const Tensor lr = reference(tokens);
+    const Tensor lm = model(tokens);
+    QS_CHECK(lr.same_shape(lm));
+    const int64_t vocab = lr.cols();
+    std::vector<float> p(static_cast<size_t>(vocab));
+    std::vector<float> q(static_cast<size_t>(vocab));
+    for (int64_t row = 0; row < lr.rows(); ++row) {
+      for (int64_t v = 0; v < vocab; ++v) {
+        p[size_t(v)] = lr.at2(row, v);
+        q[size_t(v)] = lm.at2(row, v);
+      }
+      softmax_inplace(p.data(), static_cast<int>(vocab));
+      softmax_inplace(q.data(), static_cast<int>(vocab));
+      for (int64_t v = 0; v < vocab; ++v) {
+        if (p[size_t(v)] > 1e-8f)
+          kl += double(p[size_t(v)]) *
+                (std::log(double(p[size_t(v)])) -
+                 std::log(std::max(double(q[size_t(v)]), 1e-12)));
+      }
+      ++count;
+    }
+  }
+  return kl / double(count);
+}
+
+namespace {
+
+double continuation_logprob(const ForwardFn& forward,
+                            const std::vector<int>& prompt,
+                            const std::vector<int>& continuation) {
+  std::vector<int> full = prompt;
+  full.insert(full.end(), continuation.begin(), continuation.end());
+  const Tensor logits = forward(full);
+  double lp = 0.0;
+  for (size_t i = 0; i < continuation.size(); ++i) {
+    const int64_t row = static_cast<int64_t>(prompt.size() + i - 1);
+    lp += token_logprob(logits, row, continuation[i]);
+  }
+  return lp;
+}
+
+}  // namespace
+
+double choice_accuracy(const ForwardFn& forward,
+                       const std::vector<ChoiceTask>& tasks) {
+  QS_CHECK(!tasks.empty());
+  int correct = 0;
+  for (const auto& task : tasks) {
+    const double lp_good =
+        continuation_logprob(forward, task.prompt, task.correct);
+    const double lp_bad =
+        continuation_logprob(forward, task.prompt, task.distractor);
+    if (lp_good > lp_bad) ++correct;
+  }
+  return double(correct) / double(tasks.size());
+}
+
+double greedy_agreement(const ForwardFn& reference, const ForwardFn& model,
+                        const std::vector<std::vector<int>>& prompts,
+                        int horizon) {
+  int agree = 0, total = 0;
+  for (const auto& prompt : prompts) {
+    std::vector<int> ctx = prompt;
+    for (int i = 0; i < horizon; ++i) {
+      const Tensor lr = reference(ctx);
+      const Tensor lm = model(ctx);
+      const int64_t row = lr.rows() - 1;
+      int64_t ar = 0, am = 0;
+      for (int64_t v = 1; v < lr.cols(); ++v) {
+        if (lr.at2(row, v) > lr.at2(row, ar)) ar = v;
+        if (lm.at2(row, v) > lm.at2(row, am)) am = v;
+      }
+      if (ar == am) ++agree;
+      ++total;
+      ctx.push_back(static_cast<int>(ar));  // teacher-forced on reference
+    }
+  }
+  return double(agree) / double(total);
+}
+
+}  // namespace qserve

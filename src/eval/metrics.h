@@ -1,0 +1,47 @@
+// Accuracy metrics for the synthetic evaluation (DESIGN.md §1 documents the
+// substitution for WikiText2 / lm-eval):
+//   * pseudo-perplexity — exp(mean next-token NLL) of a token stream under a
+//     model, the direct analogue of WikiText2 perplexity;
+//   * KL divergence to the FP32 reference — a sharper probe of quantization
+//     damage on the output distribution;
+//   * choice accuracy — a two-alternative likelihood task standing in for
+//     the zero-shot common-sense suite (Table 3);
+//   * greedy agreement — long-generation match rate vs the reference
+//     (Table 5 long-context proxy).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+// forward(tokens) -> logits [n, vocab].
+using ForwardFn = std::function<Tensor(const std::vector<int>&)>;
+
+double pseudo_perplexity(const ForwardFn& forward,
+                         const std::vector<std::vector<int>>& corpus);
+
+// Mean KL(ref || model) over all positions of all sequences.
+double mean_kl_to_reference(const ForwardFn& reference, const ForwardFn& model,
+                            const std::vector<std::vector<int>>& corpus);
+
+struct ChoiceTask {
+  std::vector<int> prompt;
+  std::vector<int> correct;     // reference-preferred continuation
+  std::vector<int> distractor;  // perturbed continuation
+};
+
+// Fraction of tasks where the model assigns higher total log-likelihood to
+// the correct continuation.
+double choice_accuracy(const ForwardFn& forward,
+                       const std::vector<ChoiceTask>& tasks);
+
+// Token-level greedy agreement between model and reference over `horizon`
+// generated tokens from each prompt (teacher-forced on the reference path).
+double greedy_agreement(const ForwardFn& reference, const ForwardFn& model,
+                        const std::vector<std::vector<int>>& prompts,
+                        int horizon);
+
+}  // namespace qserve

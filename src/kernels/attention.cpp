@@ -1,0 +1,79 @@
+#include "kernels/attention.h"
+
+#include <cmath>
+
+#include "common/half.h"
+#include "common/math_util.h"
+
+namespace qserve {
+
+namespace {
+
+// One head, one query vector, keys rows [0, s_visible). Scores buffer must
+// hold s_visible floats.
+void head_attention(const float* qh, const Tensor& k, const Tensor& v,
+                    int64_t kv_head, int head_dim, int64_t s_visible,
+                    bool fp16_accum, float* scores, float* out) {
+  const float scale = 1.0f / std::sqrt(float(head_dim));
+  const int64_t kv_stride = k.cols();
+  for (int64_t t = 0; t < s_visible; ++t) {
+    const float* kt = k.row(t) + kv_head * head_dim;
+    float dot = 0.0f;
+    for (int d = 0; d < head_dim; ++d) dot += qh[d] * kt[d];
+    // QServe converts the QK product to FP16 (§5.3); the baseline keeps FP32.
+    scores[t] = fp16_accum ? to_half_precision(dot * scale) : dot * scale;
+  }
+  softmax_inplace(scores, static_cast<int>(s_visible));
+  for (int d = 0; d < head_dim; ++d) out[d] = 0.0f;
+  for (int64_t t = 0; t < s_visible; ++t) {
+    const float* vt = v.row(t) + kv_head * head_dim;
+    const float p = scores[t];
+    for (int d = 0; d < head_dim; ++d) out[d] += p * vt[d];
+  }
+  if (fp16_accum) {
+    for (int d = 0; d < head_dim; ++d) out[d] = to_half_precision(out[d]);
+  }
+  (void)kv_stride;
+}
+
+}  // namespace
+
+Tensor attention_prefill(const Tensor& q, const Tensor& k, const Tensor& v,
+                         const AttentionConfig& cfg) {
+  QS_CHECK_EQ(q.cols(), int64_t(cfg.n_heads) * cfg.head_dim);
+  QS_CHECK_EQ(k.cols(), int64_t(cfg.n_kv_heads) * cfg.head_dim);
+  QS_CHECK(k.same_shape(v));
+  QS_CHECK_EQ(cfg.n_heads % cfg.n_kv_heads, 0);
+  const int64_t n = q.rows(), s = k.rows();
+  QS_CHECK_LE(n, s);
+  const int group = cfg.n_heads / cfg.n_kv_heads;
+
+  Tensor out({n, q.cols()});
+  std::vector<float> scores(static_cast<size_t>(s));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t visible = s - n + i + 1;  // causal mask
+    for (int h = 0; h < cfg.n_heads; ++h) {
+      const float* qh = q.row(i) + int64_t(h) * cfg.head_dim;
+      float* oh = out.row(i) + int64_t(h) * cfg.head_dim;
+      head_attention(qh, k, v, h / group, cfg.head_dim, visible,
+                     cfg.fp16_accum, scores.data(), oh);
+    }
+  }
+  return out;
+}
+
+void attention_decode_token(const float* q, const Tensor& k, const Tensor& v,
+                            const AttentionConfig& cfg, float* out) {
+  QS_CHECK_EQ(k.cols(), int64_t(cfg.n_kv_heads) * cfg.head_dim);
+  QS_CHECK(k.same_shape(v));
+  const int64_t s = k.rows();
+  const int group = cfg.n_heads / cfg.n_kv_heads;
+  std::vector<float> scores(static_cast<size_t>(s));
+  for (int h = 0; h < cfg.n_heads; ++h) {
+    head_attention(q + int64_t(h) * cfg.head_dim, k, v, h / group,
+                   cfg.head_dim, s, cfg.fp16_accum, scores.data(),
+                   out + int64_t(h) * cfg.head_dim);
+  }
+}
+
+}  // namespace qserve

@@ -1,0 +1,34 @@
+// Attention kernels (Eq. 1) for prefill and decode, with GQA support.
+//
+// K/V inputs arrive as float matrices — in the quantized-serving path they
+// are produced by the paged KV cache's dequantization (src/kvcache), so the
+// INT4/INT8 round-trip error is already embedded, exactly like the fused GPU
+// kernel that dequantizes page data inline. `fp16_accum` models QServe's
+// FP32→FP16 conversion of the QK and SV products (§5.3).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+struct AttentionConfig {
+  int n_heads = 8;
+  int n_kv_heads = 8;   // GQA when < n_heads
+  int head_dim = 64;
+  bool fp16_accum = false;
+};
+
+// Causal self-attention for a chunk of `n` new tokens whose keys/values have
+// already been appended to K/V. q is [n, H*D]; K, V are [s, HKV*D] with
+// s >= n; the new tokens occupy rows s-n .. s-1. Returns [n, H*D].
+Tensor attention_prefill(const Tensor& q, const Tensor& k, const Tensor& v,
+                         const AttentionConfig& cfg);
+
+// Decode: one query token against `s` cached keys/values. q is [H*D],
+// K, V are [s, HKV*D]. Writes H*D floats to `out`.
+void attention_decode_token(const float* q, const Tensor& k, const Tensor& v,
+                            const AttentionConfig& cfg, float* out);
+
+}  // namespace qserve

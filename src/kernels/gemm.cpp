@@ -1,0 +1,212 @@
+#include "kernels/gemm.h"
+
+#include <vector>
+
+#include "common/half.h"
+#include "kernels/rlp.h"
+
+namespace qserve {
+
+Tensor gemm_f32_ref(const Tensor& x, const Tensor& w) {
+  QS_CHECK_EQ(x.cols(), w.cols());
+  const int64_t m = x.rows(), k = x.cols(), n = w.rows();
+  Tensor y({m, n});
+  for (int64_t t = 0; t < m; ++t) {
+    const float* xr = x.row(t);
+    for (int64_t r = 0; r < n; ++r) {
+      const float* wr = w.row(r);
+      double acc = 0.0;
+      for (int64_t c = 0; c < k; ++c) acc += double(xr[c]) * double(wr[c]);
+      y.at2(t, r) = static_cast<float>(acc);
+    }
+  }
+  return y;
+}
+
+I32Tensor gemm_i8i8_i32(const I8Tensor& x, const I8Tensor& w) {
+  QS_CHECK_EQ(x.cols(), w.cols());
+  const int64_t m = x.rows(), k = x.cols(), n = w.rows();
+  I32Tensor y({m, n});
+  for (int64_t t = 0; t < m; ++t) {
+    const int8_t* xr = x.row(t);
+    for (int64_t r = 0; r < n; ++r) {
+      const int8_t* wr = w.row(r);
+      int32_t acc = 0;
+      for (int64_t c = 0; c < k; ++c)
+        acc += int32_t(xr[c]) * int32_t(wr[c]);
+      y.at2(t, r) = acc;
+    }
+  }
+  return y;
+}
+
+Tensor gemm_w8a8(const QuantizedActs& x, const W8PerChannel& w) {
+  QS_CHECK_EQ(x.k(), w.k());
+  const int64_t m = x.m(), k = x.k(), n = w.n();
+  Tensor y({m, n});
+  for (int64_t t = 0; t < m; ++t) {
+    const int8_t* xr = x.q.row(t);
+    const float sx = x.s[t];
+    for (int64_t r = 0; r < n; ++r) {
+      const int8_t* wr = w.qw.row(r);
+      int32_t acc = 0;
+      for (int64_t c = 0; c < k; ++c)
+        acc += int32_t(xr[c]) * int32_t(wr[c]);
+      // Epilogue: outer-product scaling, FP16 output.
+      y.at2(t, r) = to_half_precision(float(acc) * sx * w.s[r]);
+    }
+  }
+  return y;
+}
+
+Tensor gemm_w4a8_per_channel(const QuantizedActs& x, const W4PerChannel& w) {
+  QS_CHECK_EQ(x.k(), w.k());
+  const int64_t m = x.m(), k = x.k(), n = w.n();
+  Tensor y({m, n});
+  // Main loop MACs the raw UINT4 codes against INT8 activations; the
+  // zero-point correction -tX * (z*s) happens once per output in the epilogue
+  // (subtraction after multiplication, Eq. 12/13).
+  for (int64_t t = 0; t < m; ++t) {
+    const int8_t* xr = x.q.row(t);
+    const float sx = x.s[t];
+    const float tx = x.token_sum[t];
+    for (int64_t r = 0; r < n; ++r) {
+      int32_t acc = 0;
+      for (int64_t c = 0; c < k; ++c)
+        acc += int32_t(xr[c]) * int32_t(get_u4(w.qw, r, c));
+      const float main_term = float(acc) * sx * w.s[r];
+      y.at2(t, r) = to_half_precision(main_term - tx * w.szw[r]);
+    }
+  }
+  return y;
+}
+
+Tensor gemm_w4a8_per_group(const QuantizedActs& x, const W4PerGroup& w) {
+  QS_CHECK_EQ(x.k(), w.k());
+  const int64_t m = x.m(), k = x.k(), n = w.n();
+  Tensor y({m, n});
+  // Main loop: level-2 dequant (q - z) * s1 restores the *integer* level-1
+  // codes (the protective range guarantees they fit INT8), then INT8 MACs.
+  // The SWAR-faithful version of this dequant is exercised by the streamed
+  // kernel below; the integer arithmetic is identical.
+  std::vector<int8_t> wrow(static_cast<size_t>(k));
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < k; ++c) {
+      const int64_t g = c / w.group;
+      const int code = (int(get_u4(w.qw, r, c)) - int(w.z.at2(r, g))) *
+                       int(w.s1.at2(r, g));
+      QS_DCHECK(code >= -128 && code <= 127);
+      wrow[static_cast<size_t>(c)] = static_cast<int8_t>(code);
+    }
+    for (int64_t t = 0; t < m; ++t) {
+      const int8_t* xr = x.q.row(t);
+      int32_t acc = 0;
+      for (int64_t c = 0; c < k; ++c)
+        acc += int32_t(xr[c]) * int32_t(wrow[static_cast<size_t>(c)]);
+      y.at2(t, r) = to_half_precision(float(acc) * x.s[t] * w.s0[r]);
+    }
+  }
+  return y;
+}
+
+Tensor gemm_w4a8_per_group_streamed(const QuantizedActs& x,
+                                    const W4PerGroup& w,
+                                    const ReorderedW4& stream,
+                                    const ReorderedGroupMeta& meta) {
+  QS_CHECK_EQ(x.k(), w.k());
+  QS_CHECK_EQ(stream.n, w.n());
+  QS_CHECK_EQ(stream.k, w.k());
+  const int64_t m = x.m(), n = w.n();
+  I32Tensor acc({m, n});
+
+  // Walk the stream in storage order — one pass, no per-fragment index
+  // arithmetic beyond the tile bookkeeping a real thread block keeps.
+  size_t pos = 0;
+  for (int64_t nt = 0; nt < stream.n_tiles(); ++nt) {
+    for (int64_t kt = 0; kt < stream.k_tiles(); ++kt) {
+      for (int t = 0; t < kThreadsPerTile; ++t) {
+        for (int j = 0; j < kWordsPerThread; ++j, ++pos) {
+          const uint32_t word = stream.words[pos];
+          const uint8_t s1 = meta.s1[pos];
+          const uint8_t z = meta.z[pos];
+          // Figure 13 unpack + Figure 14b sub-after-mul dequant, both on
+          // packed 32-bit registers.
+          const UnpackedU4x8 u = unpack_u4x8(word);
+          const uint32_t lo = dequant4_sub_after_mul(u.low, s1, z);
+          const uint32_t hi = dequant4_sub_after_mul(u.high, s1, z);
+          const int64_t row = nt * kTileN + tile_out_channel(t, j);
+          for (int64_t tok = 0; tok < m; ++tok) {
+            const int8_t* xr = x.q.row(tok);
+            int32_t a = 0;
+            for (int l = 0; l < 4; ++l) {
+              const int64_t ca = kt * kTileK + tile_in_channel_a(t, l);
+              const int64_t cb = kt * kTileK + tile_in_channel_b(t, l);
+              a += int32_t(xr[ca]) * int32_t(lane_s8(lo, l));
+              a += int32_t(xr[cb]) * int32_t(lane_s8(hi, l));
+            }
+            acc.at2(tok, row) += a;
+          }
+        }
+      }
+    }
+  }
+
+  Tensor y({m, n});
+  for (int64_t tok = 0; tok < m; ++tok)
+    for (int64_t r = 0; r < n; ++r)
+      y.at2(tok, r) =
+          to_half_precision(float(acc.at2(tok, r)) * x.s[tok] * w.s0[r]);
+  return y;
+}
+
+Tensor gemm_w4a4_atom(const QuantizedActs& x, const W4A4PerGroup& w) {
+  QS_CHECK_EQ(x.k(), w.k());
+  const int64_t m = x.m(), k = x.k(), n = w.n();
+  const int64_t ng = k / w.group;
+  Tensor y({m, n});
+  for (int64_t t = 0; t < m; ++t) {
+    const int8_t* xr = x.q.row(t);
+    const float sx = x.s[t];
+    for (int64_t r = 0; r < n; ++r) {
+      const int8_t* wr = w.qw.row(r);
+      // Per-group INT32 partial sums dequantized to FP32 *inside* the main
+      // loop — the CUDA-core bottleneck of Fig. 5c.
+      float acc = 0.0f;
+      for (int64_t g = 0; g < ng; ++g) {
+        const int64_t base = g * w.group;
+        int32_t partial = 0;
+        for (int64_t c = 0; c < w.group; ++c)
+          partial += int32_t(xr[base + c]) * int32_t(wr[base + c]);
+        acc += float(partial) * sx * w.s.at2(r, g);
+      }
+      y.at2(t, r) = to_half_precision(acc);
+    }
+  }
+  return y;
+}
+
+Tensor gemm_w4a16(const Tensor& x, const W4A16PerGroup& w) {
+  QS_CHECK_EQ(x.cols(), w.k());
+  const int64_t m = x.rows(), k = x.cols(), n = w.n();
+  Tensor y({m, n});
+  for (int64_t r = 0; r < n; ++r) {
+    // Main-loop INT4 -> FP16 weight dequantization (Fig. 5b).
+    std::vector<float> wrow(static_cast<size_t>(k));
+    for (int64_t c = 0; c < k; ++c) {
+      const int64_t g = c / w.group;
+      wrow[static_cast<size_t>(c)] = to_half_precision(
+          float(int(get_u4(w.qw, r, c)) - int(w.z.at2(r, g))) *
+          w.s.at2(r, g));
+    }
+    for (int64_t t = 0; t < m; ++t) {
+      const float* xr = x.row(t);
+      float acc = 0.0f;
+      for (int64_t c = 0; c < k; ++c)
+        acc += xr[c] * wrow[static_cast<size_t>(c)];
+      y.at2(t, r) = to_half_precision(acc);
+    }
+  }
+  return y;
+}
+
+}  // namespace qserve

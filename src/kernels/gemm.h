@@ -1,0 +1,49 @@
+// GEMM kernels reproducing the numerics of each serving system's pipeline
+// (Figure 5). All kernels compute Y[m,n] = X[m,k] * W[n,k]^T.
+//
+//   gemm_w8a8              — TRT-LLM W8A8 path: INT8 MACs, epilogue scaling.
+//   gemm_w4a8_per_channel  — QServe per-channel: UINT4 codes MAC'd directly,
+//                            zero-point term folded into the epilogue via the
+//                            precomputed token sums tX (Eq. 12/13).
+//   gemm_w4a8_per_group    — QServe progressive: level-2 dequant to level-1
+//                            INT8 codes in the main loop (sub-after-mul),
+//                            INT8 MACs, level-1 scaling in the epilogue.
+//   gemm_w4a8_per_group_streamed — same numerics, but consuming the
+//                            compute-aware reordered stream with the SWAR RLP
+//                            path; exists to validate layout + RLP end to end.
+//   gemm_w4a4_atom         — Atom path: INT4 MACs with per-group FP32
+//                            partial-sum dequantization in the main loop.
+//   gemm_w4a16             — weight-only path: FP16 dequant in the main loop.
+//
+// Outputs are rounded through FP16 (the GPU kernels emit FP16).
+#pragma once
+
+#include "kernels/weight_layout.h"
+#include "quant/types.h"
+#include "quant/w4a16.h"
+
+namespace qserve {
+
+// FP32 reference (stands in for the FP16 tensor-core baseline).
+Tensor gemm_f32_ref(const Tensor& x, const Tensor& w);
+
+// Raw INT8 x INT8 -> INT32 (the "tensor core" primitive).
+I32Tensor gemm_i8i8_i32(const I8Tensor& x, const I8Tensor& w);
+
+Tensor gemm_w8a8(const QuantizedActs& x, const W8PerChannel& w);
+
+Tensor gemm_w4a8_per_channel(const QuantizedActs& x, const W4PerChannel& w);
+
+Tensor gemm_w4a8_per_group(const QuantizedActs& x, const W4PerGroup& w);
+
+Tensor gemm_w4a8_per_group_streamed(const QuantizedActs& x,
+                                    const W4PerGroup& w,
+                                    const ReorderedW4& stream,
+                                    const ReorderedGroupMeta& meta);
+
+// x must be per-token INT4-quantized (quantize_acts_per_token_int4).
+Tensor gemm_w4a4_atom(const QuantizedActs& x, const W4A4PerGroup& w);
+
+Tensor gemm_w4a16(const Tensor& x, const W4A16PerGroup& w);
+
+}  // namespace qserve

@@ -1,0 +1,92 @@
+#include "kernels/ops.h"
+
+#include <cmath>
+
+#include "common/half.h"
+#include "common/math_util.h"
+#include "quant/quantize.h"
+
+namespace qserve {
+
+Tensor rms_norm(const Tensor& x, const Tensor& gamma, float eps) {
+  QS_CHECK_EQ(x.ndim(), 2);
+  QS_CHECK_EQ(x.cols(), gamma.numel());
+  const int64_t m = x.rows(), d = x.cols();
+  Tensor y({m, d});
+  for (int64_t t = 0; t < m; ++t) {
+    const float* xr = x.row(t);
+    double ss = 0.0;
+    for (int64_t c = 0; c < d; ++c) ss += double(xr[c]) * double(xr[c]);
+    const float inv = 1.0f / std::sqrt(float(ss / double(d)) + eps);
+    float* yr = y.row(t);
+    for (int64_t c = 0; c < d; ++c) yr[c] = xr[c] * inv * gamma[c];
+  }
+  return y;
+}
+
+QuantizedActs rms_norm_quant(const Tensor& x, const Tensor& gamma, float eps) {
+  return quantize_acts_per_token(rms_norm(x, gamma, eps));
+}
+
+Tensor silu(const Tensor& x) {
+  Tensor y = x;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    const float v = y[i];
+    y[i] = v / (1.0f + std::exp(-v));
+  }
+  return y;
+}
+
+Tensor swiglu(const Tensor& gate_up) {
+  QS_CHECK_EQ(gate_up.ndim(), 2);
+  QS_CHECK_EQ(gate_up.cols() % 2, 0);
+  const int64_t m = gate_up.rows(), d = gate_up.cols() / 2;
+  Tensor y({m, d});
+  for (int64_t t = 0; t < m; ++t) {
+    const float* g = gate_up.row(t);
+    const float* u = g + d;
+    float* yr = y.row(t);
+    for (int64_t c = 0; c < d; ++c) {
+      const float v = g[c];
+      yr[c] = (v / (1.0f + std::exp(-v))) * u[c];
+    }
+  }
+  return y;
+}
+
+QuantizedActs swiglu_quant(const Tensor& gate_up) {
+  return quantize_acts_per_token(swiglu(gate_up));
+}
+
+void rope_inplace(Tensor& x, const std::vector<int>& positions, int head_dim,
+                  float theta) {
+  QS_CHECK_EQ(x.ndim(), 2);
+  QS_CHECK_EQ(x.cols() % head_dim, 0);
+  QS_CHECK_EQ(x.rows(), static_cast<int64_t>(positions.size()));
+  QS_CHECK_EQ(head_dim % 2, 0);
+  const int64_t m = x.rows();
+  const int64_t heads = x.cols() / head_dim;
+  const int half = head_dim / 2;
+  for (int64_t t = 0; t < m; ++t) {
+    const float pos = static_cast<float>(positions[static_cast<size_t>(t)]);
+    float* xr = x.row(t);
+    for (int64_t h = 0; h < heads; ++h) {
+      float* hp = xr + h * head_dim;
+      for (int i = 0; i < half; ++i) {
+        const float freq =
+            std::pow(theta, -2.0f * float(i) / float(head_dim));
+        const float c = std::cos(pos * freq), s = std::sin(pos * freq);
+        const float a = hp[i], b = hp[i + half];
+        hp[i] = a * c - b * s;
+        hp[i + half] = a * s + b * c;
+      }
+    }
+  }
+}
+
+void add_inplace(Tensor& y, const Tensor& x) {
+  QS_CHECK(y.same_shape(x));
+  for (int64_t i = 0; i < y.numel(); ++i) y[i] += x[i];
+}
+
+}  // namespace qserve

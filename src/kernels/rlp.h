@@ -1,0 +1,102 @@
+// Register-level parallelism (RLP) primitives (§5.2.2, §5.2.3, Fig. 13/14).
+//
+// NVIDIA GPUs manipulate four packed INT8 lanes in one 32-bit register
+// (`vadd4` etc.). This header emulates exactly those semantics on the CPU:
+//  * `unpack_u4x8` — the 3-logical-op UINT4→UINT8 unpack of Figure 13,
+//    operating on the w0,w16,w1,w17,... interleaved storage order;
+//  * `vadd4` — per-byte addition with NO carry across lanes (the hardware
+//    instruction ignores inter-lane carries);
+//  * `mul4_u8_scalar` — the *simulated* 4-way multiply: a full 32-bit integer
+//    multiply by a scale padded with 24 zero MSBs. This is only lane-safe if
+//    every byte product stays within 8 bits — the property the protective
+//    range of progressive quantization guarantees (Fig. 14b) and the naive
+//    scheme violates (Fig. 14a). We intentionally emulate it as a plain
+//    32-bit multiply so that overflow corrupts neighbouring lanes exactly as
+//    it would on the GPU.
+#pragma once
+
+#include <cstdint>
+
+namespace qserve {
+
+// --- Figure 13: UINT4 -> UINT8 unpack, 3 logical ops per 8 weights -----------
+
+struct UnpackedU4x8 {
+  uint32_t low;   // lanes w0, w1, w2, w3   (bytes, little-endian lane 0 first)
+  uint32_t high;  // lanes w16, w17, w18, w19 ... see interleave below
+};
+
+// `packed` holds eight 4-bit codes in the RLP interleaved order
+//   nibble 0: w0, nibble 1: w16, nibble 2: w1, nibble 3: w17, ...
+// so that one shift+two ands split them into two registers of four UINT8
+// lanes each: low = {w0,w1,w2,w3}, high = {w16,w17,w18,w19}.
+inline UnpackedU4x8 unpack_u4x8(uint32_t packed) {
+  UnpackedU4x8 u;
+  u.low = packed & 0x0F0F0F0Fu;
+  u.high = (packed >> 4) & 0x0F0F0F0Fu;
+  return u;
+}
+
+// Interleave eight UINT4 codes {a0..a3, b0..b3} -> packed word expected by
+// unpack_u4x8 (a* end up in `low`, b* in `high`).
+inline uint32_t interleave_u4x8(const uint8_t a[4], const uint8_t b[4]) {
+  uint32_t w = 0;
+  for (int i = 0; i < 4; ++i) {
+    w |= (uint32_t(a[i] & 0x0F)) << (8 * i);
+    w |= (uint32_t(b[i] & 0x0F)) << (8 * i + 4);
+  }
+  return w;
+}
+
+// --- 4-way INT8 lane arithmetic ----------------------------------------------
+
+// Hardware vadd4: per-byte add, carries do not propagate across lanes.
+inline uint32_t vadd4(uint32_t a, uint32_t b) {
+  // Classic SWAR trick: add low 7 bits, then fix up the MSBs.
+  const uint32_t sum7 = (a & 0x7F7F7F7Fu) + (b & 0x7F7F7F7Fu);
+  return sum7 ^ ((a ^ b) & 0x80808080u);
+}
+
+// Simulated 4-way multiply by an 8-bit scalar (§5.2.3): pad the scale into a
+// 32-bit register and use one integer multiply. Deliberately NOT lane-safe —
+// if any byte product exceeds 255 the carry corrupts the next lane, which is
+// precisely the failure mode of subtraction-before-multiplication (Fig. 14a).
+inline uint32_t mul4_u8_scalar(uint32_t lanes, uint8_t scale) {
+  return lanes * uint32_t(scale);
+}
+
+// Broadcast one byte into all four lanes.
+inline uint32_t broadcast4(uint8_t b) { return 0x01010101u * uint32_t(b); }
+
+// Lane extraction helpers (lane 0 = least significant byte).
+inline uint8_t lane_u8(uint32_t word, int lane) {
+  return static_cast<uint8_t>(word >> (8 * lane));
+}
+inline int8_t lane_s8(uint32_t word, int lane) {
+  return static_cast<int8_t>(lane_u8(word, lane));
+}
+
+// --- Fused per-group dequant step (Fig. 14b) ---------------------------------
+//
+// Given four UINT4 codes in lanes, a UINT8 level-2 scale s1 and a UINT4 zero
+// point z, produce four SINT8 level-1 codes using subtraction AFTER
+// multiplication: lanes*s1 first (each product <= 255, guaranteed by the
+// protective range), then vadd4 with the broadcast of -(z*s1).
+inline uint32_t dequant4_sub_after_mul(uint32_t u4_lanes, uint8_t s1,
+                                       uint8_t z) {
+  const uint32_t scaled = mul4_u8_scalar(u4_lanes, s1);
+  const uint8_t neg_zs = static_cast<uint8_t>(-(int(z) * int(s1)));  // 2's comp
+  return vadd4(scaled, broadcast4(neg_zs));
+}
+
+// Subtraction BEFORE multiplication (Fig. 14a): vadd4 with -z first (always
+// lane-safe), then the 4-way multiply — which overflows whenever |q-z|*s1
+// leaves the signed 8-bit range, corrupting neighbour lanes.
+inline uint32_t dequant4_sub_before_mul(uint32_t u4_lanes, uint8_t s1,
+                                        uint8_t z) {
+  const uint8_t neg_z = static_cast<uint8_t>(-int(z));
+  const uint32_t shifted = vadd4(u4_lanes, broadcast4(neg_z));
+  return mul4_u8_scalar(shifted, s1);
+}
+
+}  // namespace qserve

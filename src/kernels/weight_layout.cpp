@@ -1,0 +1,85 @@
+#include "kernels/weight_layout.h"
+
+#include "common/check.h"
+#include "kernels/rlp.h"
+#include "tensor/int4.h"
+
+namespace qserve {
+
+ReorderedW4 reorder_w4_for_compute(const PackedU4& qw) {
+  QS_CHECK_EQ(qw.rows % kTileN, 0);
+  QS_CHECK_EQ(qw.cols % kTileK, 0);
+  ReorderedW4 out;
+  out.n = qw.rows;
+  out.k = qw.cols;
+  out.words.resize(static_cast<size_t>(out.n_tiles() * out.k_tiles() *
+                                       kThreadsPerTile * kWordsPerThread));
+  for (int64_t nt = 0; nt < out.n_tiles(); ++nt) {
+    for (int64_t kt = 0; kt < out.k_tiles(); ++kt) {
+      for (int t = 0; t < kThreadsPerTile; ++t) {
+        for (int j = 0; j < kWordsPerThread; ++j) {
+          const int64_t row = nt * kTileN + tile_out_channel(t, j);
+          uint8_t a[4], b[4];
+          for (int l = 0; l < 4; ++l) {
+            a[l] = get_u4(qw, row, kt * kTileK + tile_in_channel_a(t, l));
+            b[l] = get_u4(qw, row, kt * kTileK + tile_in_channel_b(t, l));
+          }
+          out.words[static_cast<size_t>(out.index(nt, kt, t, j))] =
+              interleave_u4x8(a, b);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+U8Tensor unreorder_w4(const ReorderedW4& r) {
+  U8Tensor codes({r.n, r.k});
+  for (int64_t nt = 0; nt < r.n_tiles(); ++nt) {
+    for (int64_t kt = 0; kt < r.k_tiles(); ++kt) {
+      for (int t = 0; t < kThreadsPerTile; ++t) {
+        for (int j = 0; j < kWordsPerThread; ++j) {
+          const uint32_t word =
+              r.words[static_cast<size_t>(r.index(nt, kt, t, j))];
+          const UnpackedU4x8 u = unpack_u4x8(word);
+          const int64_t row = nt * kTileN + tile_out_channel(t, j);
+          for (int l = 0; l < 4; ++l) {
+            codes.at2(row, kt * kTileK + tile_in_channel_a(t, l)) =
+                lane_u8(u.low, l);
+            codes.at2(row, kt * kTileK + tile_in_channel_b(t, l)) =
+                lane_u8(u.high, l);
+          }
+        }
+      }
+    }
+  }
+  return codes;
+}
+
+ReorderedGroupMeta reorder_group_meta(const W4PerGroup& w) {
+  QS_CHECK_EQ(w.n() % kTileN, 0);
+  QS_CHECK_EQ(w.k() % kTileK, 0);
+  QS_CHECK_EQ(w.group % kTileK, 0);  // groups are whole k-tiles
+  ReorderedGroupMeta out;
+  out.group = w.group;
+  const int64_t n_tiles = w.n() / kTileN;
+  const int64_t k_tiles = w.k() / kTileK;
+  out.s1.reserve(static_cast<size_t>(n_tiles * k_tiles * kThreadsPerTile *
+                                     kWordsPerThread));
+  out.z.reserve(out.s1.capacity());
+  for (int64_t nt = 0; nt < n_tiles; ++nt) {
+    for (int64_t kt = 0; kt < k_tiles; ++kt) {
+      const int64_t g = (kt * kTileK) / w.group;
+      for (int t = 0; t < kThreadsPerTile; ++t) {
+        for (int j = 0; j < kWordsPerThread; ++j) {
+          const int64_t row = nt * kTileN + tile_out_channel(t, j);
+          out.s1.push_back(w.s1.at2(row, g));
+          out.z.push_back(w.z.at2(row, g));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qserve

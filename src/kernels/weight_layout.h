@@ -1,0 +1,76 @@
+// Compute-aware weight reordering (§5.2.1, Fig. 12) + RLP nibble interleave.
+//
+// The CUDA kernel cannot use `ldmatrix` for W4A8 because storage (4-bit) and
+// compute (8-bit) types differ, so QServe stores weights *in the order the
+// tensor-core fragments consume them*: the GEMM is tiled into 32x32 blocks
+// (32 output x 32 input channels); within a tile, each of the 32 threads owns
+// a 128-bit word holding exactly the 32 codes it feeds to the MMA. Every 8
+// codes inside the word are nibble-interleaved (w0,w16,w1,w17,...) so the
+// Figure-13 unpack applies.
+//
+// On CPU the layout is a pure permutation; we implement it exactly so that
+//  (a) round-trip tests prove it is a bijection, and
+//  (b) the streaming GEMM (gemm.h) can consume the stream strictly
+//      sequentially, which is what eliminates per-fragment pointer arithmetic
+//      on the GPU (the simulator charges address-calculation ops per fragment
+//      for the non-reordered layout).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/types.h"
+
+namespace qserve {
+
+inline constexpr int kTileN = 32;  // output channels per tile
+inline constexpr int kTileK = 32;  // input channels per tile
+inline constexpr int kThreadsPerTile = 32;
+inline constexpr int kWordsPerThread = 4;  // 4 u32 words = 128 bits
+
+// Thread-to-channel mapping inside a 32x32 tile (mirrors Fig. 12a/c):
+// thread t covers output channels (t/4) + 8*j for j in 0..3 and input
+// channels (t%4)*4 + l and (t%4)*4 + l + 16 for l in 0..3.
+inline int tile_out_channel(int thread, int j) {
+  return (thread / 4) + 8 * j;
+}
+inline int tile_in_channel_a(int thread, int l) { return (thread % 4) * 4 + l; }
+inline int tile_in_channel_b(int thread, int l) {
+  return (thread % 4) * 4 + l + 16;
+}
+
+// Reordered stream: tiles in (n_tile-major, then k_tile) order — the order a
+// thread block walks the main loop — then thread id, then word index.
+struct ReorderedW4 {
+  std::vector<uint32_t> words;
+  int64_t n = 0;
+  int64_t k = 0;
+  int64_t n_tiles() const { return n / kTileN; }
+  int64_t k_tiles() const { return k / kTileK; }
+  // Stream offset of a (n_tile, k_tile, thread, word) fragment.
+  int64_t index(int64_t nt, int64_t kt, int thread, int word) const {
+    return ((nt * k_tiles() + kt) * kThreadsPerTile + thread) *
+               kWordsPerThread +
+           word;
+  }
+};
+
+// Reorder a packed UINT4 weight matrix ([n, k], n % 32 == 0, k % 32 == 0).
+ReorderedW4 reorder_w4_for_compute(const PackedU4& qw);
+
+// Inverse transformation (for round-trip verification).
+U8Tensor unreorder_w4(const ReorderedW4& r);
+
+// Per-(channel, group) metadata (scales / zero points) reordered to match the
+// stream: for each (n_tile, k_tile) the 32 output-channel entries of the
+// group containing that k-tile, in thread consumption order. The paper
+// applies the same reordering to zeros and scales (§5.2.1).
+struct ReorderedGroupMeta {
+  std::vector<uint8_t> s1;  // stream-ordered level-2 scales
+  std::vector<uint8_t> z;   // stream-ordered zero points
+  int group = 128;
+};
+
+ReorderedGroupMeta reorder_group_meta(const W4PerGroup& w);
+
+}  // namespace qserve

@@ -1,0 +1,53 @@
+#include "kvcache/fused_attention.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/half.h"
+#include "common/math_util.h"
+
+namespace qserve {
+
+void fused_decode_attention(const PagedKvCache& cache, int seq,
+                            const float* q, const AttentionConfig& cfg,
+                            float* out) {
+  QS_CHECK_EQ(cfg.n_kv_heads, cache.config().n_kv_heads);
+  QS_CHECK_EQ(cfg.head_dim, cache.config().head_dim);
+  QS_CHECK_EQ(cfg.n_heads % cfg.n_kv_heads, 0);
+  const int64_t s_len = cache.seq_len(seq);
+  QS_CHECK_GT(s_len, 0);
+  const int group = cfg.n_heads / cfg.n_kv_heads;
+  const float scale = 1.0f / std::sqrt(float(cfg.head_dim));
+
+  std::vector<float> scores(static_cast<size_t>(s_len));
+  std::vector<float> head_vec(static_cast<size_t>(cfg.head_dim));
+
+  for (int h = 0; h < cfg.n_heads; ++h) {
+    const int kv_head = h / group;
+    const float* qh = q + int64_t(h) * cfg.head_dim;
+    float* oh = out + int64_t(h) * cfg.head_dim;
+
+    // Pass 1: QK scores with inline K dequantization, page by page.
+    for (int64_t t = 0; t < s_len; ++t) {
+      cache.read_k(seq, t, kv_head, head_vec.data());
+      float dot = 0.0f;
+      for (int d = 0; d < cfg.head_dim; ++d) dot += qh[d] * head_vec[size_t(d)];
+      scores[size_t(t)] =
+          cfg.fp16_accum ? to_half_precision(dot * scale) : dot * scale;
+    }
+    softmax_inplace(scores.data(), static_cast<int>(s_len));
+
+    // Pass 2: SV accumulation with inline V dequantization.
+    for (int d = 0; d < cfg.head_dim; ++d) oh[d] = 0.0f;
+    for (int64_t t = 0; t < s_len; ++t) {
+      cache.read_v(seq, t, kv_head, head_vec.data());
+      const float p = scores[size_t(t)];
+      for (int d = 0; d < cfg.head_dim; ++d) oh[d] += p * head_vec[size_t(d)];
+    }
+    if (cfg.fp16_accum) {
+      for (int d = 0; d < cfg.head_dim; ++d) oh[d] = to_half_precision(oh[d]);
+    }
+  }
+}
+
+}  // namespace qserve

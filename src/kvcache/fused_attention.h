@@ -1,0 +1,25 @@
+// Fused decode attention over quantized KV pages (§5.3).
+//
+// The QServe CUDA kernel never materializes a dequantized K/V matrix: it
+// walks the pages, dequantizes each head-vector inline (2-op bit tricks),
+// and accumulates QK / SV products in FP16. This is the CPU counterpart:
+// it reads the PagedKvCache's pages directly (per-head codes + in-page
+// scales/zeros), dequantizes per head-vector on the fly, and accumulates at
+// the configured precision. Numerically it must match the gather-then-attend
+// reference path exactly — a property the tests pin down — while avoiding
+// the O(S * kv_dim) temporary.
+#pragma once
+
+#include "kernels/attention.h"
+#include "kvcache/paged_kv_cache.h"
+
+namespace qserve {
+
+// One decode step for one sequence: q is [n_heads * head_dim] (post-RoPE),
+// out receives [n_heads * head_dim]. `fp16_accum` mirrors QServe's FP16
+// QK/SV arithmetic.
+void fused_decode_attention(const PagedKvCache& cache, int seq,
+                            const float* q, const AttentionConfig& cfg,
+                            float* out);
+
+}  // namespace qserve

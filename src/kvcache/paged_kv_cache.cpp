@@ -1,0 +1,260 @@
+#include "kvcache/paged_kv_cache.h"
+
+#include "common/check.h"
+#include "common/half.h"
+#include "common/math_util.h"
+
+namespace qserve {
+
+int64_t kv_page_bytes(const KvCacheConfig& cfg) {
+  const int64_t tokens = cfg.page_size;
+  const int64_t span = int64_t(cfg.n_kv_heads) * cfg.head_dim;
+  int64_t code_bits;
+  switch (cfg.precision) {
+    case KvPrecision::kFp16: code_bits = 16; break;
+    case KvPrecision::kInt8: code_bits = 8; break;
+    case KvPrecision::kInt4: code_bits = 4; break;
+    default: code_bits = 16; break;
+  }
+  int64_t bytes = 2 * tokens * span * code_bits / 8;  // K and V codes
+  if (cfg.precision != KvPrecision::kFp16 && !cfg.static_scales) {
+    // FP16 scale + zero point per (token, head) for both K and V (§5.1).
+    bytes += 2 * tokens * cfg.n_kv_heads * 2 * 2;
+  }
+  return bytes;
+}
+
+PagedKvCache::PagedKvCache(const KvCacheConfig& cfg) : cfg_(cfg) {
+  QS_CHECK_GT(cfg_.page_size, 0);
+  QS_CHECK_GT(cfg_.n_kv_heads, 0);
+  QS_CHECK_GT(cfg_.head_dim, 0);
+  if (cfg_.static_scales)
+    QS_CHECK(cfg_.precision == KvPrecision::kInt8);
+}
+
+int PagedKvCache::alloc_sequence() {
+  int id;
+  if (!free_seq_ids_.empty()) {
+    id = free_seq_ids_.back();
+    free_seq_ids_.pop_back();
+  } else {
+    id = static_cast<int>(seqs_.size());
+    seqs_.emplace_back();
+  }
+  auto& s = seqs_[static_cast<size_t>(id)];
+  s.page_table.clear();
+  s.length = 0;
+  s.live = true;
+  return id;
+}
+
+void PagedKvCache::free_sequence(int seq) {
+  QS_CHECK(is_live(seq));
+  auto& s = seqs_[static_cast<size_t>(seq)];
+  for (int pid : s.page_table) {
+    free_page_ids_.push_back(pid);
+    --used_pages_;
+  }
+  s.page_table.clear();
+  s.length = 0;
+  s.live = false;
+  free_seq_ids_.push_back(seq);
+}
+
+int64_t PagedKvCache::seq_len(int seq) const {
+  QS_CHECK(is_live(seq));
+  return seqs_[static_cast<size_t>(seq)].length;
+}
+
+bool PagedKvCache::is_live(int seq) const {
+  return seq >= 0 && seq < static_cast<int>(seqs_.size()) &&
+         seqs_[static_cast<size_t>(seq)].live;
+}
+
+int PagedKvCache::alloc_page() {
+  QS_CHECK_MSG(used_pages_ < cfg_.max_pages, "KV cache pool exhausted");
+  int pid;
+  if (!free_page_ids_.empty()) {
+    pid = free_page_ids_.back();
+    free_page_ids_.pop_back();
+    auto& p = pages_[static_cast<size_t>(pid)];
+    p.k_codes.clear();
+    p.v_codes.clear();
+    p.k_fp.clear();
+    p.v_fp.clear();
+    p.k_params.clear();
+    p.v_params.clear();
+  } else {
+    pid = static_cast<int>(pages_.size());
+    pages_.emplace_back();
+  }
+  auto& p = pages_[static_cast<size_t>(pid)];
+  const size_t span = static_cast<size_t>(cfg_.page_size * head_span());
+  const size_t heads = static_cast<size_t>(cfg_.page_size * cfg_.n_kv_heads);
+  if (cfg_.precision == KvPrecision::kFp16) {
+    p.k_fp.assign(span, 0.0f);
+    p.v_fp.assign(span, 0.0f);
+  } else {
+    p.k_codes.assign(span, 0);
+    p.v_codes.assign(span, 0);
+    p.k_params.assign(heads, {});
+    p.v_params.assign(heads, {});
+  }
+  ++used_pages_;
+  return pid;
+}
+
+PagedKvCache::Page& PagedKvCache::page_for_append(Sequence& s) {
+  if (s.length % cfg_.page_size == 0) {
+    s.page_table.push_back(alloc_page());
+  }
+  return pages_[static_cast<size_t>(s.page_table.back())];
+}
+
+bool PagedKvCache::can_grow(int seq, int64_t tokens) const {
+  QS_CHECK(is_live(seq));
+  const auto& s = seqs_[static_cast<size_t>(seq)];
+  const int64_t have =
+      int64_t(s.page_table.size()) * cfg_.page_size - s.length;
+  const int64_t need_pages = ceil_div(std::max<int64_t>(tokens - have, 0),
+                                      cfg_.page_size);
+  return need_pages <= free_pages();
+}
+
+void PagedKvCache::append(int seq, const float* k, const float* v) {
+  QS_CHECK(is_live(seq));
+  auto& s = seqs_[static_cast<size_t>(seq)];
+  Page& page = page_for_append(s);
+  const int64_t slot = s.length % cfg_.page_size;
+  const int64_t span = head_span();
+  const int64_t off = slot * span;
+
+  if (cfg_.precision == KvPrecision::kFp16) {
+    for (int64_t i = 0; i < span; ++i) {
+      page.k_fp[static_cast<size_t>(off + i)] = to_half_precision(k[i]);
+      page.v_fp[static_cast<size_t>(off + i)] = to_half_precision(v[i]);
+    }
+  } else if (cfg_.static_scales) {
+    StaticKv8Params pk{cfg_.static_scale_k}, pv{cfg_.static_scale_v};
+    for (int64_t i = 0; i < span; ++i) {
+      int8_t ck, cv;
+      kv8_static_quantize(k + i, 1, pk, &ck);
+      kv8_static_quantize(v + i, 1, pv, &cv);
+      page.k_codes[static_cast<size_t>(off + i)] = static_cast<uint8_t>(ck);
+      page.v_codes[static_cast<size_t>(off + i)] = static_cast<uint8_t>(cv);
+    }
+  } else {
+    const int bits = static_cast<int>(cfg_.precision);
+    for (int h = 0; h < cfg_.n_kv_heads; ++h) {
+      const int64_t hoff = off + int64_t(h) * cfg_.head_dim;
+      const size_t pidx = static_cast<size_t>(slot * cfg_.n_kv_heads + h);
+      page.k_params[pidx] = kv_quantize(k + int64_t(h) * cfg_.head_dim,
+                                        cfg_.head_dim, bits,
+                                        page.k_codes.data() + hoff);
+      page.v_params[pidx] = kv_quantize(v + int64_t(h) * cfg_.head_dim,
+                                        cfg_.head_dim, bits,
+                                        page.v_codes.data() + hoff);
+    }
+  }
+  ++s.length;
+}
+
+void PagedKvCache::read_k(int seq, int64_t token, int head,
+                          float* out) const {
+  QS_CHECK(is_live(seq));
+  const auto& s = seqs_[static_cast<size_t>(seq)];
+  QS_CHECK(token >= 0 && token < s.length);
+  QS_CHECK(head >= 0 && head < cfg_.n_kv_heads);
+  const auto& page = pages_[static_cast<size_t>(
+      s.page_table[static_cast<size_t>(token / cfg_.page_size)])];
+  const int64_t slot = token % cfg_.page_size;
+  const int64_t hoff =
+      slot * head_span() + int64_t(head) * cfg_.head_dim;
+  if (cfg_.precision == KvPrecision::kFp16) {
+    for (int i = 0; i < cfg_.head_dim; ++i)
+      out[i] = page.k_fp[static_cast<size_t>(hoff + i)];
+  } else if (cfg_.static_scales) {
+    StaticKv8Params pk{cfg_.static_scale_k};
+    for (int i = 0; i < cfg_.head_dim; ++i) {
+      const int8_t c =
+          static_cast<int8_t>(page.k_codes[static_cast<size_t>(hoff + i)]);
+      kv8_static_dequantize(&c, 1, pk, out + i);
+    }
+  } else {
+    const size_t pidx = static_cast<size_t>(slot * cfg_.n_kv_heads + head);
+    kv_dequantize(page.k_codes.data() + hoff, cfg_.head_dim,
+                  page.k_params[pidx], out);
+  }
+}
+
+void PagedKvCache::read_v(int seq, int64_t token, int head,
+                          float* out) const {
+  QS_CHECK(is_live(seq));
+  const auto& s = seqs_[static_cast<size_t>(seq)];
+  QS_CHECK(token >= 0 && token < s.length);
+  QS_CHECK(head >= 0 && head < cfg_.n_kv_heads);
+  const auto& page = pages_[static_cast<size_t>(
+      s.page_table[static_cast<size_t>(token / cfg_.page_size)])];
+  const int64_t slot = token % cfg_.page_size;
+  const int64_t hoff =
+      slot * head_span() + int64_t(head) * cfg_.head_dim;
+  if (cfg_.precision == KvPrecision::kFp16) {
+    for (int i = 0; i < cfg_.head_dim; ++i)
+      out[i] = page.v_fp[static_cast<size_t>(hoff + i)];
+  } else if (cfg_.static_scales) {
+    StaticKv8Params pv{cfg_.static_scale_v};
+    for (int i = 0; i < cfg_.head_dim; ++i) {
+      const int8_t c =
+          static_cast<int8_t>(page.v_codes[static_cast<size_t>(hoff + i)]);
+      kv8_static_dequantize(&c, 1, pv, out + i);
+    }
+  } else {
+    const size_t pidx = static_cast<size_t>(slot * cfg_.n_kv_heads + head);
+    kv_dequantize(page.v_codes.data() + hoff, cfg_.head_dim,
+                  page.v_params[pidx], out);
+  }
+}
+
+void PagedKvCache::gather(int seq, Tensor& k_out, Tensor& v_out) const {
+  QS_CHECK(is_live(seq));
+  const auto& s = seqs_[static_cast<size_t>(seq)];
+  const int64_t span = head_span();
+  k_out = Tensor({s.length, span});
+  v_out = Tensor({s.length, span});
+  for (int64_t t = 0; t < s.length; ++t) {
+    const auto& page =
+        pages_[static_cast<size_t>(s.page_table[static_cast<size_t>(
+            t / cfg_.page_size)])];
+    const int64_t slot = t % cfg_.page_size;
+    const int64_t off = slot * span;
+    float* kr = k_out.row(t);
+    float* vr = v_out.row(t);
+    if (cfg_.precision == KvPrecision::kFp16) {
+      for (int64_t i = 0; i < span; ++i) {
+        kr[i] = page.k_fp[static_cast<size_t>(off + i)];
+        vr[i] = page.v_fp[static_cast<size_t>(off + i)];
+      }
+    } else if (cfg_.static_scales) {
+      StaticKv8Params pk{cfg_.static_scale_k}, pv{cfg_.static_scale_v};
+      for (int64_t i = 0; i < span; ++i) {
+        const int8_t ck =
+            static_cast<int8_t>(page.k_codes[static_cast<size_t>(off + i)]);
+        const int8_t cv =
+            static_cast<int8_t>(page.v_codes[static_cast<size_t>(off + i)]);
+        kv8_static_dequantize(&ck, 1, pk, kr + i);
+        kv8_static_dequantize(&cv, 1, pv, vr + i);
+      }
+    } else {
+      for (int h = 0; h < cfg_.n_kv_heads; ++h) {
+        const int64_t hoff = off + int64_t(h) * cfg_.head_dim;
+        const size_t pidx = static_cast<size_t>(slot * cfg_.n_kv_heads + h);
+        kv_dequantize(page.k_codes.data() + hoff, cfg_.head_dim,
+                      page.k_params[pidx], kr + int64_t(h) * cfg_.head_dim);
+        kv_dequantize(page.v_codes.data() + hoff, cfg_.head_dim,
+                      page.v_params[pidx], vr + int64_t(h) * cfg_.head_dim);
+      }
+    }
+  }
+}
+
+}  // namespace qserve

@@ -1,0 +1,100 @@
+// Paged KV cache with per-head dynamic quantization (§5.1).
+//
+// Follows vLLM/TRT-LLM paging to avoid fragmentation, but instead of their
+// per-tensor *static* INT8 scales, QServe stores FP16 scale + zero point per
+// (token, head) immediately after the quantized features in each page and
+// updates them on the fly — the requirement for KV4 accuracy. This module is
+// the storage substrate; the fused attention numerics (FP16 accumulation)
+// live in kernels/attention.h and consume the dequantized gather.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "quant/kv_quant.h"
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+enum class KvPrecision : int { kFp16 = 16, kInt8 = 8, kInt4 = 4 };
+
+struct KvCacheConfig {
+  int n_kv_heads = 8;
+  int head_dim = 64;
+  int page_size = 64;  // tokens per page
+  KvPrecision precision = KvPrecision::kInt4;
+  // Static per-tensor scales (TRT-LLM KV8 baseline) instead of per-head
+  // dynamic parameters. Only meaningful for kInt8.
+  bool static_scales = false;
+  float static_scale_k = 1.0f;
+  float static_scale_v = 1.0f;
+  int64_t max_pages = 1 << 20;
+};
+
+// Device bytes one page occupies (codes + in-page dynamic params), matching
+// the layout described in §5.1. Used for memory-budget accounting.
+int64_t kv_page_bytes(const KvCacheConfig& cfg);
+
+class PagedKvCache {
+ public:
+  explicit PagedKvCache(const KvCacheConfig& cfg);
+
+  // Sequence lifecycle. Handles are dense ints; freed handles are reused.
+  int alloc_sequence();
+  void free_sequence(int seq);
+  bool is_live(int seq) const;
+
+  // Append one token's K and V ([n_kv_heads * head_dim] floats each).
+  // Quantizes per (token, head) with dynamic scales (or static, per config).
+  void append(int seq, const float* k, const float* v);
+
+  int64_t seq_len(int seq) const;
+  int64_t pages_in_use() const { return used_pages_; }
+  int64_t free_pages() const { return cfg_.max_pages - used_pages_; }
+  int64_t bytes_in_use() const { return used_pages_ * kv_page_bytes(cfg_); }
+
+  // Would appending `tokens` more tokens to `seq` fit in the pool?
+  bool can_grow(int seq, int64_t tokens) const;
+
+  // Dequantize the whole sequence into [s, n_kv_heads*head_dim] matrices
+  // (the gather a fused attention kernel performs page by page).
+  void gather(int seq, Tensor& k_out, Tensor& v_out) const;
+
+  // Dequantize a single (token, head) K or V vector into out[head_dim] —
+  // the inline access pattern of the fused attention kernel (§5.3). Exactly
+  // the same arithmetic as gather().
+  void read_k(int seq, int64_t token, int head, float* out) const;
+  void read_v(int seq, int64_t token, int head, float* out) const;
+
+  const KvCacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Page {
+    // One entry per (token_in_page, head): codes packed one-per-byte for
+    // INT8/INT4 (nibble packing is modelled in kv_page_bytes; storing bytes
+    // keeps the CPU path simple), floats for FP16.
+    std::vector<uint8_t> k_codes, v_codes;
+    std::vector<float> k_fp, v_fp;
+    std::vector<KvQuantParams> k_params, v_params;  // per (token, head)
+  };
+
+  struct Sequence {
+    std::vector<int> page_table;
+    int64_t length = 0;
+    bool live = false;
+  };
+
+  int64_t head_span() const { return int64_t(cfg_.n_kv_heads) * cfg_.head_dim; }
+  Page& page_for_append(Sequence& s);
+  int alloc_page();
+
+  KvCacheConfig cfg_;
+  std::vector<Page> pages_;
+  std::vector<int> free_page_ids_;
+  std::vector<Sequence> seqs_;
+  std::vector<int> free_seq_ids_;
+  int64_t used_pages_ = 0;
+};
+
+}  // namespace qserve

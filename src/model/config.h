@@ -1,0 +1,59 @@
+// Transformer architecture configs.
+//
+// `published_models()` carries the real shapes of the seven/eight models the
+// paper evaluates — these feed the GPU performance simulator at full scale.
+// `toy_config()` is a structurally identical miniature (pow-2 hidden size so
+// the Hadamard rotation applies) used for the CPU accuracy experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qserve {
+
+struct ModelConfig {
+  std::string name;
+  int64_t hidden = 4096;
+  int n_layers = 32;
+  int n_heads = 32;
+  int n_kv_heads = 32;
+  int head_dim = 128;
+  int64_t ffn_dim = 11008;  // intermediate size (SwiGLU: 2x for gate|up)
+  int64_t vocab = 32000;
+
+  int64_t kv_dim() const { return int64_t(n_kv_heads) * head_dim; }
+  int64_t q_dim() const { return int64_t(n_heads) * head_dim; }
+
+  // Parameter count of the decoder weights (embeddings + lm head included).
+  int64_t param_count() const {
+    const int64_t per_layer = hidden * q_dim()        // q_proj
+                              + 2 * hidden * kv_dim() // k_proj, v_proj
+                              + q_dim() * hidden      // o_proj
+                              + 3 * hidden * ffn_dim; // gate, up, down
+    return int64_t(n_layers) * per_layer + 2 * vocab * hidden;
+  }
+
+  // Weight bytes at a given weight bit width (scales ignored; the simulator
+  // adds group-scale overhead separately).
+  int64_t weight_bytes(int weight_bits) const {
+    return param_count() * weight_bits / 8;
+  }
+
+  // KV cache bytes per token at a given KV bit width.
+  int64_t kv_bytes_per_token(int kv_bits) const {
+    return 2 * int64_t(n_layers) * kv_dim() * kv_bits / 8;
+  }
+};
+
+// The models of Table 4 / Figure 15 with their published shapes.
+std::vector<ModelConfig> published_models();
+ModelConfig model_by_name(const std::string& name);
+
+// Structurally faithful miniature for CPU-scale accuracy experiments.
+// hidden=256 (pow2), 4 heads x 64, GQA 2 kv heads, SwiGLU FFN, vocab 512.
+ModelConfig toy_config(int n_layers = 2);
+// GQA-free variant (Llama-2-7B-like structure).
+ModelConfig toy_config_mha(int n_layers = 2);
+
+}  // namespace qserve

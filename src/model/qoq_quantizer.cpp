@@ -1,0 +1,291 @@
+#include "model/qoq_quantizer.h"
+
+#include <cmath>
+
+#include "kernels/attention.h"
+#include "kernels/gemm.h"
+#include "kernels/ops.h"
+#include "qoq/hadamard.h"
+#include "qoq/reorder.h"
+#include "qoq/smooth.h"
+#include "qoq/smooth_attention.h"
+#include "quant/clip.h"
+
+namespace qserve {
+
+namespace {
+
+void fold_gamma_into_consumer(Tensor& w, const Tensor& gamma) {
+  QS_CHECK_EQ(w.cols(), gamma.numel());
+  for (int64_t r = 0; r < w.rows(); ++r)
+    for (int64_t c = 0; c < w.cols(); ++c) w.at2(r, c) *= gamma[c];
+}
+
+Tensor permute_rows(const Tensor& w, const std::vector<int>& perm) {
+  QS_CHECK_EQ(w.rows(), static_cast<int64_t>(perm.size()));
+  Tensor out({w.rows(), w.cols()});
+  for (size_t r = 0; r < perm.size(); ++r)
+    for (int64_t c = 0; c < w.cols(); ++c)
+      out.at2(static_cast<int64_t>(r), c) = w.at2(perm[r], c);
+  return out;
+}
+
+// Scale columns of activations in place (λ division for smoothing).
+void divide_columns(Tensor& x, const Tensor& lambda) {
+  QS_CHECK_EQ(x.cols(), lambda.numel());
+  for (int64_t t = 0; t < x.rows(); ++t)
+    for (int64_t c = 0; c < x.cols(); ++c) x.at2(t, c) /= lambda[c];
+}
+
+}  // namespace
+
+ModelWeights qoq_transform(const ModelWeights& weights,
+                           const CalibrationData& calib,
+                           const QoQOptions& opt) {
+  ModelWeights m = weights;  // working copy
+  const ModelConfig& cfg = m.cfg;
+  const int L = cfg.n_layers;
+  QS_CHECK_EQ(static_cast<int>(calib.attn_input.size()), L);
+
+  // Calibration tensors transformed in lock-step with the weights, so later
+  // stages (reorder salience, clip objectives) see post-transform statistics.
+  CalibrationData c = calib;
+
+  // ---- 1. fold RMSNorm gains ------------------------------------------------
+  if (opt.fold_norms) {
+    for (auto& layer : m.layers) {
+      fold_gamma_into_consumer(layer.wq, layer.ln_attn);
+      fold_gamma_into_consumer(layer.wk, layer.ln_attn);
+      fold_gamma_into_consumer(layer.wv, layer.ln_attn);
+      fold_gamma_into_consumer(layer.w_gate, layer.ln_ffn);
+      fold_gamma_into_consumer(layer.w_up, layer.ln_ffn);
+      layer.ln_attn = Tensor::full({cfg.hidden}, 1.0f);
+      layer.ln_ffn = Tensor::full({cfg.hidden}, 1.0f);
+    }
+    fold_gamma_into_consumer(m.lm_head, m.ln_final);
+    m.ln_final = Tensor::full({cfg.hidden}, 1.0f);
+    // Calib inputs were captured post-gamma; after folding, the norm output
+    // the consumers see is the un-gamma'd one. Dividing out the (original)
+    // gains restores consistency. Original gains came from `weights`.
+    for (int l = 0; l < L; ++l) {
+      for (int64_t t = 0; t < c.attn_input[size_t(l)].rows(); ++t)
+        for (int64_t ch = 0; ch < cfg.hidden; ++ch) {
+          c.attn_input[size_t(l)].at2(t, ch) /=
+              weights.layers[size_t(l)].ln_attn[ch];
+          c.ffn_input[size_t(l)].at2(t, ch) /=
+              weights.layers[size_t(l)].ln_ffn[ch];
+        }
+    }
+  }
+
+  // ---- 2. block-input rotation ----------------------------------------------
+  if (opt.rotate_inputs) {
+    QS_CHECK_MSG(is_pow2(cfg.hidden),
+                 "rotation requires power-of-two hidden size");
+    const Tensor q = hadamard_matrix(cfg.hidden);
+    m.embedding = rotate_activations(m.embedding, q);
+    m.lm_head = rotate_weight_for_rotated_input(m.lm_head, q);
+    for (auto& layer : m.layers) {
+      layer.wq = rotate_weight_for_rotated_input(layer.wq, q);
+      layer.wk = rotate_weight_for_rotated_input(layer.wk, q);
+      layer.wv = rotate_weight_for_rotated_input(layer.wv, q);
+      layer.w_gate = rotate_weight_for_rotated_input(layer.w_gate, q);
+      layer.w_up = rotate_weight_for_rotated_input(layer.w_up, q);
+      layer.wo = rotate_weight_producing_rotated_output(layer.wo, q);
+      layer.w_down = rotate_weight_producing_rotated_output(layer.w_down, q);
+    }
+    for (int l = 0; l < L; ++l) {
+      c.attn_input[size_t(l)] = rotate_activations(c.attn_input[size_t(l)], q);
+      c.ffn_input[size_t(l)] = rotate_activations(c.ffn_input[size_t(l)], q);
+    }
+  }
+
+  // ---- 3. SmoothAttention ------------------------------------------------------
+  if (opt.smooth_attention) {
+    for (int l = 0; l < L; ++l) {
+      auto& layer = m.layers[size_t(l)];
+      const auto scales = compute_smooth_attention_scales(
+          c.post_rope_keys[size_t(l)], cfg.head_dim, opt.smooth_attn_alpha);
+      fold_smooth_attention(scales, cfg.n_heads, cfg.n_kv_heads, layer.wq,
+                            layer.wk);
+      c.post_rope_keys[size_t(l)] =
+          smooth_keys(c.post_rope_keys[size_t(l)], scales);
+      c.post_rope_queries[size_t(l)] = scale_queries(
+          c.post_rope_queries[size_t(l)], scales, cfg.n_heads);
+    }
+  }
+
+  // ---- 4. block-output smoothing -----------------------------------------------
+  if (opt.smooth_outputs) {
+    const int group = cfg.n_heads / cfg.n_kv_heads;
+    for (int l = 0; l < L; ++l) {
+      auto& layer = m.layers[size_t(l)];
+      // Attention output channels: λ constrained constant across the q-heads
+      // sharing one kv head (they are produced by the same wv rows).
+      Tensor lam_kv({cfg.kv_dim()});
+      for (int64_t j = 0; j < cfg.kv_dim(); ++j) {
+        const int64_t kv_head = j / cfg.head_dim;
+        const int64_t dim = j % cfg.head_dim;
+        float amax = 1e-5f, wmax = 1e-5f;
+        for (int g = 0; g < group; ++g) {
+          const int64_t qc = (kv_head * group + g) * cfg.head_dim + dim;
+          for (int64_t t = 0; t < c.attn_out[size_t(l)].rows(); ++t)
+            amax = std::max(amax,
+                            std::abs(c.attn_out[size_t(l)].at2(t, qc)));
+          for (int64_t r = 0; r < layer.wo.rows(); ++r)
+            wmax = std::max(wmax, std::abs(layer.wo.at2(r, qc)));
+        }
+        lam_kv[j] = clamp(std::pow(amax, opt.smooth_alpha) /
+                              std::pow(wmax, 1.0f - opt.smooth_alpha),
+                          1e-2f, 1e2f);
+      }
+      // Fold: wv rows /= λ, wo columns (per q channel) *= λ of its kv channel.
+      Tensor lam_q({cfg.q_dim()});
+      for (int64_t qc = 0; qc < cfg.q_dim(); ++qc) {
+        const int64_t q_head = qc / cfg.head_dim;
+        const int64_t dim = qc % cfg.head_dim;
+        lam_q[qc] = lam_kv[(q_head / group) * cfg.head_dim + dim];
+      }
+      for (int64_t r = 0; r < cfg.kv_dim(); ++r) {
+        const float inv = 1.0f / lam_kv[r];
+        for (int64_t ccol = 0; ccol < layer.wv.cols(); ++ccol)
+          layer.wv.at2(r, ccol) *= inv;
+      }
+      for (int64_t r = 0; r < layer.wo.rows(); ++r)
+        for (int64_t ccol = 0; ccol < cfg.q_dim(); ++ccol)
+          layer.wo.at2(r, ccol) *= lam_q[ccol];
+      divide_columns(c.attn_out[size_t(l)], lam_q);
+      divide_columns(c.values[size_t(l)], lam_kv);
+
+      // FFN activation channels: w_up rows /= λ, w_down columns *= λ.
+      const Tensor lam_f = compute_smoothing_scales(
+          c.ffn_act[size_t(l)], layer.w_down, opt.smooth_alpha);
+      fold_smoothing(lam_f, layer.w_up, layer.w_down);
+      divide_columns(c.ffn_act[size_t(l)], lam_f);
+    }
+  }
+
+  // ---- 5. activation-aware channel reordering -------------------------------------
+  if (opt.reorder_channels) {
+    // (a) residual stream: one global permutation from pooled input salience.
+    Tensor pooled({int64_t(L) * 2 * c.attn_input[0].rows(), cfg.hidden});
+    int64_t row = 0;
+    for (int l = 0; l < L; ++l) {
+      for (const Tensor* src :
+           {&c.attn_input[size_t(l)], &c.ffn_input[size_t(l)]}) {
+        for (int64_t t = 0; t < src->rows(); ++t, ++row)
+          for (int64_t ch = 0; ch < cfg.hidden; ++ch)
+            pooled.at2(row, ch) = src->at2(t, ch);
+      }
+    }
+    const std::vector<int> perm = salience_order(pooled);
+    m.embedding = permute_columns(m.embedding, perm);
+    m.lm_head = permute_columns(m.lm_head, perm);
+    for (auto& layer : m.layers) {
+      layer.wq = permute_columns(layer.wq, perm);
+      layer.wk = permute_columns(layer.wk, perm);
+      layer.wv = permute_columns(layer.wv, perm);
+      layer.w_gate = permute_columns(layer.w_gate, perm);
+      layer.w_up = permute_columns(layer.w_up, perm);
+      layer.wo = permute_rows(layer.wo, perm);
+      layer.w_down = permute_rows(layer.w_down, perm);
+      // Norm gains live on the permuted stream.
+      Tensor la({cfg.hidden}), lf({cfg.hidden});
+      for (size_t i = 0; i < perm.size(); ++i) {
+        la[int64_t(i)] = layer.ln_attn[perm[i]];
+        lf[int64_t(i)] = layer.ln_ffn[perm[i]];
+      }
+      layer.ln_attn = la;
+      layer.ln_ffn = lf;
+    }
+    Tensor lfin({cfg.hidden});
+    for (size_t i = 0; i < perm.size(); ++i)
+      lfin[int64_t(i)] = m.ln_final[perm[i]];
+    m.ln_final = lfin;
+    for (int l = 0; l < L; ++l) {
+      c.attn_input[size_t(l)] = permute_columns(c.attn_input[size_t(l)], perm);
+      c.ffn_input[size_t(l)] = permute_columns(c.ffn_input[size_t(l)], perm);
+    }
+
+    // (b) FFN intermediate channels, per layer (gate/up rows + down columns;
+    // gate and up must share the permutation because SwiGLU pairs them).
+    for (int l = 0; l < L; ++l) {
+      auto& layer = m.layers[size_t(l)];
+      const std::vector<int> pf = salience_order(c.ffn_act[size_t(l)]);
+      layer.w_gate = permute_rows(layer.w_gate, pf);
+      layer.w_up = permute_rows(layer.w_up, pf);
+      layer.w_down = permute_columns(layer.w_down, pf);
+      c.ffn_act[size_t(l)] = permute_columns(c.ffn_act[size_t(l)], pf);
+    }
+  }
+
+  // ---- 6. weight clipping ----------------------------------------------------
+  if (opt.weight_clip) {
+    ClipSearchOptions copt;
+    copt.group = opt.clip_group;
+    copt.progressive = opt.clip_progressive;
+    copt.steps = opt.clip_steps;
+    copt.min_ratio = opt.clip_min_ratio;
+
+    AttentionConfig acfg;
+    acfg.n_heads = cfg.n_heads;
+    acfg.n_kv_heads = cfg.n_kv_heads;
+    acfg.head_dim = cfg.head_dim;
+
+    for (int l = 0; l < L; ++l) {
+      auto& layer = m.layers[size_t(l)];
+      const Tensor& x_attn = c.attn_input[size_t(l)];
+      const Tensor& x_ffn = c.ffn_input[size_t(l)];
+      std::vector<int> positions(static_cast<size_t>(x_attn.rows()));
+      for (size_t i = 0; i < positions.size(); ++i)
+        positions[i] = static_cast<int>(i);
+
+      // q/k: block-output objective (Eq. 10) — error of the attention output
+      // with the clipped projection against the unclipped one.
+      const Tensor o_ref =
+          attention_prefill(c.post_rope_queries[size_t(l)],
+                            c.post_rope_keys[size_t(l)],
+                            c.values[size_t(l)], acfg);
+      auto block_err_q = [&](float ratio) {
+        Tensor qt = gemm_f32_ref(
+            x_attn, quantize_dequantize_clipped(layer.wq, ratio, copt));
+        rope_inplace(qt, positions, cfg.head_dim);
+        const Tensor o = attention_prefill(qt, c.post_rope_keys[size_t(l)],
+                                           c.values[size_t(l)], acfg);
+        return mse(o, o_ref) * double(o.numel());
+      };
+      auto block_err_k = [&](float ratio) {
+        Tensor kt = gemm_f32_ref(
+            x_attn, quantize_dequantize_clipped(layer.wk, ratio, copt));
+        rope_inplace(kt, positions, cfg.head_dim);
+        const Tensor o =
+            attention_prefill(c.post_rope_queries[size_t(l)], kt,
+                              c.values[size_t(l)], acfg);
+        return mse(o, o_ref) * double(o.numel());
+      };
+      layer.wq = clip_weights(layer.wq,
+                              search_clip_custom(block_err_q, copt).ratio);
+      layer.wk = clip_weights(layer.wk,
+                              search_clip_custom(block_err_k, copt).ratio);
+      // Remaining projections: layer-output MSE.
+      layer.wv = clip_weights(
+          layer.wv, search_clip_output_mse(layer.wv, x_attn, copt).ratio);
+      layer.wo = clip_weights(
+          layer.wo,
+          search_clip_output_mse(layer.wo, c.attn_out[size_t(l)], copt).ratio);
+      layer.w_gate = clip_weights(
+          layer.w_gate,
+          search_clip_output_mse(layer.w_gate, x_ffn, copt).ratio);
+      layer.w_up = clip_weights(
+          layer.w_up, search_clip_output_mse(layer.w_up, x_ffn, copt).ratio);
+      layer.w_down = clip_weights(
+          layer.w_down,
+          search_clip_output_mse(layer.w_down, c.ffn_act[size_t(l)], copt)
+              .ratio);
+    }
+  }
+
+  return m;
+}
+
+}  // namespace qserve

@@ -1,0 +1,48 @@
+// The end-to-end QoQ pre-quantization pipeline (§4): takes FP32 weights and
+// calibration data, applies the exact (lossless-in-FP32) transforms in the
+// order the paper composes them, and returns transformed weights ready for
+// low-bit quantization:
+//   1. fold RMSNorm gains into the consuming projections (prerequisite for
+//      rotation, as in QuaRot);
+//   2. block-input Hadamard rotation (§4.3.1) — absorbed into the embedding,
+//      o_proj/down_proj outputs and qkv/gate/up/lm_head inputs;
+//   3. SmoothAttention (§4.2) — Λ folded into w_q / w_k;
+//   4. block-output smoothing (§4.3.2) — attention output and FFN activation
+//      channels balanced into w_v→w_o and w_up→w_down;
+//   5. activation-aware channel reordering (§4.3.3) — residual-stream and
+//      FFN-intermediate permutations folded into adjacent weights;
+//   6. weight clipping (§4.3.4) — grid search on layer-output MSE (attention-
+//      block output MSE for q/k).
+// Every step is individually toggleable for the Figure-16 ablation.
+#pragma once
+
+#include "model/reference_model.h"
+#include "model/weights.h"
+
+namespace qserve {
+
+struct QoQOptions {
+  bool fold_norms = true;
+  bool rotate_inputs = true;
+  bool smooth_attention = true;
+  bool smooth_outputs = true;
+  bool reorder_channels = true;
+  bool weight_clip = true;
+
+  float smooth_attn_alpha = 0.5f;
+  float smooth_alpha = 0.05f;  // near 0, per §4.3.2
+  int clip_group = 128;        // trial quantizer group for the clip search
+  bool clip_progressive = true;
+  int clip_steps = 8;
+  float clip_min_ratio = 0.6f;
+};
+
+// Applies the selected transforms. `calib` must come from the *untransformed*
+// reference model on calibration tokens (the transforms are equivalence-
+// preserving, so pre-transform statistics remain valid where needed; the
+// clip step internally re-derives post-transform activations).
+ModelWeights qoq_transform(const ModelWeights& weights,
+                           const CalibrationData& calib,
+                           const QoQOptions& opt = {});
+
+}  // namespace qserve

@@ -1,0 +1,279 @@
+#include "model/quantized_model.h"
+
+#include "common/half.h"
+#include "kernels/attention.h"
+#include "kernels/gemm.h"
+#include "kernels/ops.h"
+#include "kvcache/fused_attention.h"
+#include "quant/quantize.h"
+
+namespace qserve {
+
+// --- scheme presets -----------------------------------------------------------
+
+QuantSchemeConfig QuantSchemeConfig::qserve_w4a8kv4_g128() {
+  QuantSchemeConfig c;
+  c.weights = WeightScheme::kW4PerGroupProgressive;
+  c.acts = ActScheme::kInt8PerToken;
+  c.kv = KvPrecision::kInt4;
+  return c;
+}
+
+QuantSchemeConfig QuantSchemeConfig::qserve_w4a8kv4_per_channel() {
+  QuantSchemeConfig c = qserve_w4a8kv4_g128();
+  c.weights = WeightScheme::kW4PerChannel;
+  return c;
+}
+
+QuantSchemeConfig QuantSchemeConfig::trt_w8a8() {
+  QuantSchemeConfig c;
+  c.weights = WeightScheme::kW8PerChannel;
+  c.acts = ActScheme::kInt8PerToken;
+  c.kv = KvPrecision::kInt8;
+  c.fp16_attention = false;
+  return c;
+}
+
+QuantSchemeConfig QuantSchemeConfig::trt_w4a16() {
+  QuantSchemeConfig c;
+  c.weights = WeightScheme::kW4A16Group;
+  c.acts = ActScheme::kFp16;
+  c.kv = KvPrecision::kFp16;
+  c.fp16_attention = false;
+  return c;
+}
+
+QuantSchemeConfig QuantSchemeConfig::atom_w4a4() {
+  QuantSchemeConfig c;
+  c.weights = WeightScheme::kW4A4Group;
+  c.acts = ActScheme::kInt4PerToken;
+  c.kv = KvPrecision::kInt4;
+  c.fp16_attention = false;
+  return c;
+}
+
+QuantSchemeConfig QuantSchemeConfig::fp16() {
+  QuantSchemeConfig c;
+  c.weights = WeightScheme::kFp16;
+  c.acts = ActScheme::kFp16;
+  c.kv = KvPrecision::kFp16;
+  c.fp16_attention = false;
+  return c;
+}
+
+// --- QuantizedLinear -----------------------------------------------------------
+
+QuantizedLinear::QuantizedLinear(const Tensor& w,
+                                 const QuantSchemeConfig& cfg)
+    : scheme_(cfg.weights), acts_(cfg.acts), n_(w.rows()) {
+  switch (scheme_) {
+    case WeightScheme::kFp16:
+      fp_ = w;
+      for (int64_t i = 0; i < fp_.numel(); ++i)
+        fp_[i] = to_half_precision(fp_[i]);
+      break;
+    case WeightScheme::kW8PerChannel:
+      w8_ = quantize_w8_per_channel(w);
+      break;
+    case WeightScheme::kW4PerChannel:
+      w4c_ = quantize_w4_per_channel(w);
+      break;
+    case WeightScheme::kW4PerGroupProgressive: {
+      ProgressiveOptions popt;
+      popt.group = static_cast<int>(std::min<int64_t>(cfg.group, w.cols()));
+      popt.level1_range = cfg.level1_range;
+      w4g_ = quantize_progressive(w, popt);
+      break;
+    }
+    case WeightScheme::kW4A16Group:
+      w4a16_ = quantize_w4a16(
+          w, static_cast<int>(std::min<int64_t>(cfg.group, w.cols())));
+      break;
+    case WeightScheme::kW4A4Group:
+      w4a4_ = quantize_w4a4_per_group(
+          w, static_cast<int>(std::min<int64_t>(cfg.group, w.cols())));
+      break;
+  }
+}
+
+Tensor QuantizedLinear::apply(const Tensor& x) const {
+  switch (scheme_) {
+    case WeightScheme::kFp16:
+      return gemm_f32_ref(x, fp_);
+    case WeightScheme::kW8PerChannel:
+      return gemm_w8a8(quantize_acts_per_token(x), w8_);
+    case WeightScheme::kW4PerChannel:
+      return gemm_w4a8_per_channel(quantize_acts_per_token(x), w4c_);
+    case WeightScheme::kW4PerGroupProgressive:
+      return gemm_w4a8_per_group(quantize_acts_per_token(x), w4g_);
+    case WeightScheme::kW4A16Group:
+      return gemm_w4a16(x, w4a16_);
+    case WeightScheme::kW4A4Group:
+      return gemm_w4a4_atom(quantize_acts_per_token_int4(x), w4a4_);
+  }
+  QS_CHECK(false);
+  return Tensor{};
+}
+
+// --- QuantizedModel --------------------------------------------------------------
+
+QuantizedModel::QuantizedModel(const ModelWeights& weights,
+                               const QuantSchemeConfig& cfg)
+    : cfg_(weights.cfg), qcfg_(cfg) {
+  embedding_ = weights.embedding;
+  layers_.reserve(weights.layers.size());
+  for (const auto& lw : weights.layers) {
+    QLayer ql;
+    ql.wq = QuantizedLinear(lw.wq, cfg);
+    ql.wk = QuantizedLinear(lw.wk, cfg);
+    ql.wv = QuantizedLinear(lw.wv, cfg);
+    ql.wo = QuantizedLinear(lw.wo, cfg);
+    ql.w_gate = QuantizedLinear(lw.w_gate, cfg);
+    ql.w_up = QuantizedLinear(lw.w_up, cfg);
+    ql.w_down = QuantizedLinear(lw.w_down, cfg);
+    ql.ln_attn = lw.ln_attn;
+    ql.ln_ffn = lw.ln_ffn;
+    layers_.push_back(std::move(ql));
+  }
+  ln_final_ = weights.ln_final;
+  // The LM head stays FP16 in all configurations (standard practice).
+  QuantSchemeConfig head_cfg = cfg;
+  head_cfg.weights = WeightScheme::kFp16;
+  head_cfg.acts = ActScheme::kFp16;
+  lm_head_ = QuantizedLinear(weights.lm_head, head_cfg);
+
+  KvCacheConfig kcfg;
+  kcfg.n_kv_heads = cfg_.n_kv_heads;
+  kcfg.head_dim = cfg_.head_dim;
+  kcfg.precision = cfg.kv;
+  kcfg.page_size = 16;
+  kv_ = std::make_unique<PagedKvCache>(kcfg);
+}
+
+int QuantizedModel::begin_sequence() {
+  int id = -1;
+  for (size_t i = 0; i < seqs_.size(); ++i) {
+    if (!seqs_[i].live) {
+      id = static_cast<int>(i);
+      break;
+    }
+  }
+  if (id < 0) {
+    id = static_cast<int>(seqs_.size());
+    seqs_.emplace_back();
+  }
+  auto& s = seqs_[static_cast<size_t>(id)];
+  s.layer_seqs.clear();
+  for (int l = 0; l < cfg_.n_layers; ++l)
+    s.layer_seqs.push_back(kv_->alloc_sequence());
+  s.next_pos = 0;
+  s.live = true;
+  return id;
+}
+
+void QuantizedModel::end_sequence(int seq) {
+  auto& s = seqs_[static_cast<size_t>(seq)];
+  QS_CHECK(s.live);
+  for (int ls : s.layer_seqs) kv_->free_sequence(ls);
+  s.live = false;
+}
+
+Tensor QuantizedModel::run_blocks(int seq, const Tensor& embedded, int pos0) {
+  const int64_t n = embedded.rows();
+  std::vector<int> positions(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i)
+    positions[static_cast<size_t>(i)] = pos0 + static_cast<int>(i);
+
+  AttentionConfig acfg;
+  acfg.n_heads = cfg_.n_heads;
+  acfg.n_kv_heads = cfg_.n_kv_heads;
+  acfg.head_dim = cfg_.head_dim;
+  acfg.fp16_accum = qcfg_.fp16_attention;
+
+  Tensor x = embedded;
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    auto& layer = layers_[li];
+    // Attention block. Activation quantization is fused into RMSNorm
+    // (QuantizedLinear::apply re-runs the same deterministic quantizer).
+    Tensor h = rms_norm(x, layer.ln_attn);
+    Tensor q = layer.wq.apply(h);
+    Tensor k = layer.wk.apply(h);
+    Tensor v = layer.wv.apply(h);
+    rope_inplace(q, positions, cfg_.head_dim);
+    rope_inplace(k, positions, cfg_.head_dim);
+
+    // Append to the paged, quantized cache. Decode steps use the fused
+    // kernel that dequantizes page data inline (§5.3); prefill gathers the
+    // full (dequantized) K/V once — both paths share the same arithmetic.
+    const int lseq = seqs_[static_cast<size_t>(seq)].layer_seqs[li];
+    for (int64_t t = 0; t < n; ++t)
+      kv_->append(lseq, k.row(t), v.row(t));
+    Tensor attn;
+    if (n == 1) {
+      attn = Tensor({1, q.cols()});
+      fused_decode_attention(*kv_, lseq, q.row(0), acfg, attn.row(0));
+    } else {
+      Tensor kd, vd;
+      kv_->gather(lseq, kd, vd);
+      attn = attention_prefill(q, kd, vd, acfg);
+    }
+    // Separate quant node before the output projection (Fig. 11).
+    Tensor attn_proj = layer.wo.apply(attn);
+    add_inplace(x, attn_proj);
+
+    // FFN block.
+    Tensor h2 = rms_norm(x, layer.ln_ffn);
+    Tensor gate = layer.w_gate.apply(h2);
+    Tensor up = layer.w_up.apply(h2);
+    Tensor act({n, cfg_.ffn_dim});
+    for (int64_t t = 0; t < n; ++t)
+      for (int64_t c = 0; c < cfg_.ffn_dim; ++c) {
+        const float g = gate.at2(t, c);
+        act.at2(t, c) = (g / (1.0f + std::exp(-g))) * up.at2(t, c);
+      }
+    Tensor down = layer.w_down.apply(act);
+    add_inplace(x, down);
+  }
+  return x;
+}
+
+Tensor QuantizedModel::logits_from_hidden(const Tensor& h) const {
+  return lm_head_.apply(rms_norm(h, ln_final_));
+}
+
+Tensor QuantizedModel::prefill(int seq, const std::vector<int>& tokens) {
+  QS_CHECK(!tokens.empty());
+  const int64_t n = static_cast<int64_t>(tokens.size());
+  Tensor x({n, cfg_.hidden});
+  for (int64_t t = 0; t < n; ++t)
+    for (int64_t c = 0; c < cfg_.hidden; ++c)
+      x.at2(t, c) = embedding_.at2(tokens[static_cast<size_t>(t)], c);
+  const int pos0 = static_cast<int>(seqs_[static_cast<size_t>(seq)].next_pos);
+  Tensor h = run_blocks(seq, x, pos0);
+  seqs_[static_cast<size_t>(seq)].next_pos += n;
+
+  Tensor last({1, cfg_.hidden});
+  for (int64_t c = 0; c < cfg_.hidden; ++c)
+    last.at2(0, c) = h.at2(n - 1, c);
+  Tensor logits = logits_from_hidden(last);
+  return logits.reshaped({cfg_.vocab});
+}
+
+Tensor QuantizedModel::decode_step(int seq, int token) {
+  return prefill(seq, {token});
+}
+
+Tensor QuantizedModel::forward(const std::vector<int>& tokens) {
+  const int seq = begin_sequence();
+  const int64_t n = static_cast<int64_t>(tokens.size());
+  Tensor x({n, cfg_.hidden});
+  for (int64_t t = 0; t < n; ++t)
+    for (int64_t c = 0; c < cfg_.hidden; ++c)
+      x.at2(t, c) = embedding_.at2(tokens[static_cast<size_t>(t)], c);
+  Tensor h = run_blocks(seq, x, 0);
+  Tensor logits = logits_from_hidden(h);
+  end_sequence(seq);
+  return logits;
+}
+
+}  // namespace qserve

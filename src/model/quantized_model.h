@@ -1,0 +1,115 @@
+// Quantized transformer executor — the CPU analogue of the QServe runtime
+// (Fig. 11): all GEMMs take quantized inputs and produce FP16 outputs,
+// activation quantization is fused into RMSNorm / SwiGLU, a separate quant
+// node precedes o_proj, and the KV cache is paged + quantized per head.
+#pragma once
+
+#include <memory>
+
+#include "kvcache/paged_kv_cache.h"
+#include "model/weights.h"
+#include "quant/types.h"
+#include "quant/w4a16.h"
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+enum class WeightScheme {
+  kFp16,
+  kW8PerChannel,          // SmoothQuant / TRT-LLM W8A8
+  kW4PerChannel,          // QServe per-channel W4A8
+  kW4PerGroupProgressive, // QServe per-group W4A8 (QoQ)
+  kW4A16Group,            // AWQ/GPTQ-style weight-only
+  kW4A4Group,             // Atom/QuaRot-style
+};
+
+enum class ActScheme { kFp16, kInt8PerToken, kInt4PerToken };
+
+struct QuantSchemeConfig {
+  WeightScheme weights = WeightScheme::kW4PerGroupProgressive;
+  ActScheme acts = ActScheme::kInt8PerToken;
+  KvPrecision kv = KvPrecision::kInt4;
+  int group = 128;
+  int level1_range = 119;  // kProtectiveRange; 127 = naive (overflow repro)
+  bool fp16_attention = true;  // QServe's FP16 attention arithmetic
+
+  static QuantSchemeConfig qserve_w4a8kv4_g128();
+  static QuantSchemeConfig qserve_w4a8kv4_per_channel();
+  static QuantSchemeConfig trt_w8a8();
+  static QuantSchemeConfig trt_w4a16();
+  static QuantSchemeConfig atom_w4a4();
+  static QuantSchemeConfig fp16();
+};
+
+// One quantized projection; holds exactly the representation `scheme` needs.
+class QuantizedLinear {
+ public:
+  QuantizedLinear() = default;
+  QuantizedLinear(const Tensor& w, const QuantSchemeConfig& cfg);
+
+  // x is the FP activation; quantization (if any) happens inside, matching
+  // the fused quant nodes of Fig. 11.
+  Tensor apply(const Tensor& x) const;
+
+  int64_t out_features() const { return n_; }
+
+ private:
+  WeightScheme scheme_ = WeightScheme::kFp16;
+  ActScheme acts_ = ActScheme::kFp16;
+  int64_t n_ = 0;
+  Tensor fp_;
+  W8PerChannel w8_;
+  W4PerChannel w4c_;
+  W4PerGroup w4g_;
+  W4A16PerGroup w4a16_;
+  W4A4PerGroup w4a4_;
+};
+
+class QuantizedModel {
+ public:
+  // `weights` are the (possibly QoQ-transformed) FP32 weights to quantize.
+  QuantizedModel(const ModelWeights& weights, const QuantSchemeConfig& cfg);
+
+  // Stateless full-sequence forward (allocates a scratch KV sequence).
+  Tensor forward(const std::vector<int>& tokens);
+
+  // Streaming interface for the serving engine.
+  int begin_sequence();                       // KV sequence handle
+  void end_sequence(int seq);
+  // Prefill `tokens`, return logits of the last position ([vocab]).
+  Tensor prefill(int seq, const std::vector<int>& tokens);
+  // Decode one token given the previous one; returns logits [vocab].
+  Tensor decode_step(int seq, int token);
+
+  const ModelConfig& config() const { return cfg_; }
+  const QuantSchemeConfig& scheme() const { return qcfg_; }
+  PagedKvCache& kv_cache() { return *kv_; }
+
+ private:
+  struct QLayer {
+    QuantizedLinear wq, wk, wv, wo, w_gate, w_up, w_down;
+    Tensor ln_attn, ln_ffn;
+  };
+
+  // Run the block stack over a chunk of tokens starting at `pos0`; returns
+  // hidden states [n, hidden]. Appends K/V to `seq`'s cache.
+  Tensor run_blocks(int seq, const Tensor& embedded, int pos0);
+  Tensor logits_from_hidden(const Tensor& h) const;
+
+  ModelConfig cfg_;
+  QuantSchemeConfig qcfg_;
+  Tensor embedding_;
+  std::vector<QLayer> layers_;
+  Tensor ln_final_;
+  QuantizedLinear lm_head_;
+  std::unique_ptr<PagedKvCache> kv_;
+  // Each logical sequence owns one cache sequence per layer.
+  struct SeqState {
+    std::vector<int> layer_seqs;
+    int64_t next_pos = 0;
+    bool live = false;
+  };
+  std::vector<SeqState> seqs_;
+};
+
+}  // namespace qserve

@@ -1,0 +1,55 @@
+// FP32 reference transformer (Llama-style pre-norm decoder).
+//
+// Serves three roles: (1) the accuracy gold standard every quantized variant
+// is compared against, (2) the calibration-data source for QoQ (per-layer
+// inputs, post-RoPE keys, block intermediates), and (3) the generator of
+// synthetic evaluation token streams (eval/).
+#pragma once
+
+#include <vector>
+
+#include "model/weights.h"
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+// Per-layer activations captured during a calibration pass.
+struct CalibrationData {
+  // Inputs to the input modules (post-RMSNorm): feeds qkv / gate|up.
+  std::vector<Tensor> attn_input;  // [layer][tokens, hidden]
+  std::vector<Tensor> ffn_input;   // [layer][tokens, hidden]
+  // Post-RoPE keys (SmoothAttention operand, Fig. 7).
+  std::vector<Tensor> post_rope_keys;  // [layer][tokens, kv_dim]
+  // Block intermediates consumed by the output modules.
+  std::vector<Tensor> attn_out;  // [layer][tokens, q_dim] (input to o_proj)
+  std::vector<Tensor> ffn_act;   // [layer][tokens, ffn_dim] (input to down)
+  // Post-RoPE queries (needed by the q/k block-output clip objective).
+  std::vector<Tensor> post_rope_queries;  // [layer][tokens, q_dim]
+  // Value projections (attention operand for the q/k clip objective).
+  std::vector<Tensor> values;  // [layer][tokens, kv_dim]
+};
+
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(const ModelWeights* weights);
+
+  // Full causal forward over a token sequence; returns logits [n, vocab].
+  Tensor forward(const std::vector<int>& tokens) const;
+
+  // Forward pass that also captures calibration activations.
+  Tensor forward_calibrate(const std::vector<int>& tokens,
+                           CalibrationData* calib) const;
+
+  // Greedy/sampled generation used to build synthetic eval corpora: starts
+  // from `prompt`, appends `n_new` tokens sampled at `temperature`.
+  std::vector<int> generate(const std::vector<int>& prompt, int n_new,
+                            float temperature, uint64_t seed) const;
+
+  const ModelConfig& config() const { return w_->cfg; }
+  const ModelWeights& weights() const { return *w_; }
+
+ private:
+  const ModelWeights* w_;
+};
+
+}  // namespace qserve

@@ -1,0 +1,101 @@
+#include "model/weights.h"
+
+#include <cmath>
+
+namespace qserve {
+
+namespace {
+
+// Heavy-tailed weight matrix scaled for unit-ish output variance.
+Tensor random_weight(Rng& rng, int64_t out, int64_t in, float df) {
+  Tensor w({out, in});
+  const float scale = 1.0f / std::sqrt(float(in));
+  for (int64_t i = 0; i < w.numel(); ++i)
+    w[i] = rng.heavy_tailed(scale, df);
+  return w;
+}
+
+Tensor ones(int64_t n) { return Tensor::full({n}, 1.0f); }
+
+}  // namespace
+
+ModelWeights make_synthetic_weights(const ModelConfig& cfg,
+                                    const SyntheticOptions& opt) {
+  Rng rng(opt.seed);
+  ModelWeights m;
+  m.cfg = cfg;
+
+  // Embedding with persistent outlier channels: a fixed set of hidden
+  // channels carries ~8x magnitude for every token, reproducing the
+  // channel-wise activation-outlier structure of real LLM residual streams.
+  m.embedding = Tensor({cfg.vocab, cfg.hidden});
+  std::vector<int> outlier_channels;
+  {
+    Rng ch = rng.fork();
+    const auto perm = ch.permutation(static_cast<int>(cfg.hidden));
+    outlier_channels.assign(perm.begin(),
+                            perm.begin() + opt.act_outlier_channels);
+  }
+  for (int64_t t = 0; t < cfg.vocab; ++t) {
+    for (int64_t c = 0; c < cfg.hidden; ++c)
+      m.embedding.at2(t, c) = rng.normal(0.0f, 1.0f);
+    for (int ch : outlier_channels) {
+      // Same sign per channel across tokens -> a *fixed* outlier channel.
+      const float sign = (ch % 2 == 0) ? 1.0f : -1.0f;
+      m.embedding.at2(t, ch) =
+          sign * (opt.act_outlier_magnitude +
+                  std::abs(rng.normal(0.0f, 0.5f)));
+    }
+  }
+
+  m.layers.resize(static_cast<size_t>(cfg.n_layers));
+  for (auto& layer : m.layers) {
+    Rng lr = rng.fork();
+    layer.wq = random_weight(lr, cfg.q_dim(), cfg.hidden, opt.weight_df);
+    layer.wk = random_weight(lr, cfg.kv_dim(), cfg.hidden, opt.weight_df);
+    layer.wv = random_weight(lr, cfg.kv_dim(), cfg.hidden, opt.weight_df);
+    layer.wo = random_weight(lr, cfg.hidden, cfg.q_dim(), opt.weight_df);
+    layer.w_gate = random_weight(lr, cfg.ffn_dim, cfg.hidden, opt.weight_df);
+    layer.w_up = random_weight(lr, cfg.ffn_dim, cfg.hidden, opt.weight_df);
+    layer.w_down = random_weight(lr, cfg.hidden, cfg.ffn_dim, opt.weight_df);
+    layer.ln_attn = ones(cfg.hidden);
+    layer.ln_ffn = ones(cfg.hidden);
+
+    // Key outliers (Fig. 7): amplify a fixed set of k_proj output channels
+    // per KV head so post-projection Keys carry ~10x outlier channels at
+    // RoPE-paired positions. Values are left clean, as observed.
+    for (int h = 0; h < cfg.n_kv_heads; ++h) {
+      for (int o = 0; o < opt.key_outliers_per_head; ++o) {
+        const int dim = (h * 7 + o * 11) % (cfg.head_dim / 2);
+        const int64_t row = int64_t(h) * cfg.head_dim + dim;
+        for (int64_t c = 0; c < cfg.hidden; ++c)
+          layer.wk.at2(row, c) *= opt.key_outlier_magnitude;
+      }
+    }
+
+    // Keep the residual stream's outlier channels alive across layers: make
+    // wo / w_down approximately preserve those channels.
+    for (int ch : outlier_channels) {
+      layer.wo.at2(ch, (ch * 3) % cfg.q_dim()) += 1.0f;
+      layer.w_down.at2(ch, (ch * 5) % cfg.ffn_dim) += 1.0f;
+    }
+
+    // AWQ-style salient weight channels: the input-module weight columns
+    // that multiply outlier activations carry a wider dynamic range (Lin et
+    // al. 2024 observe salient weights are identified by the activation
+    // distribution). This is the pathology activation-aware reordering
+    // (§4.3.3) groups together and weight clipping must respect.
+    for (int ch : outlier_channels) {
+      for (Tensor* w :
+           {&layer.wq, &layer.wk, &layer.wv, &layer.w_gate, &layer.w_up}) {
+        for (int64_t r = 0; r < w->rows(); ++r) w->at2(r, ch) *= 3.0f;
+      }
+    }
+  }
+
+  m.ln_final = ones(cfg.hidden);
+  m.lm_head = random_weight(rng, cfg.vocab, cfg.hidden, opt.weight_df);
+  return m;
+}
+
+}  // namespace qserve

@@ -1,0 +1,50 @@
+// FP32 model weights + synthetic generation with the statistical pathologies
+// QoQ targets (DESIGN.md §1 documents the substitution for real checkpoints):
+//   * heavy-tailed weights,
+//   * fixed per-head outlier channels in k_proj outputs (Fig. 7: Keys have
+//     ~10x outlier channels; Values do not),
+//   * outlier channels in the residual stream (motivating rotation/smoothing/
+//     reordering), injected via the embedding and preserved by the layers.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "model/config.h"
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+struct LayerWeights {
+  Tensor wq;       // [q_dim, hidden]
+  Tensor wk;       // [kv_dim, hidden]
+  Tensor wv;       // [kv_dim, hidden]
+  Tensor wo;       // [hidden, q_dim]
+  Tensor w_gate;   // [ffn, hidden]
+  Tensor w_up;     // [ffn, hidden]
+  Tensor w_down;   // [hidden, ffn]
+  Tensor ln_attn;  // [hidden] RMSNorm gains
+  Tensor ln_ffn;   // [hidden]
+};
+
+struct ModelWeights {
+  ModelConfig cfg;
+  Tensor embedding;  // [vocab, hidden]
+  std::vector<LayerWeights> layers;
+  Tensor ln_final;   // [hidden]
+  Tensor lm_head;    // [vocab, hidden]
+};
+
+struct SyntheticOptions {
+  uint64_t seed = 42;
+  float key_outlier_magnitude = 10.0f;  // Fig. 7: Keys ~10x
+  int key_outliers_per_head = 2;
+  float act_outlier_magnitude = 8.0f;   // residual-stream outlier channels
+  int act_outlier_channels = 6;
+  float weight_df = 5.0f;               // heavy-tail degrees of freedom
+};
+
+ModelWeights make_synthetic_weights(const ModelConfig& cfg,
+                                    const SyntheticOptions& opt = {});
+
+}  // namespace qserve

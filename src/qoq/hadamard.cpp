@@ -1,0 +1,90 @@
+#include "qoq/hadamard.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace qserve {
+
+Tensor hadamard_matrix(int64_t n) {
+  QS_CHECK_MSG(is_pow2(n), "Hadamard size must be a power of two, got " << n);
+  Tensor h({n, n});
+  const float scale = 1.0f / std::sqrt(float(n));
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < n; ++c) {
+      // H[r][c] = (-1)^{popcount(r & c)} (Sylvester construction).
+      const int bits = __builtin_popcountll(static_cast<uint64_t>(r & c));
+      h.at2(r, c) = (bits & 1) ? -scale : scale;
+    }
+  }
+  return h;
+}
+
+Tensor rotate_activations(const Tensor& x, const Tensor& q) {
+  QS_CHECK_EQ(x.cols(), q.rows());
+  const int64_t m = x.rows(), n = q.cols();
+  Tensor y({m, n});
+  for (int64_t t = 0; t < m; ++t) {
+    const float* xr = x.row(t);
+    for (int64_t c = 0; c < n; ++c) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < q.rows(); ++i)
+        acc += double(xr[i]) * double(q.at2(i, c));
+      y.at2(t, c) = static_cast<float>(acc);
+    }
+  }
+  return y;
+}
+
+Tensor rotate_weight_for_rotated_input(const Tensor& w, const Tensor& q) {
+  QS_CHECK_EQ(w.cols(), q.rows());
+  const int64_t n = w.rows(), k = w.cols();
+  Tensor out({n, k});
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < k; ++c) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < k; ++i)
+        acc += double(w.at2(r, i)) * double(q.at2(i, c));
+      out.at2(r, c) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor rotate_weight_producing_rotated_output(const Tensor& w,
+                                              const Tensor& q) {
+  QS_CHECK_EQ(w.rows(), q.rows());
+  const int64_t n = w.rows(), k = w.cols();
+  Tensor out({n, k});
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < k; ++c) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < n; ++i)
+        acc += double(q.at2(i, r)) * double(w.at2(i, c));
+      out.at2(r, c) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+void fwht_rows_inplace(Tensor& x) {
+  QS_CHECK_EQ(x.ndim(), 2);
+  const int64_t n = x.cols();
+  QS_CHECK(is_pow2(n));
+  const float scale = 1.0f / std::sqrt(float(n));
+  for (int64_t t = 0; t < x.rows(); ++t) {
+    float* row = x.row(t);
+    for (int64_t len = 1; len < n; len <<= 1) {
+      for (int64_t i = 0; i < n; i += len << 1) {
+        for (int64_t j = i; j < i + len; ++j) {
+          const float a = row[j], b = row[j + len];
+          row[j] = a + b;
+          row[j + len] = a - b;
+        }
+      }
+    }
+    for (int64_t c = 0; c < n; ++c) row[c] *= scale;
+  }
+}
+
+}  // namespace qserve

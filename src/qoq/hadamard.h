@@ -1,0 +1,38 @@
+// Block-input rotation (§4.3.1, Fig. 8).
+//
+// QoQ suppresses activation outliers of *input modules* (qkv_proj, up_proj)
+// by rotating the block input with a scaled Hadamard matrix Q (QQ^T = I):
+// every rotated channel becomes a linear combination of all channels, so no
+// single channel dominates. The rotation is absorbed statically:
+//   - the producing weights (of the previous block's output module) are
+//     multiplied by Q on the right,
+//   - the consuming weights are multiplied by Q^T (here: W' = W Q, since the
+//     layer computes y = x W^T and x' = x Q gives y = x' (W Q)^T... see
+//     rotate_weight_for_rotated_input).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+// Scaled Sylvester-Hadamard matrix H_n / sqrt(n); n must be a power of two.
+Tensor hadamard_matrix(int64_t n);
+
+// x' = x Q for activations [m, n].
+Tensor rotate_activations(const Tensor& x, const Tensor& q);
+
+// Given layer weights W [out, in] that consume a rotated input x' = x Q,
+// produce W' = W Q so that x' W'^T = x Q Q^T W^T = x W^T.
+Tensor rotate_weight_for_rotated_input(const Tensor& w, const Tensor& q);
+
+// Given producer weights W [out, in] whose *output* feeds the rotation,
+// produce W' = Q^T W (rows mixed) so the produced activations arrive
+// pre-rotated: x' = x_prev W'^T = (x_prev W^T) Q.
+Tensor rotate_weight_producing_rotated_output(const Tensor& w,
+                                              const Tensor& q);
+
+// In-place fast Walsh–Hadamard transform of each row (unscaled), used to
+// apply the rotation in O(n log n) for large hidden sizes.
+void fwht_rows_inplace(Tensor& x);
+
+}  // namespace qserve

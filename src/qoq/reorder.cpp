@@ -1,0 +1,55 @@
+#include "qoq/reorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace qserve {
+
+std::vector<int> salience_order(const Tensor& calib_acts) {
+  QS_CHECK_EQ(calib_acts.ndim(), 2);
+  const int64_t k = calib_acts.cols();
+  std::vector<float> salience(static_cast<size_t>(k), 0.0f);
+  for (int64_t t = 0; t < calib_acts.rows(); ++t) {
+    const float* xr = calib_acts.row(t);
+    for (int64_t c = 0; c < k; ++c)
+      salience[size_t(c)] = std::max(salience[size_t(c)], std::abs(xr[c]));
+  }
+  // Sort by *bucketed* salience (quarter-octave log buckets), stable within
+  // a bucket: channels with genuinely different magnitudes are grouped
+  // together, while near-uniform salience (e.g. after Hadamard rotation)
+  // degenerates to the identity permutation instead of an arbitrary shuffle
+  // that would scramble naturally-correlated quantization groups.
+  auto bucket = [](float s) {
+    return static_cast<int>(std::floor(std::log2(std::max(s, 1e-20f)) * 4.0f));
+  };
+  std::vector<int> perm(static_cast<size_t>(k));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](int a, int b) {
+    return bucket(salience[size_t(a)]) > bucket(salience[size_t(b)]);
+  });
+  return perm;
+}
+
+Tensor permute_columns(const Tensor& x, const std::vector<int>& perm) {
+  QS_CHECK_EQ(x.ndim(), 2);
+  QS_CHECK_EQ(x.cols(), static_cast<int64_t>(perm.size()));
+  Tensor out({x.rows(), x.cols()});
+  for (int64_t t = 0; t < x.rows(); ++t) {
+    const float* src = x.row(t);
+    float* dst = out.row(t);
+    for (size_t c = 0; c < perm.size(); ++c) dst[c] = src[perm[c]];
+  }
+  return out;
+}
+
+std::vector<int> invert_permutation(const std::vector<int>& perm) {
+  std::vector<int> inv(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i)
+    inv[static_cast<size_t>(perm[i])] = static_cast<int>(i);
+  return inv;
+}
+
+}  // namespace qserve

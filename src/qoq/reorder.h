@@ -1,0 +1,26 @@
+// Activation-aware channel reordering (§4.3.3, Fig. 10).
+//
+// Group quantization suffers when a group mixes salient and non-salient
+// channels: one outlier stretches the whole group's scale. QoQ sorts input
+// channels by salience (max |X| over calibration data) so similar-magnitude
+// channels share a group. The permutation is applied offline to the weight's
+// input channels; at runtime the activation layout is permuted by the fused
+// quantization kernel (zero extra cost), which `permute_columns` models.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+// Descending-salience permutation from calibration activations [m, k].
+std::vector<int> salience_order(const Tensor& calib_acts);
+
+// Apply permutation to matrix columns: out[:, i] = in[:, perm[i]].
+Tensor permute_columns(const Tensor& x, const std::vector<int>& perm);
+
+// Inverse permutation.
+std::vector<int> invert_permutation(const std::vector<int>& perm);
+
+}  // namespace qserve

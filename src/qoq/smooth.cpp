@@ -1,0 +1,55 @@
+#include "qoq/smooth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace qserve {
+
+Tensor compute_smoothing_scales(const Tensor& acts, const Tensor& consumer,
+                                float alpha) {
+  QS_CHECK_EQ(acts.ndim(), 2);
+  QS_CHECK_EQ(consumer.ndim(), 2);
+  const int64_t d = acts.cols();
+  QS_CHECK_EQ(consumer.cols(), d);
+
+  Tensor lambda({d});
+  for (int64_t j = 0; j < d; ++j) {
+    float amax = 1e-5f;
+    for (int64_t t = 0; t < acts.rows(); ++t)
+      amax = std::max(amax, std::abs(acts.at2(t, j)));
+    float wmax = 1e-5f;
+    for (int64_t r = 0; r < consumer.rows(); ++r)
+      wmax = std::max(wmax, std::abs(consumer.at2(r, j)));
+    float lam = std::pow(amax, alpha) / std::pow(wmax, 1.0f - alpha);
+    lambda[j] = clamp(lam, 1e-2f, 1e2f);
+  }
+  return lambda;
+}
+
+void fold_smoothing(const Tensor& lambda, Tensor& producer, Tensor& consumer,
+                    int64_t producer_row_offset) {
+  const int64_t d = lambda.numel();
+  QS_CHECK_EQ(consumer.cols(), d);
+  QS_CHECK_LE(producer_row_offset + d, producer.rows());
+  for (int64_t j = 0; j < d; ++j) {
+    const float lam = lambda[j];
+    const float inv = 1.0f / lam;
+    for (int64_t c = 0; c < producer.cols(); ++c)
+      producer.at2(producer_row_offset + j, c) *= inv;
+    for (int64_t r = 0; r < consumer.rows(); ++r)
+      consumer.at2(r, j) *= lam;
+  }
+}
+
+Tensor smooth_activations(const Tensor& acts, const Tensor& lambda) {
+  QS_CHECK_EQ(acts.cols(), lambda.numel());
+  Tensor out = acts;
+  for (int64_t t = 0; t < out.rows(); ++t)
+    for (int64_t j = 0; j < out.cols(); ++j) out.at2(t, j) /= lambda[j];
+  return out;
+}
+
+}  // namespace qserve

@@ -1,0 +1,33 @@
+// Block-output-module smoothing (§4.3.2, Fig. 9).
+//
+// Output modules (out_proj, down_proj) consume *block intermediate*
+// activations (attention outputs / SwiGLU outputs). QoQ divides those
+// intermediates by a per-channel factor λ and multiplies the consumer's
+// weight columns by λ; the producer's weight rows absorb 1/λ, so the
+// transform is exact in full precision. Unlike SmoothQuant, the migration
+// strength α is near zero — λ is determined mostly by the *weights*
+// (weight-range equalization), which §4.3.2 reports is required to avoid a
+// 0.05 perplexity regression.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+// λ_j = max|A_j|^α / max|W_j|^(1-α), clamped to a sane range. `acts` are
+// calibration intermediates [m, d]; `consumer` is the output-module weight
+// [n, d] whose input channels j are being balanced.
+Tensor compute_smoothing_scales(const Tensor& acts, const Tensor& consumer,
+                                float alpha = 0.05f);
+
+// Fold: producer rows j (output channels) *= 1/λ_j, consumer columns j *= λ_j.
+// Producer may have more rows than d when it computes several fused outputs
+// (e.g. gate|up); `producer_row_offset` selects the span that feeds the
+// consumer.
+void fold_smoothing(const Tensor& lambda, Tensor& producer, Tensor& consumer,
+                    int64_t producer_row_offset = 0);
+
+// Apply λ^{-1} to activations (for equivalence tests).
+Tensor smooth_activations(const Tensor& acts, const Tensor& lambda);
+
+}  // namespace qserve

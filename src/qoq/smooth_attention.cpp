@@ -1,0 +1,117 @@
+#include "qoq/smooth_attention.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qserve {
+
+SmoothAttentionScales compute_smooth_attention_scales(const Tensor& keys,
+                                                      int head_dim,
+                                                      float alpha) {
+  QS_CHECK_EQ(keys.ndim(), 2);
+  QS_CHECK_EQ(keys.cols() % head_dim, 0);
+  QS_CHECK_EQ(head_dim % 2, 0);
+  const int64_t kd = keys.cols();
+  const int64_t tokens = keys.rows();
+  const int half = head_dim / 2;
+
+  Tensor chan_max({kd});
+  for (int64_t t = 0; t < tokens; ++t) {
+    const float* kr = keys.row(t);
+    for (int64_t c = 0; c < kd; ++c) {
+      chan_max[c] = std::max(chan_max[c], std::abs(kr[c]));
+    }
+  }
+
+  SmoothAttentionScales out;
+  out.head_dim = head_dim;
+  out.lambda = Tensor({kd});
+  const int64_t n_kv_heads = kd / head_dim;
+  for (int64_t h = 0; h < n_kv_heads; ++h) {
+    const int64_t base = h * head_dim;
+    for (int i = 0; i < half; ++i) {
+      // RoPE pairing constraint (Eq. 9): one λ for channels i and i+D/2.
+      const float m =
+          std::max(chan_max[base + i], chan_max[base + i + half]);
+      float lam = std::pow(std::max(m, 1e-5f), alpha);
+      lam = std::max(lam, 1e-3f);
+      out.lambda[base + i] = lam;
+      out.lambda[base + i + half] = lam;
+    }
+  }
+  return out;
+}
+
+void fold_smooth_attention(const SmoothAttentionScales& scales, int n_heads,
+                           int n_kv_heads, Tensor& w_q, Tensor& w_k) {
+  QS_CHECK_EQ(n_heads % n_kv_heads, 0);
+  const int group = n_heads / n_kv_heads;
+  const int64_t kd = scales.lambda.numel();
+  QS_CHECK_EQ(w_k.rows(), kd);
+  QS_CHECK_EQ(w_q.rows(), int64_t(n_heads) * scales.head_dim);
+
+  // W_K rows (output channels) divided by λ -> K' = K Λ^{-1}.
+  for (int64_t r = 0; r < kd; ++r) {
+    const float inv = 1.0f / scales.lambda[r];
+    for (int64_t c = 0; c < w_k.cols(); ++c) w_k.at2(r, c) *= inv;
+  }
+  // W_Q rows multiplied by the λ of the matching key channel -> Q' = Q Λ.
+  for (int64_t r = 0; r < w_q.rows(); ++r) {
+    const int64_t q_head = r / scales.head_dim;
+    const int64_t dim = r % scales.head_dim;
+    const int64_t kv_head = q_head / group;
+    const float lam = scales.lambda[kv_head * scales.head_dim + dim];
+    for (int64_t c = 0; c < w_q.cols(); ++c) w_q.at2(r, c) *= lam;
+  }
+}
+
+Tensor smooth_keys(const Tensor& keys, const SmoothAttentionScales& scales) {
+  QS_CHECK_EQ(keys.cols(), scales.lambda.numel());
+  Tensor out = keys;
+  for (int64_t t = 0; t < out.rows(); ++t) {
+    float* kr = out.row(t);
+    for (int64_t c = 0; c < out.cols(); ++c) kr[c] /= scales.lambda[c];
+  }
+  return out;
+}
+
+Tensor scale_queries(const Tensor& queries,
+                     const SmoothAttentionScales& scales, int n_heads) {
+  const int64_t kd = scales.lambda.numel();
+  const int64_t n_kv_heads = kd / scales.head_dim;
+  QS_CHECK_EQ(n_heads % n_kv_heads, 0);
+  const int64_t group = n_heads / n_kv_heads;
+  QS_CHECK_EQ(queries.cols(), int64_t(n_heads) * scales.head_dim);
+  Tensor out = queries;
+  for (int64_t t = 0; t < out.rows(); ++t) {
+    float* qr = out.row(t);
+    for (int64_t c = 0; c < out.cols(); ++c) {
+      const int64_t q_head = c / scales.head_dim;
+      const int64_t dim = c % scales.head_dim;
+      qr[c] *= scales.lambda[(q_head / group) * scales.head_dim + dim];
+    }
+  }
+  return out;
+}
+
+float channel_outlier_ratio(const Tensor& x) {
+  QS_CHECK_EQ(x.ndim(), 2);
+  const int64_t k = x.cols();
+  std::vector<float> cmax(static_cast<size_t>(k), 0.0f);
+  for (int64_t t = 0; t < x.rows(); ++t) {
+    const float* xr = x.row(t);
+    for (int64_t c = 0; c < k; ++c)
+      cmax[size_t(c)] = std::max(cmax[size_t(c)], std::abs(xr[c]));
+  }
+  std::vector<float> sorted = cmax;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const float median = std::max(sorted[sorted.size() / 2], 1e-9f);
+  const float peak = *std::max_element(cmax.begin(), cmax.end());
+  return peak / median;
+}
+
+}  // namespace qserve

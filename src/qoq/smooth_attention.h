@@ -1,0 +1,49 @@
+// SmoothAttention (§4.2).
+//
+// Key caches have fixed per-head outlier channels (~10x typical magnitude);
+// KV4's 16 levels cannot absorb them. SmoothAttention rescales
+//   Q' = Q Λ,  K' = K Λ^{-1},  Λ = diag(λ),  λ_i = max(|K_i|)^α
+// which is exact (Q'K'^T = QK^T) because queries are never quantized. RoPE
+// pairs channel i with i + D/2 inside each head, so commuting the scaling
+// past RoPE requires λ_i = λ_{i+D/2} (Eq. 9). The scales are folded into
+// W_Q / W_K offline, so the runtime cost is zero.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+struct SmoothAttentionScales {
+  // One λ per key channel, length n_kv_heads * head_dim, already satisfying
+  // the RoPE pairing constraint.
+  Tensor lambda;
+  int head_dim = 0;
+};
+
+// Compute λ from calibration post-RoPE keys K [tokens, n_kv_heads*head_dim].
+SmoothAttentionScales compute_smooth_attention_scales(const Tensor& keys,
+                                                      int head_dim,
+                                                      float alpha = 0.5f);
+
+// Fold Λ into the projection weights:
+//   W_Q[out=q_channel, :] *= λ(kv_channel(q_channel))
+//   W_K[out=k_channel, :] /= λ(k_channel)
+// For GQA, each query head reuses the λ of its key head (q head h -> kv head
+// h / (n_heads / n_kv_heads)).
+void fold_smooth_attention(const SmoothAttentionScales& scales, int n_heads,
+                           int n_kv_heads, Tensor& w_q, Tensor& w_k);
+
+// Apply Λ^{-1} directly to key activations (used by tests and by the
+// visualization bench to reproduce Figure 7).
+Tensor smooth_keys(const Tensor& keys, const SmoothAttentionScales& scales);
+
+// Apply Λ to query activations (Q' = QΛ); with GQA each query head uses its
+// key head's λ.
+Tensor scale_queries(const Tensor& queries,
+                     const SmoothAttentionScales& scales, int n_heads);
+
+// Outlier diagnostic used by Figure 7: ratio of the largest per-channel
+// abs-max to the median per-channel abs-max.
+float channel_outlier_ratio(const Tensor& x);
+
+}  // namespace qserve

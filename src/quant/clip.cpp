@@ -1,0 +1,98 @@
+#include "quant/clip.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace qserve {
+
+Tensor clip_weights(const Tensor& w, float ratio) {
+  QS_CHECK_EQ(w.ndim(), 2);
+  Tensor out = w;
+  const int64_t n = w.rows(), k = w.cols();
+  for (int64_t r = 0; r < n; ++r) {
+    const float bound = abs_max(w.row(r), k) * ratio;
+    for (int64_t c = 0; c < k; ++c) {
+      out.at2(r, c) = clamp(out.at2(r, c), -bound, bound);
+    }
+  }
+  return out;
+}
+
+Tensor quantize_dequantize_clipped(const Tensor& w, float ratio,
+                                   const ClipSearchOptions& opt) {
+  const Tensor clipped = clip_weights(w, ratio);
+  if (opt.progressive) {
+    ProgressiveOptions popt;
+    popt.group = opt.group;
+    return dequantize(quantize_progressive(clipped, popt));
+  }
+  return dequantize(quantize_w4_per_channel(clipped));
+}
+
+namespace {
+
+// Frobenius error of X (Wa - Wb)^T without materializing the product:
+// computed row by row over output channels.
+double output_mse(const Tensor& x, const Tensor& wa, const Tensor& wb) {
+  const int64_t m = x.rows(), k = x.cols(), n = wa.rows();
+  QS_CHECK_EQ(wa.cols(), k);
+  double total = 0.0;
+  std::vector<float> dw(static_cast<size_t>(k));
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < k; ++c) dw[size_t(c)] = wa.at2(r, c) - wb.at2(r, c);
+    for (int64_t t = 0; t < m; ++t) {
+      double dot = 0.0;
+      const float* xr = x.row(t);
+      for (int64_t c = 0; c < k; ++c) dot += double(xr[c]) * dw[size_t(c)];
+      total += dot * dot;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+ClipResult search_clip_custom(const std::function<double(float)>& error_fn,
+                              const ClipSearchOptions& opt) {
+  ClipResult best;
+  best.error = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < opt.steps; ++i) {
+    const float ratio =
+        1.0f - (1.0f - opt.min_ratio) * float(i) / float(opt.steps - 1);
+    const double err = error_fn(ratio);
+    if (err < best.error) {
+      best.error = err;
+      best.ratio = ratio;
+    }
+  }
+  return best;
+}
+
+ClipResult search_clip_output_mse(const Tensor& w, const Tensor& x,
+                                  const ClipSearchOptions& opt) {
+  return search_clip_custom(
+      [&](float ratio) {
+        const Tensor deq = quantize_dequantize_clipped(w, ratio, opt);
+        return output_mse(x, w, deq);
+      },
+      opt);
+}
+
+ClipResult search_clip_weight_mse(const Tensor& w,
+                                  const ClipSearchOptions& opt) {
+  return search_clip_custom(
+      [&](float ratio) {
+        const Tensor deq = quantize_dequantize_clipped(w, ratio, opt);
+        double err = 0.0;
+        for (int64_t i = 0; i < w.numel(); ++i) {
+          const double d = double(w[i]) - double(deq[i]);
+          err += d * d;
+        }
+        return err;
+      },
+      opt);
+}
+
+}  // namespace qserve

@@ -1,0 +1,50 @@
+// Weight clipping via grid search (§4.3.4).
+//
+// QoQ minimizes *layer output* error ||X W^T - X Q(W; α)^T|| for all linear
+// layers (and block-output error for q_proj/k_proj, which callers express by
+// passing a custom error functor).
+#pragma once
+
+#include <functional>
+
+#include "quant/quantize.h"
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+struct ClipSearchOptions {
+  float min_ratio = 0.5f;
+  int steps = 10;          // grid: 1.0, 1.0-δ, ..., min_ratio
+  int group = 128;         // group size for the trial quantizer
+  bool progressive = true; // QoQ progressive vs plain per-channel W4
+};
+
+// Scale each row of `w` so its dynamic range is `ratio` of the original
+// (values are clamped to the shrunken range, not rescaled).
+Tensor clip_weights(const Tensor& w, float ratio);
+
+// Quantize with clipping ratio `ratio` using the trial quantizer from `opt`
+// and return the dequantized weights.
+Tensor quantize_dequantize_clipped(const Tensor& w, float ratio,
+                                   const ClipSearchOptions& opt);
+
+// Grid-search the clip ratio that minimizes ||X W^T - X Q(W;α)^T||_F^2.
+// `x` is calibration activations [m, k].
+struct ClipResult {
+  float ratio = 1.0f;
+  double error = 0.0;
+};
+ClipResult search_clip_output_mse(const Tensor& w, const Tensor& x,
+                                  const ClipSearchOptions& opt = {});
+
+// Generic form: caller supplies error(ratio) — used for the block-output MSE
+// objective of q_proj / k_proj (Eq. 10).
+ClipResult search_clip_custom(const std::function<double(float)>& error_fn,
+                              const ClipSearchOptions& opt = {});
+
+// Grid-search minimizing weight-space error ||W - Q(W;α)||_F^2 (the
+// tensor-self objective used by prior work; kept for ablation).
+ClipResult search_clip_weight_mse(const Tensor& w,
+                                  const ClipSearchOptions& opt = {});
+
+}  // namespace qserve

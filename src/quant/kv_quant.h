@@ -1,0 +1,76 @@
+// Dynamic per-head KV-cache quantization (§5.1, §6.1).
+//
+// QServe stores FP16 scale + zero point per head *inside each KV page*,
+// updated on the fly (dynamic), in contrast to TRT-LLM/vLLM's offline
+// per-tensor static scales. These routines quantize one head-vector (D dims)
+// of K or V at a time, which is exactly the unit the paged cache stores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/half.h"
+#include "common/math_util.h"
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+// Asymmetric quantization parameters for one head vector.
+struct KvQuantParams {
+  float scale = 1.0f;  // FP16
+  float zero = 0.0f;   // FP16 (real-valued zero point: x ≈ q*scale + zero)
+};
+
+// Quantize `d` floats into `bits`-wide unsigned codes (4 or 8), packed one
+// code per byte (the paged cache handles nibble packing for INT4).
+inline KvQuantParams kv_quantize(const float* x, int d, int bits,
+                                 uint8_t* codes) {
+  const int qmax = (1 << bits) - 1;
+  float lo = x[0], hi = x[0];
+  for (int i = 1; i < d; ++i) {
+    lo = std::min(lo, x[i]);
+    hi = std::max(hi, x[i]);
+  }
+  float s = (hi - lo) / float(qmax);
+  if (s <= 0.0f) s = 1.0f;
+  s = to_half_precision(s);
+  const float zero = to_half_precision(lo);
+  const float inv = 1.0f / s;
+  for (int i = 0; i < d; ++i) {
+    codes[i] = static_cast<uint8_t>(
+        clamp(round_half_away((x[i] - zero) * inv), 0, qmax));
+  }
+  return {s, zero};
+}
+
+inline void kv_dequantize(const uint8_t* codes, int d,
+                          const KvQuantParams& p, float* out) {
+  for (int i = 0; i < d; ++i) out[i] = float(codes[i]) * p.scale + p.zero;
+}
+
+// Static per-tensor symmetric INT8 KV quantization (the TRT-LLM/vLLM KV8
+// baseline): one offline scale for the whole cache.
+struct StaticKv8Params {
+  float scale = 1.0f;
+};
+
+inline StaticKv8Params kv8_static_calibrate(const Tensor& sample) {
+  StaticKv8Params p;
+  p.scale = to_half_precision(abs_max(sample.data(), sample.numel()) / 127.0f);
+  if (p.scale <= 0.0f) p.scale = 1.0f;
+  return p;
+}
+
+inline void kv8_static_quantize(const float* x, int d,
+                                const StaticKv8Params& p, int8_t* codes) {
+  const float inv = 1.0f / p.scale;
+  for (int i = 0; i < d; ++i)
+    codes[i] = clamp_i8(round_half_away(x[i] * inv));
+}
+
+inline void kv8_static_dequantize(const int8_t* codes, int d,
+                                  const StaticKv8Params& p, float* out) {
+  for (int i = 0; i < d; ++i) out[i] = float(codes[i]) * p.scale;
+}
+
+}  // namespace qserve

@@ -1,0 +1,74 @@
+// Core quantization / dequantization routines (paper §2.2, §4.1, §6.1).
+#pragma once
+
+#include "quant/types.h"
+
+namespace qserve {
+
+// --- W8A8 baseline ----------------------------------------------------------
+
+// Per-channel symmetric INT8 weight quantization into [-127, 127].
+W8PerChannel quantize_w8_per_channel(const Tensor& w);
+Tensor dequantize(const W8PerChannel& q);
+
+// --- per-channel W4A8 -------------------------------------------------------
+
+W4PerChannel quantize_w4_per_channel(const Tensor& w);
+Tensor dequantize(const W4PerChannel& q);
+
+// --- progressive group quantization (QoQ, §4.1) ------------------------------
+
+// Bound on the level-1 symmetric range that guarantees the level-2 round trip
+// never leaves [-128, 127] (derivation in §4.1: q_s8 <= 119.5).
+inline constexpr int kProtectiveRange = 119;
+
+struct ProgressiveOptions {
+  int group = 128;
+  // Level-1 clamp. kProtectiveRange reproduces QoQ; 127 reproduces the naive
+  // scheme whose overflow Figure 6/14 demonstrates.
+  int level1_range = kProtectiveRange;
+};
+
+W4PerGroup quantize_progressive(const Tensor& w, const ProgressiveOptions& opt);
+
+// Level-2 dequantization only: reconstruct the *integer* level-1 codes
+// (QW^(0)_s8 = (QW_u4 - z) * s1). Values are returned as int32 so that
+// out-of-INT8-range results produced by a non-protective range are visible to
+// callers/tests rather than silently wrapped.
+I32Tensor dequantize_level1_codes(const W4PerGroup& q);
+
+// Full dequantization to float: level-2 then level-1 scaling.
+Tensor dequantize(const W4PerGroup& q);
+
+// --- W4A4 (Atom/QuaRot baseline) ---------------------------------------------
+
+W4A4PerGroup quantize_w4a4_per_group(const Tensor& w, int group);
+Tensor dequantize(const W4A4PerGroup& q);
+
+// --- activations -------------------------------------------------------------
+
+// Per-token symmetric INT8 (computes tX alongside, see types.h).
+QuantizedActs quantize_acts_per_token(const Tensor& x);
+Tensor dequantize(const QuantizedActs& q);
+
+// Per-token symmetric INT4 (for the W4A4 baseline path); codes in [-7, 7].
+QuantizedActs quantize_acts_per_token_int4(const Tensor& x);
+
+// --- prior-work two-level baseline (VSQuant / DoubleQuant, §4.1) -------------
+//
+// Group-quantize directly to 4 bits with FP16 group scales, then quantize the
+// group scales per channel to UINT8. Unlike progressive quantization, the
+// group-scale dequantization of the 4-bit codes does NOT yield INT8 integers,
+// so the GEMM cannot stay on the INT8 tensor-core path.
+struct TwoLevelBaseline {
+  PackedU4 qw;  // [n, k]
+  U8Tensor z;   // [n, k/g] zero points
+  U8Tensor s1;  // [n, k/g] quantized group scales
+  Tensor s0;    // [n] per-channel scale of the group scales
+  int group = 128;
+};
+
+TwoLevelBaseline quantize_two_level_baseline(const Tensor& w, int group);
+Tensor dequantize(const TwoLevelBaseline& q);
+
+}  // namespace qserve

@@ -1,0 +1,71 @@
+// W4A16 per-group weight-only quantization (AWQ / GPTQ-style baseline).
+//
+// Asymmetric UINT4 codes with one FP16 scale + zero point per group; the
+// GEMM dequantizes weights to FP16 in the main loop (Fig. 5b) and computes on
+// FP16 tensor cores.
+#pragma once
+
+#include "common/half.h"
+#include "common/math_util.h"
+#include "quant/types.h"
+
+namespace qserve {
+
+struct W4A16PerGroup {
+  PackedU4 qw;  // [n, k]
+  U8Tensor z;   // [n, k/g] zero points in [0, 15]
+  Tensor s;     // [n, k/g] FP16 scales
+  int group = 128;
+
+  int64_t n() const { return qw.rows; }
+  int64_t k() const { return qw.cols; }
+};
+
+inline W4A16PerGroup quantize_w4a16(const Tensor& w, int group) {
+  QS_CHECK_EQ(w.ndim(), 2);
+  const int64_t n = w.rows(), k = w.cols();
+  QS_CHECK_EQ(k % group, 0);
+  const int64_t ng = k / group;
+  W4A16PerGroup out;
+  out.group = group;
+  out.z = U8Tensor({n, ng});
+  out.s = Tensor({n, ng});
+  U8Tensor codes({n, k});
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t g = 0; g < ng; ++g) {
+      const int64_t base = g * group;
+      float lo = w.at2(r, base), hi = lo;
+      for (int64_t c = 1; c < group; ++c) {
+        lo = std::min(lo, w.at2(r, base + c));
+        hi = std::max(hi, w.at2(r, base + c));
+      }
+      lo = std::min(lo, 0.0f);
+      hi = std::max(hi, 0.0f);
+      float s = to_half_precision((hi - lo) / 15.0f);
+      if (s <= 0.0f) s = 6.103515625e-05f;
+      const int z = clamp(round_half_away(-lo / s), 0, 15);
+      out.s.at2(r, g) = s;
+      out.z.at2(r, g) = static_cast<uint8_t>(z);
+      for (int64_t c = 0; c < group; ++c) {
+        codes.at2(r, base + c) =
+            clamp_u4(round_half_away(w.at2(r, base + c) / s) + z);
+      }
+    }
+  }
+  out.qw = pack_u4(codes);
+  return out;
+}
+
+inline Tensor dequantize(const W4A16PerGroup& q) {
+  Tensor w({q.n(), q.k()});
+  for (int64_t r = 0; r < q.n(); ++r) {
+    for (int64_t c = 0; c < q.k(); ++c) {
+      const int64_t g = c / q.group;
+      w.at2(r, c) = float(int(get_u4(q.qw, r, c)) - int(q.z.at2(r, g))) *
+                    q.s.at2(r, g);
+    }
+  }
+  return w;
+}
+
+}  // namespace qserve

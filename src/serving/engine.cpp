@@ -1,0 +1,131 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/math_util.h"
+
+namespace qserve {
+
+ServingEngine::ServingEngine(QuantizedModel* model, const EngineConfig& cfg)
+    : model_(model), cfg_(cfg), scheduler_(cfg.scheduler),
+      rng_(cfg.sample_seed) {
+  QS_CHECK(model != nullptr);
+}
+
+int ServingEngine::submit(std::vector<int> prompt, int max_new_tokens) {
+  QS_CHECK(!prompt.empty());
+  QS_CHECK_GT(max_new_tokens, 0);
+  auto req = std::make_unique<Request>();
+  req->id = static_cast<int>(requests_.size());
+  req->prompt = std::move(prompt);
+  req->max_new_tokens = max_new_tokens;
+  req->submitted_step = stats_.steps;
+  Request* ptr = req.get();
+  requests_.push_back(std::move(req));
+  scheduler_.enqueue(ptr);
+  return ptr->id;
+}
+
+int ServingEngine::sample(const Tensor& logits) {
+  const int64_t vocab = logits.numel();
+  if (cfg_.temperature <= 0.0f) {
+    int64_t best = 0;
+    for (int64_t v = 1; v < vocab; ++v)
+      if (logits[v] > logits[best]) best = v;
+    return static_cast<int>(best);
+  }
+  std::vector<float> probs(static_cast<size_t>(vocab));
+  for (int64_t v = 0; v < vocab; ++v)
+    probs[size_t(v)] = logits[v] / cfg_.temperature;
+  softmax_inplace(probs.data(), static_cast<int>(vocab));
+  float r = rng_.uniform();
+  for (size_t v = 0; v < probs.size(); ++v) {
+    r -= probs[v];
+    if (r <= 0.0f) return static_cast<int>(v);
+  }
+  return static_cast<int>(vocab - 1);
+}
+
+void ServingEngine::finish(Request& r) {
+  r.state = RequestState::kFinished;
+  r.finished_step = stats_.steps;
+  model_->end_sequence(r.seq_handle);
+  r.seq_handle = -1;
+}
+
+bool ServingEngine::step() {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // --- admit ---
+  const auto& kv = model_->kv_cache();
+  const int64_t tokens_available =
+      kv.free_pages() / std::max(1, model_->config().n_layers) *
+      kv.config().page_size;
+  const auto admitted =
+      scheduler_.admit(static_cast<int>(running_.size()), tokens_available);
+  for (Request* r : admitted) {
+    r->state = RequestState::kPrefilling;
+    r->seq_handle = model_->begin_sequence();
+    running_.push_back(r);
+  }
+
+  // --- prefill newcomers, decode the rest (one token each) ---
+  for (Request* r : running_) {
+    Tensor logits;
+    if (r->state == RequestState::kPrefilling) {
+      logits = model_->prefill(r->seq_handle, r->prompt);
+      stats_.prefill_tokens += static_cast<int64_t>(r->prompt.size());
+      r->state = RequestState::kDecoding;
+    } else {
+      logits = model_->decode_step(r->seq_handle, r->generated.back());
+    }
+    const int tok = sample(logits);
+    r->generated.push_back(tok);
+    ++stats_.decode_tokens;
+    if (r->first_token_step < 0) r->first_token_step = stats_.steps;
+    if (static_cast<int>(r->generated.size()) >= r->max_new_tokens) {
+      finish(*r);
+    }
+  }
+  stats_.peak_batch =
+      std::max(stats_.peak_batch, static_cast<int>(running_.size()));
+  running_.erase(std::remove_if(running_.begin(), running_.end(),
+                                [](Request* r) { return r->done(); }),
+                 running_.end());
+
+  ++stats_.steps;
+  stats_.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return !scheduler_.idle(static_cast<int>(running_.size()));
+}
+
+EngineStats ServingEngine::run_to_completion() {
+  while (step()) {
+  }
+  stats_.decode_tokens_per_second =
+      stats_.wall_seconds > 0 ? double(stats_.decode_tokens) /
+                                    stats_.wall_seconds
+                              : 0;
+  double ft = 0, comp = 0;
+  int64_t n = 0;
+  for (const auto& r : requests_) {
+    if (!r->done()) continue;
+    ft += double(r->first_token_step - r->submitted_step);
+    comp += double(r->finished_step - r->submitted_step);
+    ++n;
+  }
+  if (n > 0) {
+    stats_.mean_first_token_steps = ft / double(n);
+    stats_.mean_completion_steps = comp / double(n);
+  }
+  return stats_;
+}
+
+const Request& ServingEngine::request(int id) const {
+  QS_CHECK(id >= 0 && id < static_cast<int>(requests_.size()));
+  return *requests_[static_cast<size_t>(id)];
+}
+
+}  // namespace qserve

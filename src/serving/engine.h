@@ -1,0 +1,67 @@
+// Serving engine: continuous-batching loop over a QuantizedModel.
+//
+// This is the CPU-executable counterpart of the QServe runtime — it really
+// runs the quantized kernels and the paged quantized KV cache, so integration
+// tests can assert end-to-end behaviour (admission under memory pressure,
+// in-flight join/leave, token-order preservation). Wall-clock throughput at
+// GPU scale comes from src/simulator instead.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "model/quantized_model.h"
+#include "serving/scheduler.h"
+
+namespace qserve {
+
+struct EngineConfig {
+  SchedulerConfig scheduler;
+  // Sampling: 0 = greedy argmax.
+  float temperature = 0.0f;
+  uint64_t sample_seed = 7;
+};
+
+struct EngineStats {
+  int64_t steps = 0;
+  int64_t prefill_tokens = 0;
+  int64_t decode_tokens = 0;
+  double wall_seconds = 0;
+  int peak_batch = 0;
+  double decode_tokens_per_second = 0;
+  // Per-request latency in engine steps.
+  double mean_first_token_steps = 0;
+  double mean_completion_steps = 0;
+};
+
+class ServingEngine {
+ public:
+  ServingEngine(QuantizedModel* model, const EngineConfig& cfg);
+
+  // Submit a request; returns its id. Requests are owned by the engine.
+  int submit(std::vector<int> prompt, int max_new_tokens);
+
+  // One engine iteration: admit, prefill newcomers, decode running batch.
+  // Returns false when fully idle.
+  bool step();
+
+  // Run until all submitted requests finish.
+  EngineStats run_to_completion();
+
+  const Request& request(int id) const;
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  int sample(const Tensor& logits);
+  void finish(Request& r);
+
+  QuantizedModel* model_;
+  EngineConfig cfg_;
+  Scheduler scheduler_;
+  std::vector<std::unique_ptr<Request>> requests_;
+  std::vector<Request*> running_;
+  EngineStats stats_;
+  Rng rng_;
+};
+
+}  // namespace qserve

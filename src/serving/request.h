@@ -1,0 +1,31 @@
+// Request / sequence state machine for the serving engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qserve {
+
+enum class RequestState { kQueued, kPrefilling, kDecoding, kFinished };
+
+struct Request {
+  int id = -1;
+  std::vector<int> prompt;
+  int max_new_tokens = 16;
+
+  RequestState state = RequestState::kQueued;
+  std::vector<int> generated;
+  int seq_handle = -1;  // QuantizedModel sequence id while running
+
+  // Timeline (engine step indices) for latency metrics.
+  int64_t submitted_step = -1;
+  int64_t first_token_step = -1;
+  int64_t finished_step = -1;
+
+  bool done() const { return state == RequestState::kFinished; }
+  int64_t total_len() const {
+    return static_cast<int64_t>(prompt.size() + generated.size());
+  }
+};
+
+}  // namespace qserve

@@ -1,0 +1,24 @@
+#include "serving/scheduler.h"
+
+namespace qserve {
+
+std::vector<Request*> Scheduler::admit(int running,
+                                       int64_t kv_tokens_available) {
+  std::vector<Request*> admitted;
+  int64_t budget = kv_tokens_available;
+  while (!queue_.empty() &&
+         running + static_cast<int>(admitted.size()) < cfg_.max_batch) {
+    Request* r = queue_.front();
+    const int64_t raw =
+        static_cast<int64_t>(r->prompt.size()) + r->max_new_tokens;
+    const int64_t pr = cfg_.page_round > 0 ? cfg_.page_round : 1;
+    const int64_t need = (raw + pr - 1) / pr * pr;
+    if (need > budget) break;  // FCFS: do not skip ahead of the head
+    budget -= need;
+    queue_.pop_front();
+    admitted.push_back(r);
+  }
+  return admitted;
+}
+
+}  // namespace qserve

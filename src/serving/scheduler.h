@@ -1,0 +1,44 @@
+// Continuous (in-flight) batching scheduler (§5.1: QServe supports in-flight
+// batching like vLLM / TRT-LLM).
+//
+// Policy: FCFS admission. A queued request is admitted when (a) the running
+// batch is below `max_batch` and (b) the KV pool can hold the request at its
+// *maximum* final length (prompt + max_new_tokens) — the conservative
+// admission that guarantees a running request never has to be evicted.
+// Finished sequences release their pages immediately, letting the next
+// queued request join mid-flight (iteration-level scheduling, as in Orca).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace qserve {
+
+struct SchedulerConfig {
+  int max_batch = 8;
+  // KV reservations are rounded up to whole pages of this many tokens.
+  int page_round = 1;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerConfig& cfg) : cfg_(cfg) {}
+
+  void enqueue(Request* r) { queue_.push_back(r); }
+
+  // Admit queued requests that fit. `kv_tokens_available` is a callback-free
+  // snapshot: the number of tokens the KV pool can still hold; admission
+  // reserves (prompt + max_new) tokens per request.
+  std::vector<Request*> admit(int running, int64_t kv_tokens_available);
+
+  bool idle(int running) const { return queue_.empty() && running == 0; }
+  int64_t queued() const { return static_cast<int64_t>(queue_.size()); }
+
+ private:
+  SchedulerConfig cfg_;
+  std::deque<Request*> queue_;
+};
+
+}  // namespace qserve

@@ -1,0 +1,102 @@
+#include "simulator/attention_model.h"
+
+#include <algorithm>
+
+namespace qserve::sim {
+
+AttentionKernelConfig AttentionKernelConfig::trt_kv8() {
+  AttentionKernelConfig c;
+  c.kv_bits = 8;  // static per-tensor scales: dequant is one FMA
+  c.bit_trick_dequant = true;
+  c.simplified_control = true;
+  c.prefetch_scales = true;
+  return c;
+}
+
+AttentionKernelConfig AttentionKernelConfig::naive_kv4() {
+  AttentionKernelConfig c;
+  c.kv_bits = 4;
+  c.dynamic_scales = true;
+  return c;  // all optimizations off: mask/shift/convert/mul/sub per element
+}
+
+AttentionKernelConfig AttentionKernelConfig::qserve_kv4() {
+  AttentionKernelConfig c;
+  c.kv_bits = 4;
+  c.dynamic_scales = true;
+  c.fp16_arithmetic = true;
+  c.bit_trick_dequant = true;
+  c.simplified_control = true;
+  c.prefetch_scales = true;
+  return c;
+}
+
+AttentionKernelConfig AttentionKernelConfig::fp16_baseline() {
+  AttentionKernelConfig c;
+  c.kv_bits = 16;
+  c.simplified_control = true;
+  c.prefetch_scales = true;
+  return c;
+}
+
+AttentionCost attention_decode_cost(const DeviceSpec& dev,
+                                    const AttentionKernelConfig& cfg,
+                                    const AttentionShape& shape) {
+  AttentionCost cost;
+  const double kv_dim = double(shape.n_kv_heads) * shape.head_dim;
+  const double elements = 2.0 * shape.batch * shape.seq_len * kv_dim;  // K+V
+
+  // --- memory: KV codes + per-(token, head) dynamic parameters -----------------
+  double bytes = elements * cfg.kv_bits / 8.0;
+  if (cfg.dynamic_scales) {
+    bytes += 2.0 * shape.batch * shape.seq_len * shape.n_kv_heads * 4.0;
+  }
+  // Query/output traffic is negligible (N=1) but keep it for small seq.
+  bytes += 2.0 * shape.batch * shape.n_heads * shape.head_dim * 2.0 * 2.0;
+  cost.memory_seconds = bytes / dev.hbm_bytes_per_s();
+
+  // --- CUDA-core arithmetic of the fused kernel ---------------------------------
+  // MAC work: every query head walks its kv head's cache: QK + SV.
+  const double mac_elements =
+      2.0 * shape.batch * shape.seq_len * double(shape.n_heads) *
+      shape.head_dim;
+  double ops = mac_elements * 2.0;  // mul + add
+  // Dequantization per KV element.
+  double dequant_ops_per_elem = 0.0;
+  if (cfg.kv_bits < 16) {
+    if (cfg.kv_bits == 4) {
+      // Naive: mask, shift, int->float convert, mul, sub (§5.3: 5 ALU ops).
+      dequant_ops_per_elem = cfg.bit_trick_dequant ? 2.0 : 5.0;
+    } else {
+      dequant_ops_per_elem = cfg.bit_trick_dequant ? 1.0 : 2.0;
+    }
+  }
+  ops += elements * dequant_ops_per_elem;
+  // Control flow + address calculation overheads: an unoptimized fused
+  // kernel pays branchy page/group logic (~2 ops/element) and per-element
+  // scale/zero address arithmetic (~1.5 ops/element) — the §5.3 items
+  // removed by control simplification and asynchronous prefetch.
+  if (!cfg.simplified_control) ops += elements * 2.0;
+  if (cfg.dynamic_scales && !cfg.prefetch_scales) ops += elements * 1.5;
+  if (cfg.hadamard_in_kernel) {
+    // Per-token Hadamard transform of q/k: ~log2(D) ops per element of K.
+    ops += shape.batch * double(shape.seq_len) * kv_dim * 7.0;
+  }
+  cost.cuda_seconds = ops / dev.cuda_ops_per_s(cfg.fp16_arithmetic);
+  cost.ops_per_byte = ops / bytes;
+
+  cost.seconds = std::max(cost.memory_seconds, cost.cuda_seconds);
+  cost.compute_bound = cost.cuda_seconds > cost.memory_seconds;
+  return cost;
+}
+
+double attention_prefill_seconds(const DeviceSpec& dev,
+                                 const AttentionShape& shape,
+                                 int prompt_len) {
+  // Causal QK^T and PV GEMMs on FP16 tensor cores: 2 * (L^2/2) * H * D MACs.
+  const double macs = double(shape.batch) * shape.n_heads * shape.head_dim *
+                      double(prompt_len) * prompt_len;
+  return 2.0 * macs / dev.tensor_ops_per_s(16);
+}
+
+}  // namespace qserve::sim

@@ -1,0 +1,57 @@
+// Analytical decode-attention cost model (§3.1, §5.3, Table 1).
+//
+// Decode attention is a batched GEMV: computation intensity ~1 MAC/element,
+// memory traffic dominated by KV cache reads. Quantizing KV shrinks traffic
+// (higher effective bandwidth) but adds CUDA-core dequant arithmetic, which
+// on A100 can push the *fused* kernel past the CUDA-core roofline turning
+// point (9.8 ops/byte FP32). QServe's fixes — FP16 arithmetic (2x roof), bit-
+// trick dequant (5 -> 2 ops/element), simplified control flow and prefetched
+// scales — are individual toggles so the §6.4 breakdown is reproducible.
+#pragma once
+
+#include "simulator/device.h"
+
+namespace qserve::sim {
+
+struct AttentionKernelConfig {
+  int kv_bits = 16;
+  bool dynamic_scales = false;  // per-head in-page scales (QServe KV4)
+  bool fp16_arithmetic = false; // FP32 -> FP16 QK/SV products
+  bool bit_trick_dequant = false;  // 5 ops -> 2 ops per element
+  bool simplified_control = false; // control-flow simplification
+  bool prefetch_scales = false;    // async scale/zero prefetch
+  bool hadamard_in_kernel = false; // QuaRot's in-kernel transform
+
+  static AttentionKernelConfig trt_kv8();
+  static AttentionKernelConfig naive_kv4();
+  static AttentionKernelConfig qserve_kv4();
+  static AttentionKernelConfig fp16_baseline();
+};
+
+struct AttentionShape {
+  int batch = 64;
+  int seq_len = 1024;      // cached tokens per sequence
+  int n_heads = 32;
+  int n_kv_heads = 32;
+  int head_dim = 128;
+};
+
+struct AttentionCost {
+  double seconds = 0;
+  double memory_seconds = 0;
+  double cuda_seconds = 0;
+  bool compute_bound = false;
+  double ops_per_byte = 0;  // fused-kernel arithmetic intensity
+};
+
+// Cost of one decode step's attention for one layer.
+AttentionCost attention_decode_cost(const DeviceSpec& dev,
+                                    const AttentionKernelConfig& cfg,
+                                    const AttentionShape& shape);
+
+// Prefill attention (compute-bound FP16 score/value GEMMs over the prompt).
+double attention_prefill_seconds(const DeviceSpec& dev,
+                                 const AttentionShape& shape,
+                                 int prompt_len);
+
+}  // namespace qserve::sim

@@ -1,0 +1,33 @@
+#include "simulator/device.h"
+
+namespace qserve::sim {
+
+DeviceSpec a100_80g() {
+  DeviceSpec d;
+  d.name = "A100-80G-SXM4";
+  d.fp16_tc_tops = 312;
+  d.int8_tc_tops = 624;
+  d.int4_tc_tops = 1248;
+  d.fp32_cuda_tflops = 19.5;
+  d.fp16_cuda_tflops = 78.0;
+  d.hbm_gbps = 2039;
+  d.memory_gib = 80;
+  return d;
+}
+
+DeviceSpec l40s_48g() {
+  DeviceSpec d;
+  d.name = "L40S-48G";
+  // Dense (non-sparsity) peaks. The L40S trades memory bandwidth for strong
+  // CUDA cores — the reason §6.3 picks per-group quantization on it.
+  d.fp16_tc_tops = 362;
+  d.int8_tc_tops = 733;
+  d.int4_tc_tops = 733;  // Ada INT4 TC throughput equals INT8
+  d.fp32_cuda_tflops = 91.6;
+  d.fp16_cuda_tflops = 91.6;
+  d.hbm_gbps = 864;
+  d.memory_gib = 48;
+  return d;
+}
+
+}  // namespace qserve::sim

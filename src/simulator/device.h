@@ -1,0 +1,56 @@
+// Analytical GPU device models (DESIGN.md §1: substitution for real A100 /
+// L40S hardware). Peak numbers follow the paper's footnote 1 and public spec
+// sheets; `*_efficiency` factors account for achievable-vs-peak gaps so that
+// absolute latencies land near the paper's measurements (Table 1 calibration).
+#pragma once
+
+#include <string>
+
+namespace qserve::sim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // Tensor-core peak throughput, TOPS (MAC = 2 ops).
+  double fp16_tc_tops = 312;
+  double int8_tc_tops = 624;
+  double int4_tc_tops = 1248;
+
+  // CUDA-core throughput.
+  double fp32_cuda_tflops = 19.5;  // also INT32 ALU rate (ops/s * 1e12)
+  double fp16_cuda_tflops = 78.0;
+
+  // Memory.
+  double hbm_gbps = 2039;   // GB/s
+  double memory_gib = 80;   // device memory
+
+  // Achievable fractions of peak.
+  double tc_efficiency = 0.75;
+  double cuda_efficiency = 0.65;
+  double hbm_efficiency = 0.65;
+
+  double hbm_bytes_per_s() const { return hbm_gbps * 1e9 * hbm_efficiency; }
+  double tensor_ops_per_s(int bits) const {
+    const double tops = bits <= 4 ? int4_tc_tops
+                        : bits <= 8 ? int8_tc_tops
+                                    : fp16_tc_tops;
+    return tops * 1e12 * tc_efficiency;
+  }
+  double cuda_ops_per_s(bool fp16) const {
+    return (fp16 ? fp16_cuda_tflops : fp32_cuda_tflops) * 1e12 *
+           cuda_efficiency;
+  }
+  double memory_bytes() const { return memory_gib * double(1ull << 30); }
+
+  // Roofline turning point for CUDA-core kernels, ops/byte (§5.3 quotes
+  // 9.8 ops/byte for A100 FP32: 19.5e12 / 2e12).
+  double cuda_turning_point(bool fp16) const {
+    return (fp16 ? fp16_cuda_tflops : fp32_cuda_tflops) * 1e12 /
+           (hbm_gbps * 1e9);
+  }
+};
+
+DeviceSpec a100_80g();
+DeviceSpec l40s_48g();
+
+}  // namespace qserve::sim

@@ -1,0 +1,122 @@
+#include "simulator/gemm_model.h"
+
+#include <algorithm>
+
+namespace qserve::sim {
+
+int weight_bits(GemmPipeline pipe) {
+  switch (pipe) {
+    case GemmPipeline::kFp16: return 16;
+    case GemmPipeline::kW8A8: return 8;
+    default: return 4;
+  }
+}
+
+int act_bits(GemmPipeline pipe) {
+  switch (pipe) {
+    case GemmPipeline::kFp16:
+    case GemmPipeline::kW4A16: return 16;
+    case GemmPipeline::kW4A4Atom: return 4;
+    default: return 8;
+  }
+}
+
+int tensor_core_bits(GemmPipeline pipe) {
+  switch (pipe) {
+    case GemmPipeline::kFp16:
+    case GemmPipeline::kW4A16: return 16;
+    case GemmPipeline::kW4A4Atom: return 4;
+    default: return 8;  // QServe & W8A8 run on INT8 tensor cores
+  }
+}
+
+GemmCost gemm_cost(const DeviceSpec& dev, GemmPipeline pipe,
+                   const GemmShape& shape) {
+  const double m = double(shape.m), n = double(shape.n), k = double(shape.k);
+  GemmCost cost;
+
+  // --- memory traffic ---------------------------------------------------------
+  const double wbits = weight_bits(pipe);
+  const double abits = act_bits(pipe);
+  double bytes = n * k * wbits / 8.0   // weights
+                 + m * k * abits / 8.0 // activations
+                 + m * n * 2.0;        // FP16 output
+  // Group metadata (scales/zeros).
+  if (pipe == GemmPipeline::kW4A16 || pipe == GemmPipeline::kW4A4Atom ||
+      pipe == GemmPipeline::kW4A8PerGroup || pipe == GemmPipeline::kW4A8DGQ) {
+    bytes += n * (k / double(shape.group)) * 4.0;  // scale+zero, ~4B/group
+  }
+  // Strided sub-128-bit accesses waste bandwidth (§5.2.1): 4-bit loads touch
+  // 16-bit granules when the weight is not compute-aware reordered.
+  if (shape.strided_weight_access && wbits == 4) {
+    bytes += n * k * wbits / 8.0;  // ~2x weight traffic
+  }
+  cost.memory_seconds = bytes / dev.hbm_bytes_per_s();
+
+  // --- tensor-core time ---------------------------------------------------------
+  const double macs = m * n * k;
+  double tc_seconds = 2.0 * macs / dev.tensor_ops_per_s(tensor_core_bits(pipe));
+  // Register-pressure occupancy penalty: Atom keeps two accumulator sets
+  // (INT32 + FP32) per output tile (§3.2), halving in-flight warps for
+  // register-bound (large-m) problems.
+  if (pipe == GemmPipeline::kW4A4Atom && shape.m >= 64) {
+    tc_seconds *= 1.5;
+  }
+  cost.tensor_core_seconds = tc_seconds;
+
+  // --- main-loop CUDA-core ops ---------------------------------------------------
+  double cuda_ops = 0.0;
+  bool cuda_fp16 = false;
+  switch (pipe) {
+    case GemmPipeline::kFp16:
+    case GemmPipeline::kW8A8:
+      break;  // epilogue-only dequant
+    case GemmPipeline::kW4A16:
+      // INT4 -> FP16 conversion: lop3-based extract + scale + zero-point
+      // FMA, ~4 ALU ops per weight (TRT-LLM's fast interleaved converters).
+      cuda_ops = n * k * 4.0;
+      break;
+    case GemmPipeline::kW4A4Atom:
+      // INT32 partial-sum -> FP32 dequantization: Atom keeps INT32 and FP32
+      // accumulator sets per output fragment and must convert + FMA at
+      // tensor-core fragment granularity (k-slices of 32), not merely once
+      // per group — ~4 FP32 ops per (output, k/32) slice (convert, scale
+      // FMA, accumulator moves). This is the §3.2 "one partial-sum dequant
+      // = 50 tensor-core MACs" bottleneck.
+      cuda_ops = m * n * (k / 32.0) * 4.0;
+      break;
+    case GemmPipeline::kW4A8PerChannel:
+      // RLP unpack: 3 logical ops per 8 weights; zero-point handled in the
+      // epilogue (subtraction after multiplication).
+      cuda_ops = n * k * (3.0 / 8.0);
+      break;
+    case GemmPipeline::kW4A8PerGroup:
+      // RLP unpack (3/8) + level-2 dequant: 1 multiply + 1 vadd4 per 4
+      // weights (sub-after-mul, §5.2.3).
+      cuda_ops = n * k * (3.0 / 8.0 + 2.0 / 4.0);
+      break;
+    case GemmPipeline::kW4A8DGQ:
+      // Separate dequant kernel: per-weight INT4->INT8 convert + extra
+      // round-trip of INT8 weights through HBM (modelled as memory below).
+      cuda_ops = n * k * 1.0;
+      break;
+  }
+  // Pointer arithmetic without compute-aware reordering: one address
+  // calculation per 4-channel fragment per output tile row (§5.2.1).
+  if (shape.strided_weight_access) {
+    cuda_ops += n * k / 4.0;
+  }
+  cost.cuda_core_seconds = cuda_ops / dev.cuda_ops_per_s(cuda_fp16);
+
+  if (pipe == GemmPipeline::kW4A8DGQ) {
+    // The dequantized INT8 weights are written + re-read through DRAM.
+    cost.memory_seconds += 2.0 * n * k / dev.hbm_bytes_per_s();
+  }
+
+  const double compute = cost.tensor_core_seconds + cost.cuda_core_seconds;
+  cost.seconds = std::max(cost.memory_seconds, compute);
+  cost.memory_bound = cost.memory_seconds >= compute;
+  return cost;
+}
+
+}  // namespace qserve::sim

@@ -1,0 +1,55 @@
+// Analytical GEMM cost model (§3, §5.2, Fig. 5/18).
+//
+// Models an m x n x k GEMM under each serving system's pipeline:
+//   time = max(memory_time, tensor_core_time + main_loop_cuda_time)
+// The CUDA-core term is serialized with tensor-core work because it executes
+// inside the sequential main loop (Fig. 4/5); W8A8 keeps it at zero, W4A16
+// pays per-weight dequantization, Atom-W4A4 pays per-group partial-sum
+// dequantization plus a register-pressure occupancy penalty (§3.2), and
+// QServe-W4A8 pays the small RLP unpack cost (§5.2.2/5.2.3).
+#pragma once
+
+#include "simulator/device.h"
+
+namespace qserve::sim {
+
+enum class GemmPipeline {
+  kFp16,              // TRT-LLM FP16
+  kW8A8,              // TRT-LLM W8A8 (per-channel)
+  kW4A16,             // TRT-LLM W4A16 (per-group g128)
+  kW4A4Atom,          // Atom per-group W4A4
+  kW4A8PerChannel,    // QServe, zero-point fused in epilogue
+  kW4A8PerGroup,      // QServe progressive (g128)
+  kW4A8DGQ,           // DGQ-style: separate dequant kernel + W8A8 GEMM
+};
+
+struct GemmCost {
+  double seconds = 0;
+  double memory_seconds = 0;
+  double tensor_core_seconds = 0;
+  double cuda_core_seconds = 0;   // main-loop dequant + pointer arithmetic
+  bool memory_bound = false;
+  // Fraction of compute time spent on main-loop CUDA-core work (Fig. 18).
+  double dequant_overhead() const {
+    const double compute = tensor_core_seconds + cuda_core_seconds;
+    return compute > 0 ? cuda_core_seconds / compute : 0.0;
+  }
+};
+
+struct GemmShape {
+  int64_t m = 1, n = 4096, k = 4096;
+  int group = 128;
+  // Without compute-aware reordering the kernel pays pointer arithmetic per
+  // 4-channel fragment (§5.2.1); QServe kernels set this false.
+  bool strided_weight_access = false;
+};
+
+GemmCost gemm_cost(const DeviceSpec& dev, GemmPipeline pipe,
+                   const GemmShape& shape);
+
+// Bit widths of the pipeline's weight / activation storage.
+int weight_bits(GemmPipeline pipe);
+int act_bits(GemmPipeline pipe);
+int tensor_core_bits(GemmPipeline pipe);
+
+}  // namespace qserve::sim

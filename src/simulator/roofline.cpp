@@ -1,0 +1,38 @@
+#include "simulator/roofline.h"
+
+#include <algorithm>
+
+namespace qserve::sim {
+
+std::vector<RooflineCurve> gemm_roofline_curves(const DeviceSpec& dev) {
+  return {
+      {"FP16xFP16 (W16A16)", dev.fp16_tc_tops, 2.0},
+      {"INT8xINT8 (W8A8)", dev.int8_tc_tops, 1.0},
+      {"INT4xFP16 (W4A16)", dev.fp16_tc_tops, 0.5},
+      {"INT4xINT8 (W4A8)", dev.int8_tc_tops, 0.5},
+  };
+}
+
+std::vector<RooflineCurve> attention_roofline_curves(const DeviceSpec& dev) {
+  // Attention runs on CUDA cores; KV traffic dominates.
+  return {
+      {"KV FP16", dev.fp32_cuda_tflops, 2.0},
+      {"KV INT8", dev.fp32_cuda_tflops, 1.0},
+      {"KV INT4", dev.fp32_cuda_tflops, 0.5},
+  };
+}
+
+double attainable_tops(const DeviceSpec& dev, const RooflineCurve& curve,
+                       double intensity) {
+  // ops = 2 * I per element; memory seconds per element = B/bw.
+  const double mem_tops =
+      2.0 * intensity * (dev.hbm_gbps * 1e9) / curve.bytes_per_element / 1e12;
+  return std::min(curve.peak_tops, mem_tops);
+}
+
+double turning_point(const DeviceSpec& dev, const RooflineCurve& curve) {
+  return curve.peak_tops * 1e12 * curve.bytes_per_element /
+         (2.0 * dev.hbm_gbps * 1e9);
+}
+
+}  // namespace qserve::sim

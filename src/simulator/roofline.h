@@ -1,0 +1,32 @@
+// Roofline helper (Fig. 3): attainable performance vs computation intensity
+// for each weight x activation precision pairing, using peak (not derated)
+// numbers as the paper's figure does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simulator/device.h"
+
+namespace qserve::sim {
+
+struct RooflineCurve {
+  std::string label;          // e.g. "INT4 x INT8 (W4A8)"
+  double peak_tops = 0;       // compute roof
+  double bytes_per_element = 0;  // dominant (weight/KV) traffic per element
+};
+
+// GEMM curves for FP16xFP16, INT8xINT8, INT4xFP16, INT4xINT8.
+std::vector<RooflineCurve> gemm_roofline_curves(const DeviceSpec& dev);
+
+// Decode-attention curves for FP16/INT8/INT4 KV (CUDA-core bound, I = 1).
+std::vector<RooflineCurve> attention_roofline_curves(const DeviceSpec& dev);
+
+// Attainable TOPS at computation intensity I (MACs per element).
+double attainable_tops(const DeviceSpec& dev, const RooflineCurve& curve,
+                       double intensity);
+
+// Intensity where the curve turns compute-bound.
+double turning_point(const DeviceSpec& dev, const RooflineCurve& curve);
+
+}  // namespace qserve::sim

@@ -1,0 +1,182 @@
+#include "simulator/serving_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace qserve::sim {
+
+namespace {
+
+// Per-layer GEMM shapes of a Llama-style block.
+struct BlockGemms {
+  std::vector<GemmShape> shapes;
+};
+
+BlockGemms block_gemms(const qserve::ModelConfig& m, int64_t tokens) {
+  BlockGemms b;
+  auto add = [&](int64_t n, int64_t k) {
+    GemmShape s;
+    s.m = tokens;
+    s.n = n;
+    s.k = k;
+    b.shapes.push_back(s);
+  };
+  add(m.q_dim() + 2 * m.kv_dim(), m.hidden);  // fused qkv
+  add(m.hidden, m.q_dim());                   // o_proj
+  add(2 * m.ffn_dim, m.hidden);               // gate|up
+  add(m.hidden, m.ffn_dim);                   // down
+  return b;
+}
+
+double layer_gemm_seconds(const DeviceSpec& dev, const SystemProfile& sys,
+                          const qserve::ModelConfig& m, int64_t tokens) {
+  double total = 0;
+  for (const auto& shape : block_gemms(m, tokens).shapes) {
+    total += gemm_cost(dev, sys.gemm, shape).seconds;
+    if (sys.online_transform_ops_per_elem > 0) {
+      // Online activation transform (e.g. QuaRot Hadamard) per GEMM input.
+      total += double(tokens) * double(shape.k) *
+               sys.online_transform_ops_per_elem / dev.cuda_ops_per_s(false);
+    }
+  }
+  return total;
+}
+
+double lm_head_seconds(const DeviceSpec& dev, const qserve::ModelConfig& m,
+                       int64_t tokens) {
+  GemmShape s;
+  s.m = tokens;
+  s.n = m.vocab;
+  s.k = m.hidden;
+  return gemm_cost(dev, GemmPipeline::kFp16, s).seconds;
+}
+
+// Elementwise work (norms, RoPE, residuals, activation quant): memory-bound
+// streaming of ~12 hidden-sized vectors per token per layer.
+double elementwise_seconds(const DeviceSpec& dev, const qserve::ModelConfig& m,
+                           int64_t tokens) {
+  const double bytes = 12.0 * double(tokens) * double(m.hidden) * 2.0;
+  return bytes / dev.hbm_bytes_per_s();
+}
+
+AttentionShape attn_shape(const qserve::ModelConfig& m, int batch,
+                          int seq_len) {
+  AttentionShape s;
+  s.batch = batch;
+  s.seq_len = seq_len;
+  s.n_heads = m.n_heads;
+  s.n_kv_heads = m.n_kv_heads;
+  s.head_dim = m.head_dim;
+  return s;
+}
+
+}  // namespace
+
+double kv_pool_bytes(const SystemProfile& sys, const qserve::ModelConfig& model,
+                     const ServingWorkload& wl, int batch) {
+  const double tokens = double(batch) * (wl.input_len + wl.output_len);
+  double per_token = double(model.kv_bytes_per_token(sys.kv_bits));
+  if (sys.attention.dynamic_scales) {
+    per_token += 2.0 * model.n_layers * model.n_kv_heads * 4.0;
+  }
+  double pool = tokens * per_token;
+  if (!sys.paged_kv) pool *= 1.35;  // fragmentation without paging
+  return pool;
+}
+
+int max_feasible_batch(const DeviceSpec& dev, const SystemProfile& sys,
+                       const qserve::ModelConfig& model,
+                       const ServingWorkload& wl, int cap) {
+  const double weights = double(model.weight_bytes(sys.weight_bits));
+  const double workspace = 2.0 * double(1ull << 30);  // runtime + activations
+  const double budget = dev.memory_bytes() - weights - workspace;
+  if (budget <= 0) return 0;
+  int best = 0;
+  for (int b = 1; b <= cap; ++b) {
+    if (kv_pool_bytes(sys, model, wl, b) <= budget) best = b;
+    else break;
+  }
+  return best;
+}
+
+ServingEstimate estimate_throughput(const DeviceSpec& dev,
+                                    const SystemProfile& sys,
+                                    const qserve::ModelConfig& model,
+                                    const ServingWorkload& wl, int batch) {
+  ServingEstimate est;
+  est.batch = batch;
+  est.supported = sys.supports(model);
+  if (!est.supported) return est;
+  if (max_feasible_batch(dev, sys, model, wl, batch) < batch) {
+    est.oom = true;
+    return est;
+  }
+
+  // --- prefill: all prompts batched through the block stack -------------------
+  const int64_t prefill_tokens = int64_t(batch) * wl.input_len;
+  double prefill = double(model.n_layers) *
+                       (layer_gemm_seconds(dev, sys, model, prefill_tokens) +
+                        elementwise_seconds(dev, model, prefill_tokens)) +
+                   double(model.n_layers) *
+                       attention_prefill_seconds(
+                           dev, attn_shape(model, batch, wl.input_len),
+                           wl.input_len) +
+                   lm_head_seconds(dev, model, batch);
+  est.prefill_seconds = prefill;
+
+  // --- decode: output_len steps, KV length grows ------------------------------
+  double decode = 0;
+  AttentionKernelConfig attn_cfg = sys.attention;
+  attn_cfg.kv_bits = sys.kv_bits;
+  for (int step = 0; step < wl.output_len; ++step) {
+    const int s_len = wl.input_len + step;
+    const double gemms =
+        double(model.n_layers) * layer_gemm_seconds(dev, sys, model, batch);
+    const double attn =
+        double(model.n_layers) *
+        attention_decode_cost(dev, attn_cfg, attn_shape(model, batch, s_len))
+            .seconds;
+    const double other = double(model.n_layers) *
+                             elementwise_seconds(dev, model, batch) +
+                         lm_head_seconds(dev, model, batch);
+    decode += gemms + attn + other;
+    if (step == wl.output_len / 2) {
+      est.mid_decode_step.gemm_seconds = gemms;
+      est.mid_decode_step.attention_seconds = attn;
+      est.mid_decode_step.other_seconds = other;
+    }
+  }
+  est.decode_seconds = decode;
+
+  const double total = prefill + decode;
+  const double tokens = double(batch) * wl.output_len;
+  est.tokens_per_second = tokens / total * sys.runtime_efficiency;
+  return est;
+}
+
+ServingEstimate max_throughput(const DeviceSpec& dev, const SystemProfile& sys,
+                               const qserve::ModelConfig& model,
+                               const ServingWorkload& wl, int max_batch) {
+  ServingEstimate best;
+  best.supported = sys.supports(model);
+  if (!best.supported) return best;
+  const int feasible = max_feasible_batch(dev, sys, model, wl, max_batch);
+  if (feasible == 0) {
+    best.oom = true;
+    return best;
+  }
+  std::set<int> candidates;
+  for (int b = 1; b <= feasible; b *= 2) {
+    candidates.insert(b);
+    candidates.insert(std::min(feasible, b + b / 2));
+  }
+  candidates.insert(feasible);
+  for (int b : candidates) {
+    const ServingEstimate est = estimate_throughput(dev, sys, model, wl, b);
+    if (!est.oom && est.tokens_per_second > best.tokens_per_second) best = est;
+  }
+  return best;
+}
+
+}  // namespace qserve::sim

@@ -1,0 +1,63 @@
+// End-to-end LLM serving throughput estimator (Table 4, Fig. 15/17).
+//
+// For a model, device, system and batch size, walks the serving timeline:
+// batched prefill (compute-bound GEMMs + causal attention), then `output_len`
+// decode steps whose per-step cost is the sum of all layer GEMMs (gemm_model),
+// decode attention (attention_model), the LM head and a small elementwise
+// term. Memory admission mirrors the papers' setting: weights + KV pool must
+// fit the device; batch is feasible only if every sequence can reach
+// input_len + output_len tokens.
+#pragma once
+
+#include "model/config.h"
+#include "simulator/system_config.h"
+
+namespace qserve::sim {
+
+struct ServingWorkload {
+  int input_len = 1024;
+  int output_len = 512;
+};
+
+struct StepBreakdown {
+  double gemm_seconds = 0;
+  double attention_seconds = 0;
+  double other_seconds = 0;  // norms / rope / quant / lm-head
+  double total() const {
+    return gemm_seconds + attention_seconds + other_seconds;
+  }
+};
+
+struct ServingEstimate {
+  bool supported = true;
+  bool oom = false;
+  int batch = 0;
+  double tokens_per_second = 0;
+  double prefill_seconds = 0;
+  double decode_seconds = 0;
+  StepBreakdown mid_decode_step;  // breakdown at S = input + output/2
+};
+
+// Fixed-batch estimate. Returns oom=true if weights + KV don't fit.
+ServingEstimate estimate_throughput(const DeviceSpec& dev,
+                                    const SystemProfile& sys,
+                                    const qserve::ModelConfig& model,
+                                    const ServingWorkload& wl, int batch);
+
+// Max achievable throughput: scan batch sizes (powers of two + midpoints)
+// under the device memory budget and return the best estimate.
+ServingEstimate max_throughput(const DeviceSpec& dev, const SystemProfile& sys,
+                               const qserve::ModelConfig& model,
+                               const ServingWorkload& wl, int max_batch = 512);
+
+// Largest batch that fits in memory (0 if even batch 1 doesn't fit).
+int max_feasible_batch(const DeviceSpec& dev, const SystemProfile& sys,
+                       const qserve::ModelConfig& model,
+                       const ServingWorkload& wl, int cap = 512);
+
+// Device bytes needed for the KV pool at `batch` concurrent sequences of
+// final length input+output (per-head dynamic scales included when used).
+double kv_pool_bytes(const SystemProfile& sys, const qserve::ModelConfig& model,
+                     const ServingWorkload& wl, int batch);
+
+}  // namespace qserve::sim

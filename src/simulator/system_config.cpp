@@ -1,0 +1,100 @@
+#include "simulator/system_config.h"
+
+#include "common/check.h"
+
+namespace qserve::sim {
+
+bool SystemProfile::supports(const qserve::ModelConfig& m) const {
+  switch (system) {
+    case System::kAtomW4A4:
+      // Atom's released system only supports Llama-2-7B (§6.3).
+      return m.name == "Llama-2-7B" || m.name.rfind("toy", 0) == 0;
+    case System::kQuarotW4A4:
+      // QuaRot does not support GQA (§6.3).
+      return m.n_heads == m.n_kv_heads;
+    default:
+      return true;
+  }
+}
+
+SystemProfile system_profile(System s) {
+  SystemProfile p;
+  p.system = s;
+  switch (s) {
+    case System::kTrtFp16:
+      p.name = "TRT-LLM-FP16";
+      p.gemm = GemmPipeline::kFp16;
+      p.attention = AttentionKernelConfig::fp16_baseline();
+      p.weight_bits = 16;
+      p.kv_bits = 16;
+      break;
+    case System::kTrtW4A16:
+      p.name = "TRT-LLM-W4A16";
+      p.gemm = GemmPipeline::kW4A16;
+      p.attention = AttentionKernelConfig::fp16_baseline();
+      p.weight_bits = 4;
+      p.kv_bits = 16;
+      break;
+    case System::kTrtW8A8:
+      p.name = "TRT-LLM-W8A8";
+      p.gemm = GemmPipeline::kW8A8;
+      p.attention = AttentionKernelConfig::trt_kv8();
+      p.weight_bits = 8;
+      p.kv_bits = 8;
+      break;
+    case System::kAtomW4A4:
+      p.name = "Atom-W4A4";
+      p.gemm = GemmPipeline::kW4A4Atom;
+      p.attention = AttentionKernelConfig::naive_kv4();
+      p.attention.bit_trick_dequant = true;  // Atom's kernels are tuned
+      p.weight_bits = 4;
+      p.kv_bits = 4;
+      // Atom's research runtime (unfused activation quantization/reordering
+      // kernels, Python-side serving loop) reaches roughly half of TRT-LLM's
+      // engineering efficiency end to end (Fig. 2b / Fig. 17).
+      p.runtime_efficiency = 0.55;
+      break;
+    case System::kQuarotW4A4:
+      p.name = "QuaRot-W4A4";
+      p.gemm = GemmPipeline::kW4A4Atom;
+      p.attention = AttentionKernelConfig::naive_kv4();
+      p.attention.hadamard_in_kernel = true;
+      p.weight_bits = 4;
+      p.kv_bits = 4;
+      p.online_transform_ops_per_elem = 7.0;  // online Hadamard (down_proj)
+      p.runtime_efficiency = 0.50;
+      p.paged_kv = false;
+      break;
+    case System::kQServePerChannel:
+      p.name = "QServe-W4A8KV4";
+      p.gemm = GemmPipeline::kW4A8PerChannel;
+      p.attention = AttentionKernelConfig::qserve_kv4();
+      p.weight_bits = 4;
+      p.kv_bits = 4;
+      break;
+    case System::kQServePerGroup:
+      p.name = "QServe-W4A8KV4-g128";
+      p.gemm = GemmPipeline::kW4A8PerGroup;
+      p.attention = AttentionKernelConfig::qserve_kv4();
+      p.weight_bits = 4;
+      p.kv_bits = 4;
+      break;
+  }
+  return p;
+}
+
+std::vector<System> all_systems() {
+  return {System::kTrtFp16,    System::kTrtW4A16,
+          System::kTrtW8A8,    System::kAtomW4A4,
+          System::kQuarotW4A4, System::kQServePerChannel,
+          System::kQServePerGroup};
+}
+
+System qserve_variant_for(const DeviceSpec& dev) {
+  // §6.3: per-channel on A100, per-group on L40S (stronger CUDA cores make
+  // the level-2 dequant cheap relative to bandwidth).
+  return dev.fp32_cuda_tflops > 50 ? System::kQServePerGroup
+                                   : System::kQServePerChannel;
+}
+
+}  // namespace qserve::sim

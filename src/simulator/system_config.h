@@ -1,0 +1,48 @@
+// Serving-system configurations for the cross-system comparisons
+// (Fig. 2b, Fig. 15, Fig. 17, Table 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/config.h"
+#include "simulator/attention_model.h"
+#include "simulator/gemm_model.h"
+
+namespace qserve::sim {
+
+enum class System {
+  kTrtFp16,
+  kTrtW4A16,
+  kTrtW8A8,
+  kAtomW4A4,
+  kQuarotW4A4,
+  kQServePerChannel,  // W4A8KV4 (A100 configuration)
+  kQServePerGroup,    // W4A8KV4 g128 (L40S configuration)
+};
+
+struct SystemProfile {
+  System system;
+  std::string name;
+  GemmPipeline gemm = GemmPipeline::kFp16;
+  AttentionKernelConfig attention;
+  int weight_bits = 16;
+  int kv_bits = 16;
+  // Extra CUDA-core ops per activation element for online transforms
+  // (QuaRot's Hadamard before quantized GEMMs).
+  double online_transform_ops_per_elem = 0.0;
+  // End-to-end runtime efficiency relative to TRT-LLM-grade engineering
+  // (§3.2 notes Atom/QuaRot's gap is partly "inefficient runtime").
+  double runtime_efficiency = 1.0;
+  bool paged_kv = true;  // QuaRot lacks paged attention (§6.1)
+
+  bool supports(const qserve::ModelConfig& m) const;
+};
+
+SystemProfile system_profile(System s);
+std::vector<System> all_systems();
+
+// QServe picks per-channel on A100 and per-group on L40S (§6.3).
+System qserve_variant_for(const DeviceSpec& dev);
+
+}  // namespace qserve::sim

@@ -1,0 +1,63 @@
+// INT4 nibble packing.
+//
+// Two unsigned 4-bit codes per byte, low nibble first — the storage format of
+// the 4-bit weight tensor QW_u4 and the 4-bit KV cache. The RLP-interleaved
+// *compute* layout of §5.2 is a separate transformation in
+// kernels/weight_layout.h; this header is only the canonical storage codec.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace qserve {
+
+// Packed unsigned-INT4 matrix. Rows are padded to an even number of elements.
+struct PackedU4 {
+  U8Tensor bytes;     // [rows, cols_padded/2]
+  int64_t rows = 0;
+  int64_t cols = 0;   // logical (unpadded) column count
+
+  int64_t bytes_per_row() const { return bytes.cols(); }
+};
+
+inline PackedU4 pack_u4(const U8Tensor& codes) {
+  PackedU4 p;
+  p.rows = codes.rows();
+  p.cols = codes.cols();
+  const int64_t bpr = (p.cols + 1) / 2;
+  p.bytes = U8Tensor({p.rows, bpr});
+  for (int64_t r = 0; r < p.rows; ++r) {
+    const uint8_t* src = codes.row(r);
+    uint8_t* dst = p.bytes.row(r);
+    for (int64_t c = 0; c < p.cols; ++c) {
+      QS_DCHECK(src[c] <= 15);
+      if ((c & 1) == 0) {
+        dst[c / 2] = src[c] & 0x0F;
+      } else {
+        dst[c / 2] = static_cast<uint8_t>(dst[c / 2] | (src[c] << 4));
+      }
+    }
+  }
+  return p;
+}
+
+inline U8Tensor unpack_u4(const PackedU4& p) {
+  U8Tensor codes({p.rows, p.cols});
+  for (int64_t r = 0; r < p.rows; ++r) {
+    const uint8_t* src = p.bytes.row(r);
+    uint8_t* dst = codes.row(r);
+    for (int64_t c = 0; c < p.cols; ++c) {
+      dst[c] = (c & 1) ? (src[c / 2] >> 4) : (src[c / 2] & 0x0F);
+    }
+  }
+  return codes;
+}
+
+inline uint8_t get_u4(const PackedU4& p, int64_t r, int64_t c) {
+  const uint8_t b = p.bytes.at2(r, c / 2);
+  return (c & 1) ? (b >> 4) : (b & 0x0F);
+}
+
+}  // namespace qserve

@@ -1,0 +1,120 @@
+// Evaluation-harness tests: metric sanity and the end-to-end QoQ accuracy
+// ordering that Tables 2/3 and Figure 16 rest on.
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+
+namespace qserve {
+namespace {
+
+struct Fixture {
+  ModelWeights weights;
+  ReferenceModel ref;
+  CalibrationData calib;
+  EvalCorpus corpus;
+  ForwardFn ref_fwd;
+
+  Fixture() : weights(make_synthetic_weights(toy_config(2))), ref(&weights) {
+    EvalCorpusOptions opt;
+    opt.calib_sequences = 1;
+    opt.calib_len = 32;
+    opt.eval_sequences = 2;
+    opt.eval_len = 24;
+    opt.n_choice_tasks = 10;
+    opt.n_long_prompts = 1;
+    opt.long_prompt_len = 32;
+    corpus = build_eval_corpus(ref, opt);
+    ref.forward_calibrate(corpus.calibration[0], &calib);
+    ref_fwd = [this](const std::vector<int>& t) { return ref.forward(t); };
+  }
+};
+
+Fixture& fixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+TEST(Metrics, ReferencePerplexityIsFiniteAndModest) {
+  auto& f = fixture();
+  const double ppl = pseudo_perplexity(f.ref_fwd, f.corpus.eval);
+  EXPECT_GT(ppl, 1.0);
+  // Sequences were sampled from the model itself, so it must predict them
+  // better than chance (vocab = 512; a random untrained transformer does
+  // not compress much, but must beat uniform).
+  EXPECT_LT(ppl, 480.0);
+}
+
+TEST(Metrics, KlToSelfIsZero) {
+  auto& f = fixture();
+  EXPECT_NEAR(mean_kl_to_reference(f.ref_fwd, f.ref_fwd, f.corpus.eval), 0.0,
+              1e-9);
+}
+
+TEST(Metrics, ReferenceWinsItsOwnChoiceTasks) {
+  auto& f = fixture();
+  EXPECT_GE(choice_accuracy(f.ref_fwd, f.corpus.choice_tasks), 0.8);
+}
+
+TEST(Metrics, GreedyAgreementWithSelfIsPerfect) {
+  auto& f = fixture();
+  EXPECT_EQ(greedy_agreement(f.ref_fwd, f.ref_fwd, f.corpus.long_prompts, 4),
+            1.0);
+}
+
+TEST(Metrics, NoisyModelHasHigherPerplexity) {
+  auto& f = fixture();
+  ForwardFn noisy = [&](const std::vector<int>& t) {
+    Tensor logits = f.ref.forward(t);
+    Rng rng(5);
+    for (int64_t i = 0; i < logits.numel(); ++i)
+      logits[i] += rng.normal(0.0f, 2.0f);
+    return logits;
+  };
+  EXPECT_GT(pseudo_perplexity(noisy, f.corpus.eval),
+            pseudo_perplexity(f.ref_fwd, f.corpus.eval));
+}
+
+// --- end-to-end scheme evaluation -------------------------------------------------
+
+TEST(EvalHarness, QoQImprovesOverRtnAtW4A8KV4) {
+  // The Figure-16 claim in one assertion: full QoQ < plain RTN perplexity.
+  auto& f = fixture();
+  const auto scheme = QuantSchemeConfig::qserve_w4a8kv4_g128();
+  const auto rtn = evaluate_scheme("rtn", f.weights, f.calib, rtn_options(),
+                                   scheme, f.ref, f.corpus);
+  const auto qoq = evaluate_scheme("qoq", f.weights, f.calib, QoQOptions{},
+                                   scheme, f.ref, f.corpus);
+  EXPECT_LT(qoq.perplexity, rtn.perplexity);
+}
+
+TEST(EvalHarness, W8A8NearLossless) {
+  auto& f = fixture();
+  const double ref_ppl = pseudo_perplexity(f.ref_fwd, f.corpus.eval);
+  const auto w8 = evaluate_scheme("w8a8", f.weights, f.calib, rtn_options(),
+                                  QuantSchemeConfig::trt_w8a8(), f.ref,
+                                  f.corpus);
+  EXPECT_LT(w8.perplexity, ref_ppl * 1.35 + 0.5);
+}
+
+TEST(EvalHarness, PrecisionLadderOrdering) {
+  // FP16 <= W8A8 <= QoQ-W4A8KV4 <= RTN-W4A4 in perplexity (Table 2 shape).
+  auto& f = fixture();
+  const auto fp16 = evaluate_scheme("fp16", f.weights, f.calib, rtn_options(),
+                                    QuantSchemeConfig::fp16(), f.ref,
+                                    f.corpus);
+  const auto w8 = evaluate_scheme("w8a8", f.weights, f.calib, rtn_options(),
+                                  QuantSchemeConfig::trt_w8a8(), f.ref,
+                                  f.corpus);
+  const auto qoq = evaluate_scheme("qoq", f.weights, f.calib, QoQOptions{},
+                                   QuantSchemeConfig::qserve_w4a8kv4_g128(),
+                                   f.ref, f.corpus);
+  const auto w4a4 = evaluate_scheme("w4a4", f.weights, f.calib, rtn_options(),
+                                    QuantSchemeConfig::atom_w4a4(), f.ref,
+                                    f.corpus);
+  EXPECT_LE(fp16.perplexity, w8.perplexity * 1.05);
+  EXPECT_LE(w8.perplexity, qoq.perplexity * 1.1);
+  EXPECT_LT(qoq.perplexity, w4a4.perplexity);
+}
+
+}  // namespace
+}  // namespace qserve

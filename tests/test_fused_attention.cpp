@@ -1,0 +1,130 @@
+// Fused decode attention over quantized pages: must be bit-identical to the
+// gather-then-attend reference at every KV precision and GQA configuration.
+#include "kvcache/fused_attention.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qserve {
+namespace {
+
+struct FusedFixture {
+  KvCacheConfig cache_cfg;
+  AttentionConfig attn_cfg;
+  PagedKvCache cache;
+  int seq;
+  std::vector<float> q;
+
+  FusedFixture(KvPrecision p, int n_heads, int n_kv_heads, int tokens,
+        bool fp16_accum, uint64_t seed)
+      : cache_cfg{n_kv_heads, 32, 8, p, false, 1.0f, 1.0f, 1024},
+        attn_cfg{n_heads, n_kv_heads, 32, fp16_accum},
+        cache(cache_cfg),
+        seq(cache.alloc_sequence()) {
+    Rng rng(seed);
+    const int span = n_kv_heads * 32;
+    std::vector<float> k(static_cast<size_t>(span)),
+        v(static_cast<size_t>(span));
+    for (int t = 0; t < tokens; ++t) {
+      for (auto& x : k) x = rng.normal();
+      for (auto& x : v) x = rng.normal();
+      k[0] = 9.0f;  // persistent outlier channel, like real Keys
+      cache.append(seq, k.data(), v.data());
+    }
+    q.resize(static_cast<size_t>(n_heads) * 32);
+    for (auto& x : q) x = rng.normal();
+  }
+
+  std::vector<float> fused() const {
+    std::vector<float> out(q.size());
+    fused_decode_attention(cache, seq, q.data(), attn_cfg, out.data());
+    return out;
+  }
+
+  std::vector<float> reference() const {
+    Tensor k, v;
+    cache.gather(seq, k, v);
+    std::vector<float> out(q.size());
+    attention_decode_token(q.data(), k, v, attn_cfg, out.data());
+    return out;
+  }
+};
+
+class FusedAttentionParity
+    : public ::testing::TestWithParam<std::tuple<KvPrecision, int, int>> {};
+
+TEST_P(FusedAttentionParity, BitIdenticalToGatherPath) {
+  const auto [precision, n_heads, n_kv_heads] = GetParam();
+  for (const bool fp16 : {false, true}) {
+    FusedFixture s(precision, n_heads, n_kv_heads, 37, fp16, 11);
+    const auto a = s.fused();
+    const auto b = s.reference();
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FusedAttentionParity,
+    ::testing::Values(std::make_tuple(KvPrecision::kFp16, 4, 4),
+                      std::make_tuple(KvPrecision::kInt8, 4, 4),
+                      std::make_tuple(KvPrecision::kInt4, 4, 4),
+                      std::make_tuple(KvPrecision::kInt4, 8, 2),
+                      std::make_tuple(KvPrecision::kInt8, 6, 3)));
+
+TEST(FusedAttention, SpansMultiplePages) {
+  // 37 tokens at page size 8 -> 5 pages; fused walk must cross boundaries.
+  FusedFixture s(KvPrecision::kInt4, 4, 2, 37, false, 3);
+  EXPECT_EQ(s.cache.pages_in_use(), 5);
+  const auto a = s.fused();
+  const auto b = s.reference();
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(FusedAttention, ReadKvMatchesGatherEntries) {
+  FusedFixture s(KvPrecision::kInt4, 4, 2, 19, false, 5);
+  Tensor k, v;
+  s.cache.gather(s.seq, k, v);
+  std::vector<float> buf(32);
+  for (int64_t t = 0; t < 19; ++t) {
+    for (int h = 0; h < 2; ++h) {
+      s.cache.read_k(s.seq, t, h, buf.data());
+      for (int d = 0; d < 32; ++d)
+        EXPECT_EQ(buf[size_t(d)], k.at2(t, h * 32 + d));
+      s.cache.read_v(s.seq, t, h, buf.data());
+      for (int d = 0; d < 32; ++d)
+        EXPECT_EQ(buf[size_t(d)], v.at2(t, h * 32 + d));
+    }
+  }
+}
+
+TEST(FusedAttention, RejectsEmptySequence) {
+  KvCacheConfig cfg{2, 32, 8, KvPrecision::kInt4, false, 1.0f, 1.0f, 16};
+  PagedKvCache cache(cfg);
+  const int seq = cache.alloc_sequence();
+  AttentionConfig acfg{2, 2, 32, false};
+  std::vector<float> q(64), out(64);
+  EXPECT_THROW(fused_decode_attention(cache, seq, q.data(), acfg, out.data()),
+               CheckError);
+}
+
+TEST(FusedAttention, RejectsMismatchedHeadDim) {
+  FusedFixture s(KvPrecision::kInt4, 4, 2, 5, false, 7);
+  AttentionConfig bad = s.attn_cfg;
+  bad.head_dim = 64;
+  std::vector<float> out(256);
+  EXPECT_THROW(
+      fused_decode_attention(s.cache, s.seq, s.q.data(), bad, out.data()),
+      CheckError);
+}
+
+TEST(FusedAttention, ReadRejectsOutOfRangeToken) {
+  FusedFixture s(KvPrecision::kInt4, 4, 2, 5, false, 9);
+  std::vector<float> buf(32);
+  EXPECT_THROW(s.cache.read_k(s.seq, 5, 0, buf.data()), CheckError);
+  EXPECT_THROW(s.cache.read_k(s.seq, -1, 0, buf.data()), CheckError);
+  EXPECT_THROW(s.cache.read_k(s.seq, 0, 2, buf.data()), CheckError);
+}
+
+}  // namespace
+}  // namespace qserve

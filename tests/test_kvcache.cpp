@@ -1,0 +1,224 @@
+// Paged KV cache: quantization round trips, page accounting, sequence
+// lifecycle, and the per-head dynamic-scale layout of §5.1.
+#include "kvcache/paged_kv_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "quant/kv_quant.h"
+
+namespace qserve {
+namespace {
+
+KvCacheConfig small_cfg(KvPrecision p, int max_pages = 64) {
+  KvCacheConfig cfg;
+  cfg.n_kv_heads = 2;
+  cfg.head_dim = 8;
+  cfg.page_size = 4;
+  cfg.precision = p;
+  cfg.max_pages = max_pages;
+  return cfg;
+}
+
+std::vector<float> random_vec(Rng& rng, int n, float outlier = 0.0f) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng.normal();
+  if (outlier != 0.0f) v[0] = outlier;
+  return v;
+}
+
+TEST(KvQuant, Int8RoundTripError) {
+  Rng rng(1);
+  const auto x = random_vec(rng, 64);
+  std::vector<uint8_t> codes(64);
+  const auto p = kv_quantize(x.data(), 64, 8, codes.data());
+  std::vector<float> out(64);
+  kv_dequantize(codes.data(), 64, p, out.data());
+  for (int i = 0; i < 64; ++i)
+    EXPECT_NEAR(out[size_t(i)], x[size_t(i)], 0.51f * p.scale + 1e-3f);
+}
+
+TEST(KvQuant, Int4RoundTripCoarserThanInt8) {
+  Rng rng(2);
+  const auto x = random_vec(rng, 128);
+  std::vector<uint8_t> c8(128), c4(128);
+  const auto p8 = kv_quantize(x.data(), 128, 8, c8.data());
+  const auto p4 = kv_quantize(x.data(), 128, 4, c4.data());
+  std::vector<float> o8(128), o4(128);
+  kv_dequantize(c8.data(), 128, p8, o8.data());
+  kv_dequantize(c4.data(), 128, p4, o4.data());
+  double e8 = 0, e4 = 0;
+  for (int i = 0; i < 128; ++i) {
+    e8 += std::pow(o8[size_t(i)] - x[size_t(i)], 2);
+    e4 += std::pow(o4[size_t(i)] - x[size_t(i)], 2);
+  }
+  EXPECT_LT(e8, e4);
+}
+
+TEST(KvQuant, OutlierStretchesInt4Scale) {
+  // A 10x outlier channel forces a ~10x coarser INT4 step for the whole
+  // head — the §4.2 motivation for SmoothAttention.
+  Rng rng(3);
+  const auto clean = random_vec(rng, 64);
+  auto dirty = clean;
+  dirty[0] = 20.0f;
+  std::vector<uint8_t> codes(64);
+  const auto pc = kv_quantize(clean.data(), 64, 4, codes.data());
+  const auto pd = kv_quantize(dirty.data(), 64, 4, codes.data());
+  EXPECT_GT(pd.scale, 3.0f * pc.scale);
+}
+
+TEST(PagedKvCache, AppendGatherRoundTripFp16) {
+  PagedKvCache cache(small_cfg(KvPrecision::kFp16));
+  Rng rng(4);
+  const int seq = cache.alloc_sequence();
+  std::vector<std::vector<float>> ks, vs;
+  for (int t = 0; t < 10; ++t) {
+    ks.push_back(random_vec(rng, 16));
+    vs.push_back(random_vec(rng, 16));
+    cache.append(seq, ks.back().data(), vs.back().data());
+  }
+  Tensor k, v;
+  cache.gather(seq, k, v);
+  ASSERT_EQ(k.rows(), 10);
+  for (int t = 0; t < 10; ++t)
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_NEAR(k.at2(t, i), ks[size_t(t)][size_t(i)], 2e-3f);
+      EXPECT_NEAR(v.at2(t, i), vs[size_t(t)][size_t(i)], 2e-3f);
+    }
+}
+
+class KvCacheRoundTrip : public ::testing::TestWithParam<KvPrecision> {};
+
+TEST_P(KvCacheRoundTrip, ErrorBoundedByHeadScale) {
+  PagedKvCache cache(small_cfg(GetParam()));
+  Rng rng(5);
+  const int seq = cache.alloc_sequence();
+  const auto k0 = random_vec(rng, 16, 8.0f);  // outlier in head 0
+  const auto v0 = random_vec(rng, 16);
+  cache.append(seq, k0.data(), v0.data());
+  Tensor k, v;
+  cache.gather(seq, k, v);
+  const int bits = static_cast<int>(GetParam());
+  const float max_step = bits >= 16 ? 0.01f : 17.0f / float((1 << bits) - 1);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_NEAR(k.at2(0, i), k0[size_t(i)], max_step) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, KvCacheRoundTrip,
+                         ::testing::Values(KvPrecision::kFp16,
+                                           KvPrecision::kInt8,
+                                           KvPrecision::kInt4));
+
+TEST(PagedKvCache, PerHeadScalesIsolateOutliers) {
+  // An outlier in head 0 must not degrade head 1's INT4 round trip — the
+  // reason QServe quantizes per head, not per tensor.
+  PagedKvCache cache(small_cfg(KvPrecision::kInt4));
+  Rng rng(6);
+  const int seq = cache.alloc_sequence();
+  std::vector<float> kvec = random_vec(rng, 16);
+  kvec[0] = 50.0f;  // head 0 outlier
+  const auto vvec = random_vec(rng, 16);
+  cache.append(seq, kvec.data(), vvec.data());
+  Tensor k, v;
+  cache.gather(seq, k, v);
+  for (int i = 8; i < 16; ++i)  // head 1 channels
+    EXPECT_NEAR(k.at2(0, i), kvec[size_t(i)], 0.3f);
+}
+
+TEST(PagedKvCache, PageAllocationGrowsByPageSize) {
+  PagedKvCache cache(small_cfg(KvPrecision::kInt4));
+  const int seq = cache.alloc_sequence();
+  EXPECT_EQ(cache.pages_in_use(), 0);
+  Rng rng(7);
+  const auto k = random_vec(rng, 16);
+  for (int t = 0; t < 9; ++t) cache.append(seq, k.data(), k.data());
+  // page_size=4: 9 tokens -> 3 pages.
+  EXPECT_EQ(cache.pages_in_use(), 3);
+  EXPECT_EQ(cache.seq_len(seq), 9);
+}
+
+TEST(PagedKvCache, FreeSequenceReleasesPages) {
+  PagedKvCache cache(small_cfg(KvPrecision::kInt4, 8));
+  Rng rng(8);
+  const auto k = random_vec(rng, 16);
+  const int a = cache.alloc_sequence();
+  for (int t = 0; t < 8; ++t) cache.append(a, k.data(), k.data());
+  EXPECT_EQ(cache.free_pages(), 6);
+  cache.free_sequence(a);
+  EXPECT_EQ(cache.free_pages(), 8);
+  EXPECT_FALSE(cache.is_live(a));
+  // Freed pages are reusable by a new sequence.
+  const int b = cache.alloc_sequence();
+  for (int t = 0; t < 32; ++t) cache.append(b, k.data(), k.data());
+  EXPECT_EQ(cache.pages_in_use(), 8);
+}
+
+TEST(PagedKvCache, PoolExhaustionThrows) {
+  PagedKvCache cache(small_cfg(KvPrecision::kInt4, 2));
+  Rng rng(9);
+  const auto k = random_vec(rng, 16);
+  const int seq = cache.alloc_sequence();
+  for (int t = 0; t < 8; ++t) cache.append(seq, k.data(), k.data());
+  EXPECT_THROW(cache.append(seq, k.data(), k.data()), CheckError);
+}
+
+TEST(PagedKvCache, CanGrowAccountsForPartialPages) {
+  PagedKvCache cache(small_cfg(KvPrecision::kInt4, 2));
+  Rng rng(10);
+  const auto k = random_vec(rng, 16);
+  const int seq = cache.alloc_sequence();
+  cache.append(seq, k.data(), k.data());  // 1 token, 1 page (3 slots spare)
+  EXPECT_TRUE(cache.can_grow(seq, 7));    // 3 spare + 4 in the last free page
+  EXPECT_FALSE(cache.can_grow(seq, 8));
+}
+
+TEST(PagedKvCache, MultipleSequencesIsolated) {
+  PagedKvCache cache(small_cfg(KvPrecision::kInt8));
+  Rng rng(11);
+  const int a = cache.alloc_sequence();
+  const int b = cache.alloc_sequence();
+  const auto ka = random_vec(rng, 16, 3.0f);
+  const auto kb = random_vec(rng, 16, -5.0f);
+  cache.append(a, ka.data(), ka.data());
+  cache.append(b, kb.data(), kb.data());
+  Tensor k, v;
+  cache.gather(a, k, v);
+  EXPECT_NEAR(k.at2(0, 0), 3.0f, 0.1f);
+  cache.gather(b, k, v);
+  EXPECT_NEAR(k.at2(0, 0), -5.0f, 0.1f);
+}
+
+TEST(PagedKvCache, PageBytesLayout) {
+  // INT4 page: 2 (K,V) * 4 tokens * 16 span * 0.5B + dynamic params
+  // 2 * 4 * 2 heads * 4B = 64 + 64.
+  const auto cfg = small_cfg(KvPrecision::kInt4);
+  EXPECT_EQ(kv_page_bytes(cfg), 64 + 64);
+  // INT8 static: codes only.
+  auto cfg8 = small_cfg(KvPrecision::kInt8);
+  cfg8.static_scales = true;
+  EXPECT_EQ(kv_page_bytes(cfg8), 2 * 4 * 16);
+}
+
+TEST(PagedKvCache, StaticKv8MatchesStaticQuantizer) {
+  auto cfg = small_cfg(KvPrecision::kInt8);
+  cfg.static_scales = true;
+  cfg.static_scale_k = 0.1f;
+  cfg.static_scale_v = 0.1f;
+  PagedKvCache cache(cfg);
+  const int seq = cache.alloc_sequence();
+  std::vector<float> kvec(16, 1.0f), vvec(16, -2.0f);
+  cache.append(seq, kvec.data(), vvec.data());
+  Tensor k, v;
+  cache.gather(seq, k, v);
+  EXPECT_NEAR(k.at2(0, 0), 1.0f, 0.05f);
+  EXPECT_NEAR(v.at2(0, 0), -2.0f, 0.05f);
+  // Static scale clips out-of-range values (the KV8 baseline's weakness).
+  std::vector<float> big(16, 100.0f);
+  cache.append(seq, big.data(), big.data());
+  cache.gather(seq, k, v);
+  EXPECT_NEAR(k.at2(1, 0), 12.7f, 0.1f);  // clamped at 127 * 0.1
+}
+
+}  // namespace
+}  // namespace qserve

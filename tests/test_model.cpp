@@ -1,0 +1,179 @@
+// Reference model + QoQ transform pipeline: numerical-equivalence properties
+// of every offline transform, and synthetic-pathology sanity.
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "model/qoq_quantizer.h"
+#include "model/reference_model.h"
+#include "qoq/smooth_attention.h"
+
+namespace qserve {
+namespace {
+
+struct Fixture {
+  ModelWeights weights;
+  ReferenceModel ref;
+  std::vector<int> tokens;
+  CalibrationData calib;
+  Tensor ref_logits;
+
+  Fixture()
+      : weights(make_synthetic_weights(toy_config(2))), ref(&weights) {
+    for (int i = 0; i < 24; ++i) tokens.push_back((7 * i + 3) % 512);
+    ref_logits = ref.forward_calibrate(tokens, &calib);
+  }
+};
+
+const Fixture& fixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+TEST(ReferenceModel, LogitsShapeAndFiniteness) {
+  const auto& f = fixture();
+  EXPECT_EQ(f.ref_logits.rows(), 24);
+  EXPECT_EQ(f.ref_logits.cols(), 512);
+  for (int64_t i = 0; i < f.ref_logits.numel(); ++i)
+    ASSERT_TRUE(std::isfinite(f.ref_logits[i]));
+}
+
+TEST(ReferenceModel, CausalPrefixConsistency) {
+  // Logits of a prefix must equal the corresponding rows of the full run.
+  const auto& f = fixture();
+  std::vector<int> prefix(f.tokens.begin(), f.tokens.begin() + 10);
+  const Tensor lp = f.ref.forward(prefix);
+  for (int64_t t = 0; t < 10; ++t)
+    for (int64_t v = 0; v < 64; ++v)
+      EXPECT_NEAR(lp.at2(t, v), f.ref_logits.at2(t, v),
+                  1e-3f * std::abs(f.ref_logits.at2(t, v)) + 1e-3f);
+}
+
+TEST(ReferenceModel, CalibrationShapes) {
+  const auto& f = fixture();
+  ASSERT_EQ(f.calib.attn_input.size(), 2u);
+  EXPECT_EQ(f.calib.attn_input[0].cols(), 256);
+  EXPECT_EQ(f.calib.post_rope_keys[0].cols(), 128);  // 2 kv heads x 64
+  EXPECT_EQ(f.calib.attn_out[0].cols(), 256);
+  EXPECT_EQ(f.calib.ffn_act[0].cols(), 512);
+}
+
+TEST(SyntheticWeights, KeysHaveFixedOutlierChannels) {
+  // The Fig. 7 pathology must be present in calibration keys...
+  const auto& f = fixture();
+  EXPECT_GT(channel_outlier_ratio(f.calib.post_rope_keys[0]), 3.0f);
+}
+
+TEST(SyntheticWeights, ValuesHaveNoOutlierChannels) {
+  // ...and absent from Values, as the paper observes.
+  const auto& f = fixture();
+  EXPECT_LT(channel_outlier_ratio(f.calib.values[0]),
+            channel_outlier_ratio(f.calib.post_rope_keys[0]));
+}
+
+TEST(SyntheticWeights, ResidualStreamHasOutlierChannels) {
+  const auto& f = fixture();
+  EXPECT_GT(channel_outlier_ratio(f.calib.attn_input[0]), 3.0f);
+}
+
+TEST(SyntheticWeights, GenerationIsDeterministicPerSeed) {
+  const auto& f = fixture();
+  const auto a = f.ref.generate({1, 2, 3}, 5, 1.0f, 99);
+  const auto b = f.ref.generate({1, 2, 3}, 5, 1.0f, 99);
+  EXPECT_EQ(a, b);
+}
+
+// --- transform equivalence in FP32 ------------------------------------------------
+
+double logits_rel_err(const Tensor& a, const Tensor& b) {
+  double num = 0, den = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    num += std::abs(double(a[i]) - b[i]);
+    den += std::abs(double(b[i]));
+  }
+  return num / den;
+}
+
+class TransformEquivalence
+    : public ::testing::TestWithParam<std::tuple<const char*, QoQOptions>> {};
+
+TEST_P(TransformEquivalence, Fp32ForwardUnchanged) {
+  const auto& f = fixture();
+  const QoQOptions opt = std::get<1>(GetParam());
+  const ModelWeights transformed = qoq_transform(f.weights, f.calib, opt);
+  const ReferenceModel t_ref(&transformed);
+  const Tensor logits = t_ref.forward(f.tokens);
+  EXPECT_LT(logits_rel_err(logits, f.ref_logits), 2e-3)
+      << std::get<0>(GetParam());
+}
+
+QoQOptions only(void (*set)(QoQOptions&)) {
+  QoQOptions o = rtn_options();
+  set(o);
+  return o;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transforms, TransformEquivalence,
+    ::testing::Values(
+        std::make_tuple("fold_norms",
+                        only([](QoQOptions& o) { o.fold_norms = true; })),
+        std::make_tuple("rotation", only([](QoQOptions& o) {
+                          o.fold_norms = true;
+                          o.rotate_inputs = true;
+                        })),
+        std::make_tuple("smooth_attention", only([](QoQOptions& o) {
+                          o.smooth_attention = true;
+                        })),
+        std::make_tuple("smooth_outputs", only([](QoQOptions& o) {
+                          o.smooth_outputs = true;
+                        })),
+        std::make_tuple("reorder", only([](QoQOptions& o) {
+                          o.reorder_channels = true;
+                        })),
+        std::make_tuple("all_lossless", only([](QoQOptions& o) {
+                          o.fold_norms = true;
+                          o.rotate_inputs = true;
+                          o.smooth_attention = true;
+                          o.smooth_outputs = true;
+                          o.reorder_channels = true;
+                        }))));
+
+TEST(Transforms, RotationSuppressesInputOutliers) {
+  const auto& f = fixture();
+  QoQOptions opt = rtn_options();
+  opt.fold_norms = true;
+  opt.rotate_inputs = true;
+  const ModelWeights transformed = qoq_transform(f.weights, f.calib, opt);
+  const ReferenceModel t_ref(&transformed);
+  CalibrationData t_calib;
+  t_ref.forward_calibrate(f.tokens, &t_calib);
+  EXPECT_LT(channel_outlier_ratio(t_calib.attn_input[0]),
+            channel_outlier_ratio(f.calib.attn_input[0]) / 1.4f);
+}
+
+TEST(Transforms, SmoothAttentionSuppressesKeyOutliers) {
+  const auto& f = fixture();
+  QoQOptions opt = rtn_options();
+  opt.smooth_attention = true;
+  const ModelWeights transformed = qoq_transform(f.weights, f.calib, opt);
+  const ReferenceModel t_ref(&transformed);
+  CalibrationData t_calib;
+  t_ref.forward_calibrate(f.tokens, &t_calib);
+  EXPECT_LT(channel_outlier_ratio(t_calib.post_rope_keys[0]),
+            channel_outlier_ratio(f.calib.post_rope_keys[0]) / 1.5f);
+}
+
+TEST(Transforms, ClipChangesWeightsButKeepsOutputClose) {
+  const auto& f = fixture();
+  QoQOptions opt = rtn_options();
+  opt.weight_clip = true;
+  opt.clip_steps = 4;
+  const ModelWeights transformed = qoq_transform(f.weights, f.calib, opt);
+  const ReferenceModel t_ref(&transformed);
+  const Tensor logits = t_ref.forward(f.tokens);
+  // Clipping is lossy in FP32 but must remain a small perturbation.
+  EXPECT_LT(logits_rel_err(logits, f.ref_logits), 0.2);
+}
+
+}  // namespace
+}  // namespace qserve

@@ -1,0 +1,370 @@
+// QoQ transform units: Hadamard rotation (§4.3.1), SmoothAttention (§4.2),
+// output smoothing (§4.3.2), channel reordering (§4.3.3), clipping (§4.3.4).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kernels/gemm.h"
+#include "kernels/ops.h"
+#include "qoq/hadamard.h"
+#include "qoq/reorder.h"
+#include "qoq/smooth.h"
+#include "qoq/smooth_attention.h"
+#include "quant/clip.h"
+#include "quant/kv_quant.h"
+#include "quant/quantize.h"
+
+namespace qserve {
+namespace {
+
+Tensor random_tensor(int64_t m, int64_t d, uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  Tensor t({m, d});
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = rng.normal(0.0f, scale);
+  return t;
+}
+
+// --- Hadamard -------------------------------------------------------------------
+
+TEST(Hadamard, Orthonormal) {
+  const Tensor q = hadamard_matrix(16);
+  const Tensor qqT = gemm_f32_ref(q, q);  // Q Q^T since H is symmetric
+  for (int64_t r = 0; r < 16; ++r)
+    for (int64_t c = 0; c < 16; ++c)
+      EXPECT_NEAR(qqT.at2(r, c), r == c ? 1.0f : 0.0f, 1e-5f);
+}
+
+TEST(Hadamard, RequiresPowerOfTwo) {
+  EXPECT_THROW(hadamard_matrix(12), CheckError);
+}
+
+TEST(Hadamard, RotationPreservesLayerOutput) {
+  const Tensor x = random_tensor(4, 32, 1);
+  const Tensor w = random_tensor(8, 32, 2);
+  const Tensor q = hadamard_matrix(32);
+  const Tensor ref = gemm_f32_ref(x, w);
+  const Tensor out = gemm_f32_ref(rotate_activations(x, q),
+                                  rotate_weight_for_rotated_input(w, q));
+  EXPECT_LT(max_abs_diff(ref, out), 1e-3f);
+}
+
+TEST(Hadamard, ProducerRotationPreRotatesOutput) {
+  const Tensor x = random_tensor(4, 16, 3);
+  const Tensor w = random_tensor(32, 16, 4);
+  const Tensor q = hadamard_matrix(32);
+  const Tensor expect = rotate_activations(gemm_f32_ref(x, w), q);
+  const Tensor got =
+      gemm_f32_ref(x, rotate_weight_producing_rotated_output(w, q));
+  EXPECT_LT(max_abs_diff(expect, got), 1e-3f);
+}
+
+TEST(Hadamard, SuppressesOutlierChannels) {
+  // A single 50x channel spreads across all channels after rotation.
+  Tensor x = random_tensor(16, 64, 5);
+  for (int64_t t = 0; t < 16; ++t) x.at2(t, 3) = 50.0f;
+  const float before = channel_outlier_ratio(x);
+  const Tensor rot = rotate_activations(x, hadamard_matrix(64));
+  const float after = channel_outlier_ratio(rot);
+  EXPECT_GT(before, 10.0f);
+  EXPECT_LT(after, before / 4.0f);
+}
+
+TEST(Hadamard, FwhtMatchesMatrixProduct) {
+  Tensor x = random_tensor(3, 64, 6);
+  const Tensor expect = rotate_activations(x, hadamard_matrix(64));
+  fwht_rows_inplace(x);
+  EXPECT_LT(max_abs_diff(expect, x), 1e-4f);
+}
+
+TEST(Hadamard, RotationImprovesInt8Quantization) {
+  // Quantization error of per-token INT8 drops when the outlier channel is
+  // spread out — the point of §4.3.1.
+  Tensor x = random_tensor(8, 64, 7);
+  for (int64_t t = 0; t < 8; ++t) x.at2(t, 5) = 30.0f;
+  const Tensor rot = rotate_activations(x, hadamard_matrix(64));
+  const double err_raw = mse(x, dequantize(quantize_acts_per_token(x)));
+  const double err_rot = mse(rot, dequantize(quantize_acts_per_token(rot)));
+  EXPECT_LT(err_rot, err_raw / 2.0);
+}
+
+// --- SmoothAttention ---------------------------------------------------------------
+
+TEST(SmoothAttention, LambdaSatisfiesRopePairing) {
+  Tensor keys = random_tensor(32, 128, 8);
+  for (int64_t t = 0; t < 32; ++t) keys.at2(t, 10) = 25.0f;  // outlier
+  const auto s = compute_smooth_attention_scales(keys, 64);
+  for (int64_t h = 0; h < 2; ++h)
+    for (int i = 0; i < 32; ++i)
+      EXPECT_EQ(s.lambda[h * 64 + i], s.lambda[h * 64 + i + 32]);
+}
+
+TEST(SmoothAttention, CommutesWithRope) {
+  // RoPE(K Λ^{-1}) == RoPE(K) Λ^{-1} given the pairing constraint.
+  Tensor keys = random_tensor(6, 128, 9);
+  for (int64_t t = 0; t < 6; ++t) keys.at2(t, 3) = 12.0f;
+  const auto s = compute_smooth_attention_scales(keys, 64);
+  const std::vector<int> pos = {0, 2, 4, 6, 8, 10};
+
+  Tensor a = smooth_keys(keys, s);
+  rope_inplace(a, pos, 64);
+  Tensor b = keys;
+  rope_inplace(b, pos, 64);
+  b = smooth_keys(b, s);
+  EXPECT_LT(max_abs_diff(a, b), 1e-4f);
+}
+
+TEST(SmoothAttention, QKProductExactlyPreserved) {
+  // Q' K'^T == Q K^T: the transform is exact because queries absorb Λ.
+  const int n_heads = 4, head_dim = 16;
+  Tensor keys = random_tensor(8, 2 * head_dim, 10);  // 2 kv heads (GQA)
+  for (int64_t t = 0; t < 8; ++t) keys.at2(t, 1) = 15.0f;
+  Tensor queries = random_tensor(8, n_heads * head_dim, 11);
+  const auto s = compute_smooth_attention_scales(keys, head_dim);
+  const Tensor k2 = smooth_keys(keys, s);
+  const Tensor q2 = scale_queries(queries, s, n_heads);
+  // Per-head score check: q head h uses kv head h/2.
+  for (int h = 0; h < n_heads; ++h) {
+    for (int64_t tq = 0; tq < 8; ++tq) {
+      for (int64_t tk = 0; tk < 8; ++tk) {
+        double dot1 = 0, dot2 = 0;
+        for (int d = 0; d < head_dim; ++d) {
+          dot1 += double(queries.at2(tq, h * head_dim + d)) *
+                  keys.at2(tk, (h / 2) * head_dim + d);
+          dot2 += double(q2.at2(tq, h * head_dim + d)) *
+                  k2.at2(tk, (h / 2) * head_dim + d);
+        }
+        EXPECT_NEAR(dot1, dot2, 1e-3 * std::abs(dot1) + 1e-3);
+      }
+    }
+  }
+}
+
+TEST(SmoothAttention, FoldIntoWeightsEqualsActivationScaling) {
+  const int n_heads = 2, n_kv = 2, head_dim = 8, hidden = 16;
+  Tensor wq = random_tensor(n_heads * head_dim, hidden, 12);
+  Tensor wk = random_tensor(n_kv * head_dim, hidden, 13);
+  const Tensor x = random_tensor(5, hidden, 14);
+  Tensor keys = gemm_f32_ref(x, wk);
+  const auto s = compute_smooth_attention_scales(keys, head_dim);
+
+  const Tensor q_ref = scale_queries(gemm_f32_ref(x, wq), s, n_heads);
+  const Tensor k_ref = smooth_keys(keys, s);
+  fold_smooth_attention(s, n_heads, n_kv, wq, wk);
+  EXPECT_LT(max_abs_diff(gemm_f32_ref(x, wq), q_ref), 1e-4f);
+  EXPECT_LT(max_abs_diff(gemm_f32_ref(x, wk), k_ref), 1e-4f);
+}
+
+TEST(SmoothAttention, ReducesKeyOutlierRatioAndKv4Error) {
+  Tensor keys = random_tensor(64, 128, 15);
+  for (int64_t t = 0; t < 64; ++t) {
+    keys.at2(t, 7) = 20.0f + float(t % 3);
+    keys.at2(t, 70) = -18.0f;
+  }
+  const auto s = compute_smooth_attention_scales(keys, 64);
+  const Tensor smoothed = smooth_keys(keys, s);
+  EXPECT_LT(channel_outlier_ratio(smoothed), channel_outlier_ratio(keys));
+
+  // INT4 per-head round-trip error in the *score space* must improve:
+  // compare relative errors since smoothing changes scales.
+  auto rel_kv4_error = [](const Tensor& k) {
+    double err = 0, mag = 0;
+    std::vector<uint8_t> codes(64);
+    std::vector<float> out(64);
+    for (int64_t t = 0; t < k.rows(); ++t) {
+      for (int h = 0; h < 2; ++h) {
+        const float* hp = k.row(t) + h * 64;
+        const auto p = kv_quantize(hp, 64, 4, codes.data());
+        kv_dequantize(codes.data(), 64, p, out.data());
+        for (int i = 0; i < 64; ++i) {
+          err += std::pow(out[size_t(i)] - hp[i], 2);
+          mag += std::pow(hp[i], 2);
+        }
+      }
+    }
+    return err / mag;
+  };
+  EXPECT_LT(rel_kv4_error(smoothed), rel_kv4_error(keys));
+}
+
+// --- output smoothing -----------------------------------------------------------------
+
+TEST(Smoothing, FoldPreservesComposition) {
+  // producer -> intermediate -> consumer must compute the same function
+  // after folding λ.
+  const Tensor x = random_tensor(4, 16, 16);
+  Tensor producer = random_tensor(24, 16, 17);
+  Tensor consumer = random_tensor(8, 24, 18);
+  const Tensor inter = gemm_f32_ref(x, producer);
+  const Tensor ref = gemm_f32_ref(inter, consumer);
+
+  const Tensor lambda = compute_smoothing_scales(inter, consumer, 0.05f);
+  fold_smoothing(lambda, producer, consumer);
+  const Tensor out = gemm_f32_ref(gemm_f32_ref(x, producer), consumer);
+  EXPECT_LT(max_abs_diff(ref, out), 1e-3f);
+}
+
+TEST(Smoothing, AlphaNearZeroEqualizesWeightRanges) {
+  // §4.3.2: with α ≈ 0, λ_j ≈ 1 / max|W_j| — consumer columns end up with
+  // equal dynamic ranges.
+  const Tensor acts = random_tensor(8, 16, 19);
+  Tensor consumer = random_tensor(8, 16, 20);
+  for (int64_t r = 0; r < 8; ++r) consumer.at2(r, 2) *= 30.0f;
+  Tensor producer = random_tensor(16, 8, 21);
+  const Tensor lambda = compute_smoothing_scales(acts, consumer, 0.0f);
+  fold_smoothing(lambda, producer, consumer);
+  float cmax_min = 1e30f, cmax_max = 0.0f;
+  for (int64_t j = 0; j < 16; ++j) {
+    float cm = 0;
+    for (int64_t r = 0; r < 8; ++r)
+      cm = std::max(cm, std::abs(consumer.at2(r, j)));
+    cmax_min = std::min(cmax_min, cm);
+    cmax_max = std::max(cmax_max, cm);
+  }
+  EXPECT_LT(cmax_max / cmax_min, 1.5f);
+}
+
+TEST(Smoothing, OffsetSelectsProducerSpan) {
+  Tensor producer = random_tensor(10, 4, 22);  // rows 6..9 feed the consumer
+  Tensor consumer = random_tensor(3, 4, 23);
+  const Tensor orig = producer;
+  Tensor lambda = Tensor::full({4}, 2.0f);
+  fold_smoothing(lambda, producer, consumer, 6);
+  for (int64_t r = 0; r < 6; ++r)
+    for (int64_t c = 0; c < 4; ++c)
+      EXPECT_EQ(producer.at2(r, c), orig.at2(r, c));
+  for (int64_t r = 6; r < 10; ++r)
+    for (int64_t c = 0; c < 4; ++c)
+      EXPECT_FLOAT_EQ(producer.at2(r, c), orig.at2(r, c) * 0.5f);
+}
+
+// --- channel reordering -------------------------------------------------------------
+
+TEST(Reorder, SalienceOrderDescending) {
+  Tensor x({2, 4});
+  x.at2(0, 0) = 1.0f;
+  x.at2(0, 1) = 9.0f;
+  x.at2(1, 2) = -5.0f;
+  x.at2(0, 3) = 2.0f;
+  const auto perm = salience_order(x);
+  EXPECT_EQ(perm[0], 1);
+  EXPECT_EQ(perm[1], 2);
+  EXPECT_EQ(perm[2], 3);
+  EXPECT_EQ(perm[3], 0);
+}
+
+TEST(Reorder, PermutationPreservesGemm) {
+  const Tensor x = random_tensor(4, 32, 24);
+  const Tensor w = random_tensor(8, 32, 25);
+  const auto perm = salience_order(x);
+  const Tensor ref = gemm_f32_ref(x, w);
+  const Tensor out =
+      gemm_f32_ref(permute_columns(x, perm), permute_columns(w, perm));
+  EXPECT_LT(max_abs_diff(ref, out), 1e-5f);
+}
+
+TEST(Reorder, InvertPermutationRoundTrip) {
+  Rng rng(26);
+  const auto perm = rng.permutation(17);
+  const auto inv = invert_permutation(perm);
+  for (int i = 0; i < 17; ++i) EXPECT_EQ(perm[size_t(inv[size_t(i)])], i);
+}
+
+TEST(Reorder, GroupsSimilarSalienceImprovesGroupQuant) {
+  // Interleave salient channels so every group contains one outlier; the
+  // reorder gathers them together, shrinking total group-quant error.
+  Rng rng(27);
+  const int64_t k = 256, n = 8;
+  Tensor x({16, k});
+  for (int64_t t = 0; t < 16; ++t)
+    for (int64_t c = 0; c < k; ++c)
+      x.at2(t, c) = rng.normal() * ((c % 8 == 0) ? 20.0f : 1.0f);
+  Tensor w = random_tensor(n, k, 28);
+  for (int64_t r = 0; r < n; ++r)
+    for (int64_t c = 0; c < k; ++c)
+      if (c % 8 == 0) w.at2(r, c) *= 10.0f;  // weight range follows salience
+
+  const auto perm = salience_order(x);
+  const Tensor wp = permute_columns(w, perm);
+  const double err_orig =
+      mse(w, dequantize(quantize_progressive(w, {.group = 32})));
+  const double err_perm =
+      mse(wp, dequantize(quantize_progressive(wp, {.group = 32})));
+  EXPECT_LT(err_perm, err_orig);
+}
+
+// --- weight clipping ------------------------------------------------------------------
+
+TEST(Clip, ClipWeightsBoundsRange) {
+  const Tensor w = random_tensor(4, 32, 29, 2.0f);
+  const Tensor clipped = clip_weights(w, 0.5f);
+  for (int64_t r = 0; r < 4; ++r) {
+    const float bound = abs_max(w.row(r), 32) * 0.5f;
+    for (int64_t c = 0; c < 32; ++c)
+      EXPECT_LE(std::abs(clipped.at2(r, c)), bound + 1e-6f);
+  }
+}
+
+TEST(Clip, SearchReturnsRatioWithinGrid) {
+  const Tensor w = random_tensor(8, 128, 30);
+  const Tensor x = random_tensor(8, 128, 31);
+  ClipSearchOptions opt;
+  opt.group = 128;
+  const auto r = search_clip_output_mse(w, x, opt);
+  EXPECT_GE(r.ratio, opt.min_ratio);
+  EXPECT_LE(r.ratio, 1.0f);
+}
+
+TEST(Clip, OutlierOnQuietChannelPrefersClipping) {
+  // Clipping wins when the range-stretching weight outlier sits on a
+  // low-activation channel: the clipped outlier barely affects the output,
+  // while every other weight gains quantization resolution (the AWQ/QoQ
+  // rationale for output-MSE clip search).
+  Rng rng(32);
+  Tensor w({4, 128});
+  for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal(0.0f, 0.5f);
+  w.at2(0, 5) = 30.0f;  // extreme outlier stretching the quant range
+  Tensor x = random_tensor(8, 128, 33);
+  for (int64_t t = 0; t < x.rows(); ++t) x.at2(t, 5) *= 0.01f;  // quiet input
+  ClipSearchOptions opt;
+  opt.group = 128;
+  opt.progressive = false;  // per-channel: the outlier hurts the most
+  const auto r = search_clip_output_mse(w, x, opt);
+  EXPECT_LT(r.ratio, 1.0f);
+}
+
+TEST(Clip, SearchIsConsistentWithBruteForce) {
+  // The returned ratio must be the argmin of its own objective over the grid.
+  const Tensor w = random_tensor(4, 128, 35, 1.5f);
+  const Tensor x = random_tensor(6, 128, 36);
+  ClipSearchOptions opt;
+  opt.group = 128;
+  opt.steps = 6;
+  const auto r = search_clip_output_mse(w, x, opt);
+  for (int i = 0; i < opt.steps; ++i) {
+    const float ratio =
+        1.0f - (1.0f - opt.min_ratio) * float(i) / float(opt.steps - 1);
+    const Tensor deq = quantize_dequantize_clipped(w, ratio, opt);
+    const Tensor ref = gemm_f32_ref(x, w);
+    const double err = mse(gemm_f32_ref(x, deq), ref) * double(ref.numel());
+    EXPECT_GE(err + 1e-9, r.error * 0.999) << ratio;
+  }
+}
+
+TEST(Clip, CustomObjectiveIsUsed) {
+  // An objective minimized at small ratios must drive the search there.
+  const auto r = search_clip_custom(
+      [](float ratio) { return double(ratio); }, {});
+  EXPECT_NEAR(r.ratio, 0.5f, 1e-5f);
+}
+
+TEST(Clip, WeightMseObjectivePrefersNoClipForUniformWeights) {
+  // Uniformly distributed weights have no outliers: the best weight-space
+  // ratio is (near) 1.
+  Rng rng(34);
+  Tensor w({2, 128});
+  for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform(-1.0f, 1.0f);
+  const auto r = search_clip_weight_mse(w, {});
+  EXPECT_GT(r.ratio, 0.85f);
+}
+
+}  // namespace
+}  // namespace qserve

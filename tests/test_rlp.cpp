@@ -1,0 +1,142 @@
+// Register-level-parallelism SWAR tests: Figure 13 unpack, vadd4 semantics,
+// and the Figure 14 sub-before-mul vs sub-after-mul overflow demonstration.
+#include "kernels/rlp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qserve {
+namespace {
+
+TEST(Rlp, InterleaveUnpackRoundTrip) {
+  const uint8_t a[4] = {0x0, 0x7, 0xF, 0x3};
+  const uint8_t b[4] = {0x8, 0x1, 0xE, 0x5};
+  const uint32_t packed = interleave_u4x8(a, b);
+  const UnpackedU4x8 u = unpack_u4x8(packed);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(lane_u8(u.low, i), a[i]);
+    EXPECT_EQ(lane_u8(u.high, i), b[i]);
+  }
+}
+
+TEST(Rlp, UnpackIsThreeLogicalOps) {
+  // Structural property of Fig. 13: low = packed & mask, high = (packed>>4)
+  // & mask. Verify against all single-nibble patterns.
+  for (int pos = 0; pos < 8; ++pos) {
+    const uint32_t packed = 0xFu << (4 * pos);
+    const UnpackedU4x8 u = unpack_u4x8(packed);
+    if (pos % 2 == 0) {
+      EXPECT_EQ(lane_u8(u.low, pos / 2), 0xF);
+      EXPECT_EQ(u.high, 0u);
+    } else {
+      EXPECT_EQ(lane_u8(u.high, pos / 2), 0xF);
+      EXPECT_EQ(u.low, 0u);
+    }
+  }
+}
+
+TEST(Rlp, Vadd4MatchesPerLaneAddition) {
+  Rng rng(7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    uint32_t a = 0, b = 0;
+    int8_t ea[4], eb[4];
+    for (int l = 0; l < 4; ++l) {
+      ea[l] = static_cast<int8_t>(rng.uniform_int(-128, 127));
+      eb[l] = static_cast<int8_t>(rng.uniform_int(-128, 127));
+      a |= uint32_t(uint8_t(ea[l])) << (8 * l);
+      b |= uint32_t(uint8_t(eb[l])) << (8 * l);
+    }
+    const uint32_t sum = vadd4(a, b);
+    for (int l = 0; l < 4; ++l) {
+      // Hardware vadd4 wraps per lane (mod-256); no cross-lane carries.
+      const uint8_t expect =
+          static_cast<uint8_t>(uint8_t(ea[l]) + uint8_t(eb[l]));
+      EXPECT_EQ(lane_u8(sum, l), expect);
+    }
+  }
+}
+
+TEST(Rlp, Vadd4DoesNotPropagateCarry) {
+  // 0xFF + 0x01 in lane 0 must NOT carry into lane 1.
+  const uint32_t sum = vadd4(0x000000FFu, 0x00000001u);
+  EXPECT_EQ(sum, 0x00000000u);
+}
+
+TEST(Rlp, Broadcast4) {
+  EXPECT_EQ(broadcast4(0xAB), 0xABABABABu);
+}
+
+// --- Figure 14: computation order ------------------------------------------------
+
+TEST(Rlp, SubAfterMulMatchesScalarWhenProtected) {
+  // With QoQ's protective range, (q-z)*s1 in [-128,127] and q*s1 <= 255, so
+  // the packed path must equal exact scalar arithmetic.
+  Rng rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int s1 = rng.uniform_int(1, 16);
+    // Pick z and codes so that products stay in the guaranteed ranges.
+    const int z = rng.uniform_int(0, std::min(15, 127 / s1));
+    uint8_t q[4];
+    uint32_t lanes = 0;
+    for (int l = 0; l < 4; ++l) {
+      // code such that (q-z)*s1 in [-128, 127] and q*s1 <= 255
+      int lo = std::max(0, z - 128 / s1);
+      int hi = std::min({15, z + 127 / s1, 255 / s1});
+      q[l] = static_cast<uint8_t>(rng.uniform_int(lo, hi));
+      lanes |= uint32_t(q[l]) << (8 * l);
+    }
+    const uint32_t out =
+        dequant4_sub_after_mul(lanes, static_cast<uint8_t>(s1),
+                               static_cast<uint8_t>(z));
+    for (int l = 0; l < 4; ++l) {
+      const int expect = (int(q[l]) - z) * s1;
+      EXPECT_EQ(int(lane_s8(out, l)), expect)
+          << "q=" << int(q[l]) << " z=" << z << " s1=" << s1;
+    }
+  }
+}
+
+TEST(Rlp, Figure14aSubBeforeMulOverflows) {
+  // The paper's example (Fig. 14a): codes {7, 0, 3, 15}, z = 8, s = 2.
+  // Sub-before-mul computes lanes {-1,-8,-5,7} then multiplies the packed
+  // register — the 2's-complement bytes are treated as unsigned, producing
+  // garbage, while sub-after-mul yields the correct {-2,-16,-10,14}.
+  const uint8_t q[4] = {7, 0, 3, 15};
+  uint32_t lanes = 0;
+  for (int l = 0; l < 4; ++l) lanes |= uint32_t(q[l]) << (8 * l);
+
+  const uint32_t good = dequant4_sub_after_mul(lanes, 2, 8);
+  const int expect[4] = {-2, -16, -10, 14};
+  for (int l = 0; l < 4; ++l) EXPECT_EQ(int(lane_s8(good, l)), expect[l]);
+
+  const uint32_t bad = dequant4_sub_before_mul(lanes, 2, 8);
+  int mismatches = 0;
+  for (int l = 0; l < 4; ++l)
+    if (int(lane_s8(bad, l)) != expect[l]) ++mismatches;
+  EXPECT_GT(mismatches, 0) << "sub-before-mul should corrupt lanes";
+}
+
+TEST(Rlp, SubBeforeMulCorrectOnlyWithoutNegativeLanes) {
+  // When q >= z for every lane (no negative intermediate), even
+  // sub-before-mul happens to work — showing the failure is specifically
+  // about signed lanes entering the unsigned multiply.
+  const uint8_t q[4] = {9, 10, 12, 15};
+  uint32_t lanes = 0;
+  for (int l = 0; l < 4; ++l) lanes |= uint32_t(q[l]) << (8 * l);
+  const uint32_t out = dequant4_sub_before_mul(lanes, 2, 8);
+  for (int l = 0; l < 4; ++l)
+    EXPECT_EQ(int(lane_s8(out, l)), (int(q[l]) - 8) * 2);
+}
+
+TEST(Rlp, MulOverflowCorruptsNeighbourLane) {
+  // One lane product exceeding 255 must visibly corrupt the lane above it —
+  // the exact hazard the protective range eliminates.
+  const uint32_t lanes = 0x00000040u;  // lane0 = 64
+  const uint32_t out = mul4_u8_scalar(lanes, 8);  // 64*8 = 512 = 0x200
+  EXPECT_EQ(lane_u8(out, 0), 0x00);
+  EXPECT_EQ(lane_u8(out, 1), 0x02);  // carry leaked into lane 1
+}
+
+}  // namespace
+}  // namespace qserve

@@ -1,0 +1,347 @@
+// Performance-model tests: roofline turning points (§3.1), GEMM main-loop
+// overhead ordering (Fig. 5/18), attention roofline behaviour (Table 1,
+// §5.3) and end-to-end serving estimates (Table 4 shape).
+#include <gtest/gtest.h>
+
+#include "simulator/roofline.h"
+#include "simulator/serving_model.h"
+
+namespace qserve {
+namespace {
+
+using namespace qserve::sim;
+
+// --- device + roofline ----------------------------------------------------------
+
+TEST(Roofline, A100CrossoverNearM78) {
+  // §3.1: W4A16 has higher attainable throughput than W8A8 below m ≈ 78 and
+  // lower above — the crossover where W8A8's bigger roof wins.
+  const DeviceSpec dev = a100_80g();
+  const auto curves = gemm_roofline_curves(dev);
+  const auto& w4a16 = curves[2];
+  const auto& w8a8 = curves[1];
+  double crossover = 0;
+  for (double i = 1; i <= 192; i += 0.5) {
+    if (attainable_tops(dev, w8a8, i) > attainable_tops(dev, w4a16, i)) {
+      crossover = i;
+      break;
+    }
+  }
+  EXPECT_NEAR(crossover, 78, 5);
+  // W8A8 turns compute-bound at ~153; W4A8 saturates its 624-TOPS roof at
+  // ~76 — half of W8A8, which is why it dominates at every batch (Fig. 3).
+  EXPECT_NEAR(turning_point(dev, w8a8), 153, 8);
+  EXPECT_NEAR(turning_point(dev, curves[3]), 76.5, 5);
+}
+
+TEST(Roofline, W4A8DominatesW4A16AndW8A8) {
+  // Fig. 3's headline: the W4A8 roofline is >= both at every intensity.
+  const DeviceSpec dev = a100_80g();
+  const auto curves = gemm_roofline_curves(dev);
+  for (double intensity = 1; intensity <= 192; intensity += 1) {
+    const double w4a16 = attainable_tops(dev, curves[2], intensity);
+    const double w8a8 = attainable_tops(dev, curves[1], intensity);
+    const double w4a8 = attainable_tops(dev, curves[3], intensity);
+    EXPECT_GE(w4a8 + 1e-9, w4a16) << intensity;
+    EXPECT_GE(w4a8 + 1e-9, w8a8) << intensity;
+  }
+}
+
+TEST(Roofline, KvQuantizationRaisesAttentionRoof) {
+  // At intensity 1 (decode attention), KV4 doubles KV8's attainable TOPS.
+  const DeviceSpec dev = a100_80g();
+  const auto curves = attention_roofline_curves(dev);
+  const double fp16 = attainable_tops(dev, curves[0], 1.0);
+  const double int8 = attainable_tops(dev, curves[1], 1.0);
+  const double int4 = attainable_tops(dev, curves[2], 1.0);
+  EXPECT_NEAR(int8 / fp16, 2.0, 0.01);
+  EXPECT_NEAR(int4 / int8, 2.0, 0.01);
+}
+
+TEST(Device, CudaTurningPointIs9point8OpsPerByte) {
+  EXPECT_NEAR(a100_80g().cuda_turning_point(false), 9.56, 0.5);  // §5.3: ~9.8
+}
+
+// --- GEMM cost model -------------------------------------------------------------
+
+TEST(GemmModel, W8A8HasNoMainLoopOverhead) {
+  const GemmShape s{.m = 64, .n = 4096, .k = 4096};
+  const auto c = gemm_cost(a100_80g(), GemmPipeline::kW8A8, s);
+  EXPECT_EQ(c.cuda_core_seconds, 0.0);
+}
+
+TEST(GemmModel, DequantOverheadOrdering) {
+  // Fig. 18: Atom-W4A4 overhead (up to 90%) >> W4A16 >> QServe-W4A8.
+  const DeviceSpec dev = a100_80g();
+  const GemmShape s{.m = 64, .n = 4096, .k = 4096};
+  const double atom = gemm_cost(dev, GemmPipeline::kW4A4Atom, s).dequant_overhead();
+  const double w4a16 = gemm_cost(dev, GemmPipeline::kW4A16, s).dequant_overhead();
+  const double qserve =
+      gemm_cost(dev, GemmPipeline::kW4A8PerGroup, s).dequant_overhead();
+  EXPECT_GT(atom, 0.5);
+  EXPECT_GT(w4a16, qserve * 0.9);
+  EXPECT_LT(qserve, 0.45);
+}
+
+TEST(GemmModel, QServeFasterThanW8A8AtSmallBatch) {
+  // Memory-bound small-m GEMM: 4-bit weights halve the traffic (§4.1's
+  // claimed 1.5x over W8A8 for per-group W4A8).
+  const DeviceSpec dev = a100_80g();
+  const GemmShape s{.m = 16, .n = 4096, .k = 4096};
+  const double w8 = gemm_cost(dev, GemmPipeline::kW8A8, s).seconds;
+  const double w4 = gemm_cost(dev, GemmPipeline::kW4A8PerGroup, s).seconds;
+  EXPECT_GT(w8 / w4, 1.3);
+  EXPECT_LT(w8 / w4, 2.2);
+}
+
+TEST(GemmModel, DgqSlowerThanW8A8DespiteFourBitWeights) {
+  // §4.1: DGQ's separate dequant kernel makes its end-to-end W4A8 GEMM
+  // slower than cuBLAS W8A8.
+  const DeviceSpec dev = a100_80g();
+  const GemmShape s{.m = 16, .n = 4096, .k = 4096};
+  const double w8 = gemm_cost(dev, GemmPipeline::kW8A8, s).seconds;
+  const double dgq = gemm_cost(dev, GemmPipeline::kW4A8DGQ, s).seconds;
+  EXPECT_GT(dgq, w8);
+}
+
+TEST(GemmModel, AtomSlowerThanW8A8DespiteInt4TensorCores) {
+  // §3.2's paradox at batch 64.
+  const DeviceSpec dev = a100_80g();
+  const GemmShape s{.m = 64, .n = 4096, .k = 4096};
+  EXPECT_GT(gemm_cost(dev, GemmPipeline::kW4A4Atom, s).seconds,
+            gemm_cost(dev, GemmPipeline::kW8A8, s).seconds);
+}
+
+TEST(GemmModel, StridedAccessCostsMore) {
+  const DeviceSpec dev = a100_80g();
+  GemmShape s{.m = 16, .n = 4096, .k = 4096};
+  const double reordered =
+      gemm_cost(dev, GemmPipeline::kW4A8PerGroup, s).seconds;
+  s.strided_weight_access = true;
+  const double strided = gemm_cost(dev, GemmPipeline::kW4A8PerGroup, s).seconds;
+  EXPECT_GT(strided, reordered * 1.2);
+}
+
+TEST(GemmModel, CrossoverNearM78OnA100) {
+  // W4A16 beats W8A8 below m≈78 and loses above (§3.1).
+  const DeviceSpec dev = a100_80g();
+  GemmShape s{.m = 32, .n = 8192, .k = 8192};
+  EXPECT_LT(gemm_cost(dev, GemmPipeline::kW4A16, s).seconds,
+            gemm_cost(dev, GemmPipeline::kW8A8, s).seconds);
+  s.m = 160;
+  EXPECT_GT(gemm_cost(dev, GemmPipeline::kW4A16, s).seconds,
+            gemm_cost(dev, GemmPipeline::kW8A8, s).seconds);
+}
+
+// --- attention cost model -----------------------------------------------------------
+
+TEST(AttentionModel, NaiveKv4SlowerThanKv8OnA100) {
+  // Table 1's surprise: the naive KV4 kernel is ~1.15x slower than KV8 on
+  // A100 because dequant pushes it compute-bound.
+  const DeviceSpec dev = a100_80g();
+  AttentionShape shape;
+  shape.seq_len = 1024;
+  const auto kv8 =
+      attention_decode_cost(dev, AttentionKernelConfig::trt_kv8(), shape);
+  const auto naive =
+      attention_decode_cost(dev, AttentionKernelConfig::naive_kv4(), shape);
+  EXPECT_GT(naive.seconds, kv8.seconds);
+  EXPECT_TRUE(naive.compute_bound);
+  EXPECT_FALSE(kv8.compute_bound);
+}
+
+TEST(AttentionModel, QServeKv4FasterThanKv8OnA100) {
+  // §5.3: ~1.5x after FP16 arithmetic + bit tricks + prefetch.
+  const DeviceSpec dev = a100_80g();
+  AttentionShape shape;
+  shape.seq_len = 1024;
+  const auto kv8 =
+      attention_decode_cost(dev, AttentionKernelConfig::trt_kv8(), shape);
+  const auto ours =
+      attention_decode_cost(dev, AttentionKernelConfig::qserve_kv4(), shape);
+  const double speedup = kv8.seconds / ours.seconds;
+  EXPECT_GT(speedup, 1.25);
+  EXPECT_LT(speedup, 2.1);
+  EXPECT_FALSE(ours.compute_bound);
+}
+
+TEST(AttentionModel, NaiveKv4FasterThanKv8OnL40S) {
+  // Table 1 note: the naive swap is already 1.7x faster on L40S — its CUDA
+  // cores are strong relative to bandwidth.
+  const DeviceSpec dev = l40s_48g();
+  AttentionShape shape;
+  shape.seq_len = 1024;
+  const auto kv8 =
+      attention_decode_cost(dev, AttentionKernelConfig::trt_kv8(), shape);
+  const auto naive =
+      attention_decode_cost(dev, AttentionKernelConfig::naive_kv4(), shape);
+  EXPECT_LT(naive.seconds, kv8.seconds);
+}
+
+TEST(AttentionModel, OptimizationLadderMonotone) {
+  // Each §5.3 optimization must not hurt (breakdown in §6.4).
+  const DeviceSpec dev = a100_80g();
+  AttentionShape shape;
+  shape.seq_len = 1024;
+  AttentionKernelConfig cfg = AttentionKernelConfig::naive_kv4();
+  double prev =
+      attention_decode_cost(dev, cfg, shape).seconds;
+  cfg.bit_trick_dequant = true;
+  double t = attention_decode_cost(dev, cfg, shape).seconds;
+  EXPECT_LE(t, prev);
+  prev = t;
+  cfg.simplified_control = true;
+  t = attention_decode_cost(dev, cfg, shape).seconds;
+  EXPECT_LE(t, prev);
+  prev = t;
+  cfg.fp16_arithmetic = true;
+  t = attention_decode_cost(dev, cfg, shape).seconds;
+  EXPECT_LE(t, prev);
+  prev = t;
+  cfg.prefetch_scales = true;
+  t = attention_decode_cost(dev, cfg, shape).seconds;
+  EXPECT_LE(t, prev);
+}
+
+TEST(AttentionModel, ScalesLinearlyInSeqLen) {
+  const DeviceSpec dev = a100_80g();
+  AttentionShape shape;
+  shape.seq_len = 512;
+  const double t1 =
+      attention_decode_cost(dev, AttentionKernelConfig::qserve_kv4(), shape)
+          .seconds;
+  shape.seq_len = 1024;
+  const double t2 =
+      attention_decode_cost(dev, AttentionKernelConfig::qserve_kv4(), shape)
+          .seconds;
+  EXPECT_NEAR(t2 / t1, 2.0, 0.15);
+}
+
+// --- serving estimator ---------------------------------------------------------------
+
+TEST(ServingModel, QServeBeatsAllTrtConfigsOnA100Llama7B) {
+  const DeviceSpec dev = a100_80g();
+  const auto model = model_by_name("Llama-2-7B");
+  const ServingWorkload wl;
+  const double qserve =
+      max_throughput(dev, system_profile(System::kQServePerChannel), model, wl)
+          .tokens_per_second;
+  for (System s : {System::kTrtFp16, System::kTrtW4A16, System::kTrtW8A8}) {
+    const double base =
+        max_throughput(dev, system_profile(s), model, wl).tokens_per_second;
+    EXPECT_GT(qserve, base) << system_profile(s).name;
+  }
+}
+
+TEST(ServingModel, SpeedupOverBestTrtInPaperBand) {
+  // Table 4 reports 1.2-1.4x for 7B-13B class models on A100; allow a wide
+  // band (shape, not absolute).
+  const DeviceSpec dev = a100_80g();
+  const auto model = model_by_name("Llama-2-7B");
+  const ServingWorkload wl;
+  double best_trt = 0;
+  for (System s : {System::kTrtFp16, System::kTrtW4A16, System::kTrtW8A8}) {
+    best_trt = std::max(best_trt, max_throughput(dev, system_profile(s), model,
+                                                 wl).tokens_per_second);
+  }
+  const double qserve =
+      max_throughput(dev, system_profile(System::kQServePerChannel), model, wl)
+          .tokens_per_second;
+  EXPECT_GT(qserve / best_trt, 1.05);
+  EXPECT_LT(qserve / best_trt, 2.5);
+}
+
+TEST(ServingModel, Fp16OomsFor70BClassOnBothDevices) {
+  const auto model = model_by_name("Llama-2-70B");
+  const ServingWorkload wl;
+  EXPECT_TRUE(max_throughput(a100_80g(), system_profile(System::kTrtFp16),
+                             model, wl).oom);
+  EXPECT_TRUE(max_throughput(l40s_48g(), system_profile(System::kTrtFp16),
+                             model, wl).oom);
+}
+
+TEST(ServingModel, AtomOnlySupportsLlama27B) {
+  const auto profile = system_profile(System::kAtomW4A4);
+  EXPECT_TRUE(profile.supports(model_by_name("Llama-2-7B")));
+  EXPECT_FALSE(profile.supports(model_by_name("Llama-2-13B")));
+}
+
+TEST(ServingModel, QuarotRejectsGqaModels) {
+  const auto profile = system_profile(System::kQuarotW4A4);
+  EXPECT_FALSE(profile.supports(model_by_name("Llama-3-8B")));
+  EXPECT_TRUE(profile.supports(model_by_name("Llama-2-13B")));
+}
+
+TEST(ServingModel, W4A4SystemsLoseToTrtW8A8) {
+  // Fig. 2b: Atom/QuaRot underperform TRT-W8A8 despite INT4 tensor cores.
+  const DeviceSpec dev = a100_80g();
+  const auto model = model_by_name("Llama-2-7B");
+  const ServingWorkload wl;
+  const double w8a8 =
+      max_throughput(dev, system_profile(System::kTrtW8A8), model, wl)
+          .tokens_per_second;
+  const double atom =
+      max_throughput(dev, system_profile(System::kAtomW4A4), model, wl)
+          .tokens_per_second;
+  EXPECT_LT(atom, w8a8);
+}
+
+TEST(ServingModel, QServeOnL40SRivalsTrtOnA100ForSmallModels) {
+  // Figure 1's dollar-cost claim: an L40S running QServe serves the <= 8B
+  // models at (at least) the same order of throughput as TRT-LLM on an A100
+  // that costs ~3x more. The paper's measured margins are a few percent;
+  // the analytical model reproduces parity within ~20%.
+  const ServingWorkload wl;
+  for (const char* name : {"Llama-3-8B", "Llama-2-7B", "Mistral-7B"}) {
+    const auto model = model_by_name(name);
+    const double l40s =
+        max_throughput(l40s_48g(), system_profile(System::kQServePerGroup),
+                       model, wl).tokens_per_second;
+    double best_a100_trt = 0;
+    for (System s : {System::kTrtFp16, System::kTrtW4A16, System::kTrtW8A8}) {
+      best_a100_trt = std::max(
+          best_a100_trt, max_throughput(a100_80g(), system_profile(s), model,
+                                        wl).tokens_per_second);
+    }
+    EXPECT_GT(l40s, best_a100_trt * 0.8) << name;
+  }
+}
+
+TEST(ServingModel, LargerBatchNeedsMoreKv) {
+  const auto model = model_by_name("Llama-2-7B");
+  const auto sys = system_profile(System::kQServePerChannel);
+  const ServingWorkload wl;
+  EXPECT_GT(kv_pool_bytes(sys, model, wl, 64),
+            kv_pool_bytes(sys, model, wl, 32) * 1.9);
+}
+
+TEST(ServingModel, AttentionDominatesAtLargeBatch) {
+  // Fig. 2a: at batch 64 attention exceeds 50% of decode-step time for
+  // FP16 serving of Llama-2-7B.
+  const DeviceSpec dev = a100_80g();
+  const auto model = model_by_name("Llama-2-7B");
+  const ServingWorkload wl;
+  const auto est = estimate_throughput(dev, system_profile(System::kTrtFp16),
+                                       model, wl, 64);
+  ASSERT_FALSE(est.oom);
+  const auto& mid = est.mid_decode_step;
+  EXPECT_GT(mid.attention_seconds / mid.total(), 0.5);
+}
+
+TEST(ServingModel, Qwen72BGapIsLargest) {
+  // Table 4: Qwen1.5-72B shows the biggest A100 speedup (~2.4x) because
+  // W8A8 barely fits while QServe's W4 + KV4 leave room for real batches.
+  const DeviceSpec dev = a100_80g();
+  const auto model = model_by_name("Qwen1.5-72B");
+  const ServingWorkload wl;
+  const double w8a8 =
+      max_throughput(dev, system_profile(System::kTrtW8A8), model, wl)
+          .tokens_per_second;
+  const double qserve =
+      max_throughput(dev, system_profile(System::kQServePerChannel), model, wl)
+          .tokens_per_second;
+  EXPECT_GT(qserve / w8a8, 1.5);
+}
+
+}  // namespace
+}  // namespace qserve

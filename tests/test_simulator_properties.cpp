@@ -1,0 +1,190 @@
+// Property tests for the performance models: monotonicity, consistency and
+// conservation laws the cost models must obey regardless of calibration.
+#include <gtest/gtest.h>
+
+#include "simulator/serving_model.h"
+
+namespace qserve {
+namespace {
+
+using namespace qserve::sim;
+
+class GemmCostMonotone : public ::testing::TestWithParam<GemmPipeline> {};
+
+TEST_P(GemmCostMonotone, CostIncreasesWithEveryDimension) {
+  const DeviceSpec dev = a100_80g();
+  GemmShape base{.m = 16, .n = 2048, .k = 2048};
+  const double t0 = gemm_cost(dev, GetParam(), base).seconds;
+  for (auto grow : {&GemmShape::m, &GemmShape::n, &GemmShape::k}) {
+    GemmShape s = base;
+    s.*grow *= 2;
+    EXPECT_GE(gemm_cost(dev, GetParam(), s).seconds, t0) << "dim";
+  }
+}
+
+TEST_P(GemmCostMonotone, TotalIsMaxOfMemoryAndCompute) {
+  const DeviceSpec dev = l40s_48g();
+  for (int m : {1, 8, 64, 256}) {
+    GemmShape s{.m = m, .n = 4096, .k = 4096};
+    const auto c = gemm_cost(dev, GetParam(), s);
+    EXPECT_DOUBLE_EQ(
+        c.seconds,
+        std::max(c.memory_seconds,
+                 c.tensor_core_seconds + c.cuda_core_seconds));
+    EXPECT_EQ(c.memory_bound,
+              c.memory_seconds >=
+                  c.tensor_core_seconds + c.cuda_core_seconds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pipelines, GemmCostMonotone,
+                         ::testing::Values(GemmPipeline::kFp16,
+                                           GemmPipeline::kW8A8,
+                                           GemmPipeline::kW4A16,
+                                           GemmPipeline::kW4A4Atom,
+                                           GemmPipeline::kW4A8PerChannel,
+                                           GemmPipeline::kW4A8PerGroup,
+                                           GemmPipeline::kW4A8DGQ));
+
+TEST(GemmCostProperties, LowerWeightBitsNeverMoreMemoryTime) {
+  const DeviceSpec dev = a100_80g();
+  const GemmShape s{.m = 4, .n = 4096, .k = 4096};
+  const double m16 = gemm_cost(dev, GemmPipeline::kFp16, s).memory_seconds;
+  const double m8 = gemm_cost(dev, GemmPipeline::kW8A8, s).memory_seconds;
+  const double m4 =
+      gemm_cost(dev, GemmPipeline::kW4A8PerGroup, s).memory_seconds;
+  EXPECT_GT(m16, m8);
+  EXPECT_GT(m8, m4);
+}
+
+TEST(AttentionCostProperties, MonotoneInBatchSeqAndBits) {
+  const DeviceSpec dev = a100_80g();
+  const auto cfg = AttentionKernelConfig::qserve_kv4();
+  AttentionShape s;
+  const double base = attention_decode_cost(dev, cfg, s).seconds;
+  AttentionShape s2 = s;
+  s2.batch *= 2;
+  EXPECT_GT(attention_decode_cost(dev, cfg, s2).seconds, base);
+  AttentionShape s3 = s;
+  s3.seq_len *= 2;
+  EXPECT_GT(attention_decode_cost(dev, cfg, s3).seconds, base);
+  auto kv8 = cfg;
+  kv8.kv_bits = 8;
+  EXPECT_GT(attention_decode_cost(dev, kv8, s).memory_seconds,
+            attention_decode_cost(dev, cfg, s).memory_seconds);
+}
+
+TEST(AttentionCostProperties, GqaReducesMemoryNotMacs) {
+  const DeviceSpec dev = a100_80g();
+  const auto cfg = AttentionKernelConfig::trt_kv8();
+  AttentionShape mha{64, 1024, 32, 32, 128};
+  AttentionShape gqa{64, 1024, 32, 8, 128};
+  const auto cm = attention_decode_cost(dev, cfg, mha);
+  const auto cg = attention_decode_cost(dev, cfg, gqa);
+  EXPECT_LT(cg.memory_seconds, cm.memory_seconds);
+}
+
+TEST(ServingProperties, ThroughputEventuallySaturatesOrDropsWithBatch) {
+  // tokens/s should increase with batch in the memory-bound regime and
+  // flatten once compute-bound; it must never be negative or NaN.
+  const DeviceSpec dev = a100_80g();
+  const auto sys = system_profile(System::kQServePerChannel);
+  const auto model = model_by_name("Llama-2-7B");
+  const ServingWorkload wl;
+  double prev = 0;
+  bool increased = false;
+  for (int b : {1, 4, 16, 64}) {
+    const auto est = estimate_throughput(dev, sys, model, wl, b);
+    ASSERT_FALSE(est.oom);
+    ASSERT_GT(est.tokens_per_second, 0);
+    if (est.tokens_per_second > prev * 1.5) increased = true;
+    prev = est.tokens_per_second;
+  }
+  EXPECT_TRUE(increased);
+}
+
+TEST(ServingProperties, BiggerModelsNeverFaster) {
+  const DeviceSpec dev = a100_80g();
+  const auto sys = system_profile(System::kQServePerChannel);
+  const ServingWorkload wl;
+  double prev = 1e18;
+  for (const char* name :
+       {"Llama-2-7B", "Llama-2-13B", "Llama-30B", "Llama-2-70B"}) {
+    const double t =
+        max_throughput(dev, sys, model_by_name(name), wl).tokens_per_second;
+    EXPECT_LT(t, prev) << name;
+    prev = t;
+  }
+}
+
+TEST(ServingProperties, KvPoolScalesWithWorkloadLength) {
+  const auto sys = system_profile(System::kQServePerGroup);
+  const auto model = model_by_name("Llama-2-7B");
+  ServingWorkload wl1{1024, 512};
+  ServingWorkload wl2{2048, 1024};
+  EXPECT_NEAR(kv_pool_bytes(sys, model, wl2, 8) /
+                  kv_pool_bytes(sys, model, wl1, 8),
+              2.0, 1e-9);
+}
+
+TEST(ServingProperties, MaxFeasibleBatchMonotoneInMemory) {
+  DeviceSpec small = l40s_48g();
+  DeviceSpec big = small;
+  big.memory_gib = 96;
+  const auto sys = system_profile(System::kQServePerGroup);
+  const auto model = model_by_name("Llama-2-13B");
+  const ServingWorkload wl;
+  EXPECT_GT(max_feasible_batch(big, sys, model, wl),
+            max_feasible_batch(small, sys, model, wl));
+}
+
+TEST(ServingProperties, UnsupportedAndOomAreDistinct) {
+  const ServingWorkload wl;
+  const auto atom = system_profile(System::kAtomW4A4);
+  const auto est =
+      max_throughput(a100_80g(), atom, model_by_name("Yi-34B"), wl);
+  EXPECT_FALSE(est.supported);
+  EXPECT_FALSE(est.oom);
+  EXPECT_EQ(est.tokens_per_second, 0);
+
+  const auto fp16 = system_profile(System::kTrtFp16);
+  const auto est2 =
+      max_throughput(l40s_48g(), fp16, model_by_name("Qwen1.5-72B"), wl);
+  EXPECT_TRUE(est2.supported);
+  EXPECT_TRUE(est2.oom);
+}
+
+TEST(ServingProperties, PrefillScalesWithPromptLength) {
+  const DeviceSpec dev = a100_80g();
+  const auto sys = system_profile(System::kTrtW8A8);
+  const auto model = model_by_name("Llama-2-7B");
+  const auto short_wl = ServingWorkload{256, 64};
+  const auto long_wl = ServingWorkload{2048, 64};
+  const auto a = estimate_throughput(dev, sys, model, short_wl, 8);
+  const auto b = estimate_throughput(dev, sys, model, long_wl, 8);
+  EXPECT_GT(b.prefill_seconds, a.prefill_seconds * 4);
+}
+
+TEST(ModelConfigProperties, ParamCountsMatchPublishedScale) {
+  // Sanity: our shape tables land near the nominal parameter counts.
+  EXPECT_NEAR(double(model_by_name("Llama-2-7B").param_count()) / 1e9, 6.7,
+              0.5);
+  EXPECT_NEAR(double(model_by_name("Llama-3-8B").param_count()) / 1e9, 8.0,
+              0.6);
+  EXPECT_NEAR(double(model_by_name("Llama-2-13B").param_count()) / 1e9, 13.0,
+              0.8);
+  EXPECT_NEAR(double(model_by_name("Llama-2-70B").param_count()) / 1e9, 69.0,
+              3.0);
+  EXPECT_NEAR(double(model_by_name("Qwen1.5-72B").param_count()) / 1e9, 72.0,
+              4.0);
+}
+
+TEST(ModelConfigProperties, KvBytesPerTokenMatchesFormula) {
+  const auto m = model_by_name("Llama-2-7B");
+  // 2 (K+V) * 32 layers * 4096 kv_dim * 1 byte = 256 KiB/token at KV8.
+  EXPECT_EQ(m.kv_bytes_per_token(8), 2 * 32 * 4096);
+  EXPECT_EQ(m.kv_bytes_per_token(4), 32 * 4096);
+}
+
+}  // namespace
+}  // namespace qserve

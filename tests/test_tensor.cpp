@@ -1,0 +1,108 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/int4.h"
+
+namespace qserve {
+namespace {
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.numel(), 12);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, At2RowMajorLayout) {
+  Tensor t({2, 3});
+  t.at2(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  EXPECT_EQ(t.row(1)[2], 7.0f);
+}
+
+TEST(Tensor, FullAndReshape) {
+  Tensor t = Tensor::full({6}, 2.5f);
+  Tensor r = t.reshaped({2, 3});
+  EXPECT_EQ(r.rows(), 2);
+  EXPECT_EQ(r.at2(1, 1), 2.5f);
+}
+
+TEST(Tensor, ReshapeRejectsWrongNumel) {
+  Tensor t({4});
+  EXPECT_THROW(t.reshaped({5}), CheckError);
+}
+
+TEST(Tensor, AbsMax) {
+  Tensor t({4});
+  t[0] = -3.0f;
+  t[1] = 2.0f;
+  t[2] = 0.5f;
+  t[3] = -0.25f;
+  EXPECT_EQ(abs_max(t.data(), t.numel()), 3.0f);
+}
+
+TEST(Tensor, MaxAbsDiffAndMse) {
+  Tensor a({3}), b({3});
+  a[0] = 1;
+  a[1] = 2;
+  a[2] = 3;
+  b[0] = 1;
+  b[1] = 2.5f;
+  b[2] = 3;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+  EXPECT_NEAR(mse(a, b), 0.25 / 3.0, 1e-9);
+}
+
+TEST(Tensor, IntTensorTypes) {
+  I8Tensor q({2, 2});
+  q.at2(0, 1) = -100;
+  EXPECT_EQ(q.at2(0, 1), -100);
+  I32Tensor acc({2});
+  acc[1] = 1 << 20;
+  EXPECT_EQ(acc[1], 1 << 20);
+}
+
+// --- INT4 packing --------------------------------------------------------------
+
+TEST(Int4, PackUnpackRoundTripEven) {
+  U8Tensor codes({3, 8});
+  for (int64_t i = 0; i < codes.numel(); ++i)
+    codes[i] = static_cast<uint8_t>(i % 16);
+  const PackedU4 p = pack_u4(codes);
+  EXPECT_EQ(p.bytes_per_row(), 4);
+  const U8Tensor out = unpack_u4(p);
+  for (int64_t i = 0; i < codes.numel(); ++i) EXPECT_EQ(out[i], codes[i]);
+}
+
+TEST(Int4, PackUnpackRoundTripOddCols) {
+  U8Tensor codes({2, 7});
+  for (int64_t i = 0; i < codes.numel(); ++i)
+    codes[i] = static_cast<uint8_t>((i * 3) % 16);
+  const U8Tensor out = unpack_u4(pack_u4(codes));
+  EXPECT_EQ(out.cols(), 7);
+  for (int64_t i = 0; i < codes.numel(); ++i) EXPECT_EQ(out[i], codes[i]);
+}
+
+TEST(Int4, GetU4MatchesUnpack) {
+  U8Tensor codes({2, 6});
+  for (int64_t i = 0; i < codes.numel(); ++i)
+    codes[i] = static_cast<uint8_t>((7 * i + 1) % 16);
+  const PackedU4 p = pack_u4(codes);
+  for (int64_t r = 0; r < 2; ++r)
+    for (int64_t c = 0; c < 6; ++c)
+      EXPECT_EQ(get_u4(p, r, c), codes.at2(r, c));
+}
+
+TEST(Int4, LowNibbleFirst) {
+  U8Tensor codes({1, 2});
+  codes[0] = 0x3;
+  codes[1] = 0xA;
+  const PackedU4 p = pack_u4(codes);
+  EXPECT_EQ(p.bytes[0], 0xA3);  // low nibble = element 0
+}
+
+}  // namespace
+}  // namespace qserve

@@ -7,18 +7,27 @@
 // which matters for the KV4-attention FP16-accumulation experiments (§5.3).
 #pragma once
 
-#include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 
 namespace qserve {
 
 namespace detail {
 
+// C++17 stand-in for std::bit_cast (C++20).
+template <typename To, typename From>
+inline To bit_cast(const From& from) {
+  static_assert(sizeof(To) == sizeof(From), "bit_cast size mismatch");
+  To to;
+  std::memcpy(&to, &from, sizeof(To));
+  return to;
+}
+
 // Scalar float -> binary16 bits with round-to-nearest-even.
 inline uint16_t float_to_half_bits(float f) {
-  const uint32_t x = std::bit_cast<uint32_t>(f);
+  const uint32_t x = bit_cast<uint32_t>(f);
   const uint32_t sign = (x >> 16) & 0x8000u;
   const uint32_t abs = x & 0x7FFFFFFFu;
 
@@ -54,10 +63,10 @@ inline float half_bits_to_float(uint16_t h) {
   const uint32_t mant = h & 0x3FFu;
 
   if (exp == 0x1Fu) {  // inf / NaN
-    return std::bit_cast<float>(sign | 0x7F800000u | (mant << 13));
+    return bit_cast<float>(sign | 0x7F800000u | (mant << 13));
   }
   if (exp == 0) {
-    if (mant == 0) return std::bit_cast<float>(sign);  // zero
+    if (mant == 0) return bit_cast<float>(sign);  // zero
     // Subnormal: normalize.
     int e = -1;
     uint32_t m = mant;
@@ -65,10 +74,10 @@ inline float half_bits_to_float(uint16_t h) {
       ++e;
       m <<= 1;
     } while ((m & 0x400u) == 0);
-    return std::bit_cast<float>(sign | ((127 - 15 - e) << 23) |
+    return bit_cast<float>(sign | ((127 - 15 - e) << 23) |
                                 ((m & 0x3FFu) << 13));
   }
-  return std::bit_cast<float>(sign | ((exp + 112) << 23) | (mant << 13));
+  return bit_cast<float>(sign | ((exp + 112) << 23) | (mant << 13));
 }
 
 }  // namespace detail

@@ -1,0 +1,182 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qserve {
+namespace {
+
+thread_local bool tl_in_region = false;
+
+int default_thread_count() {
+  if (const char* env = std::getenv("QSERVE_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+// One in-flight region, owned by the caller's stack frame. Participants claim
+// chunks with fetch_add on `next`; `entered`/`exited` (guarded by the pool
+// mutex) let the caller wait until every participant has left before the
+// frame is destroyed.
+struct Region {
+  const ParallelRangeFn* fn = nullptr;
+  int64_t end = 0, grain = 1;
+  std::atomic<int64_t> next{0};
+  int entered = 0, exited = 0;  // pool workers only, guarded by pool mu_
+  std::exception_ptr error;     // first exception, guarded by error_mu
+  std::mutex error_mu;
+
+  // Claim and run chunks until the range is exhausted.
+  void work() {
+    tl_in_region = true;
+    for (;;) {
+      const int64_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const int64_t hi = std::min(lo + grain, end);
+      try {
+        (*fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+    tl_in_region = false;
+  }
+};
+
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool* pool = new ThreadPool();  // leaked: workers must
+    return *pool;                                // outlive static dtors
+  }
+
+  int threads() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return threads_unlocked();
+  }
+
+  void resize(int n) {
+    QS_CHECK_MSG(!tl_in_region,
+                 "set_num_threads called inside a parallel region");
+    // run_mu_ guarantees no region is in flight while workers are retired.
+    std::lock_guard<std::mutex> serial(run_mu_);
+    std::vector<std::thread> old;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      override_ = n > 0 ? n : 0;
+      if (!workers_.empty()) {
+        shutdown_ = true;
+        ++epoch_;
+        wake_.notify_all();
+        old.swap(workers_);
+      }
+    }
+    for (auto& t : old) t.join();
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = false;
+    // Workers respawn lazily on the next run().
+  }
+
+  void run(int64_t begin, int64_t end, int64_t grain,
+           const ParallelRangeFn& fn) {
+    std::lock_guard<std::mutex> serial(run_mu_);
+    Region region;
+    region.fn = &fn;
+    region.end = end;
+    region.grain = grain;
+    region.next.store(begin, std::memory_order_relaxed);
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      const int want = threads_unlocked() - 1;
+      while (static_cast<int>(workers_.size()) < want)
+        workers_.emplace_back([this] { worker_loop(); });
+      current_ = &region;
+      ++epoch_;
+      wake_.notify_all();
+    }
+
+    region.work();  // the caller is a full participant
+
+    // The caller's loop only returns once every chunk is claimed; wait for
+    // workers still holding one, and bar late arrivals from entering.
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      current_ = nullptr;
+      done_.wait(lk, [&] { return region.entered == region.exited; });
+    }
+    if (region.error) std::rethrow_exception(region.error);
+  }
+
+ private:
+  ThreadPool() = default;
+
+  int threads_unlocked() {
+    if (override_ > 0) return override_;
+    if (default_ == 0) default_ = default_thread_count();
+    return default_;
+  }
+
+  void worker_loop() {
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      wake_.wait(lk, [&] { return epoch_ != seen; });
+      seen = epoch_;
+      if (shutdown_) return;
+      Region* region = current_;
+      if (region == nullptr) continue;
+      ++region->entered;
+      lk.unlock();
+      region->work();
+      lk.lock();
+      ++region->exited;
+      done_.notify_all();
+    }
+  }
+
+  std::mutex run_mu_;  // serializes whole regions (and pool resizing)
+  std::mutex mu_;      // guards everything below
+  std::condition_variable wake_, done_;
+  std::vector<std::thread> workers_;
+  Region* current_ = nullptr;
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+  int override_ = 0;
+  int default_ = 0;  // resolved lazily from env/hardware
+};
+
+}  // namespace
+
+int num_threads() { return ThreadPool::instance().threads(); }
+
+void set_num_threads(int n) { ThreadPool::instance().resize(n); }
+
+bool in_parallel_region() { return tl_in_region; }
+
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const ParallelRangeFn& fn) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(grain, 1);
+  // Single chunk, single thread, or nested region: run inline. The nested
+  // call must not clear tl_in_region on return; the others never set it.
+  if (tl_in_region || end - begin <= grain || num_threads() == 1) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool::instance().run(begin, end, grain, fn);
+}
+
+}  // namespace qserve

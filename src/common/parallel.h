@@ -1,0 +1,51 @@
+// Persistent thread-pool parallel-for for the CPU hot paths (GEMM main
+// loops, batched attention, the serving engine's per-request fan-out).
+//
+// Design notes:
+//  - The pool is created lazily on the first parallel_for and lives for the
+//    process; workers sleep on a condition variable between regions.
+//  - The caller thread participates in the region, so `num_threads() == 1`
+//    (or a single chunk) degenerates to a plain inline call with zero
+//    synchronization.
+//  - Regions do not nest: a parallel_for issued from inside a worker chunk
+//    runs the body inline on that worker. The serving engine exploits this —
+//    fanning out across requests serializes the per-request GEMM loops, while
+//    a single-request step still parallelizes inside the kernels.
+//  - Exceptions thrown by the body (e.g. QS_CHECK) are captured and rethrown
+//    on the calling thread after the region drains, so QS_CHECK keeps its
+//    crash-over-corruption contract under parallel execution.
+//
+// Thread count resolution order (first match wins, clamped to >= 1):
+//  1. set_num_threads(n) — programmatic override, resizes the pool.
+//  2. QSERVE_NUM_THREADS environment variable, read once at pool creation.
+//  3. std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace qserve {
+
+// Body of a parallel region: processes the half-open index range [lo, hi).
+using ParallelRangeFn = std::function<void(int64_t lo, int64_t hi)>;
+
+// Total threads participating in a region (pool workers + caller), >= 1.
+int num_threads();
+
+// Override the thread count (resizes the pool). n <= 0 resets to the
+// env/hardware default. Must not be called from inside a parallel region.
+void set_num_threads(int n);
+
+// Partition [begin, end) into contiguous chunks of at least `grain` indices
+// (the final chunk may be smaller) and invoke fn on each chunk, spread over
+// the pool. Every index is covered exactly once; fn must be safe to call
+// concurrently on disjoint ranges. Empty ranges are a no-op. grain < 1 is
+// treated as 1.
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const ParallelRangeFn& fn);
+
+// True while executing inside a parallel_for worker chunk (nested regions
+// run inline). Exposed for tests and for code that must avoid re-entry.
+bool in_parallel_region();
+
+}  // namespace qserve

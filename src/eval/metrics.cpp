@@ -25,6 +25,7 @@ double token_logprob(const Tensor& logits, int64_t row, int target) {
 
 double pseudo_perplexity(const ForwardFn& forward,
                          const std::vector<std::vector<int>>& corpus) {
+  QS_CHECK_MSG(!corpus.empty(), "pseudo_perplexity over an empty corpus");
   double nll = 0.0;
   int64_t count = 0;
   for (const auto& tokens : corpus) {
@@ -35,11 +36,13 @@ double pseudo_perplexity(const ForwardFn& forward,
       ++count;
     }
   }
+  QS_CHECK_GT(count, 0);
   return std::exp(nll / double(count));
 }
 
 double mean_kl_to_reference(const ForwardFn& reference, const ForwardFn& model,
                             const std::vector<std::vector<int>>& corpus) {
+  QS_CHECK_MSG(!corpus.empty(), "mean_kl_to_reference over an empty corpus");
   double kl = 0.0;
   int64_t count = 0;
   for (const auto& tokens : corpus) {
@@ -65,6 +68,7 @@ double mean_kl_to_reference(const ForwardFn& reference, const ForwardFn& model,
       ++count;
     }
   }
+  QS_CHECK_GT(count, 0);
   return kl / double(count);
 }
 
@@ -103,6 +107,8 @@ double choice_accuracy(const ForwardFn& forward,
 double greedy_agreement(const ForwardFn& reference, const ForwardFn& model,
                         const std::vector<std::vector<int>>& prompts,
                         int horizon) {
+  QS_CHECK_MSG(!prompts.empty(), "greedy_agreement over an empty prompt set");
+  QS_CHECK_GT(horizon, 0);
   int agree = 0, total = 0;
   for (const auto& prompt : prompts) {
     std::vector<int> ctx = prompt;

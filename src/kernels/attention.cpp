@@ -1,9 +1,11 @@
 #include "kernels/attention.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/half.h"
 #include "common/math_util.h"
+#include "common/parallel.h"
 
 namespace qserve {
 
@@ -49,16 +51,22 @@ Tensor attention_prefill(const Tensor& q, const Tensor& k, const Tensor& v,
   const int group = cfg.n_heads / cfg.n_kv_heads;
 
   Tensor out({n, q.cols()});
-  std::vector<float> scores(static_cast<size_t>(s));
-  for (int64_t i = 0; i < n; ++i) {
-    const int64_t visible = s - n + i + 1;  // causal mask
-    for (int h = 0; h < cfg.n_heads; ++h) {
-      const float* qh = q.row(i) + int64_t(h) * cfg.head_dim;
-      float* oh = out.row(i) + int64_t(h) * cfg.head_dim;
-      head_attention(qh, k, v, h / group, cfg.head_dim, visible,
-                     cfg.fp16_accum, scores.data(), oh);
+  // Parallel over query positions; every (position, head) pair is
+  // independent, so the result is bitwise identical to the serial loop.
+  parallel_for(0, n, 1, [&](int64_t i0, int64_t i1) {
+    // Reused per pool thread to keep per-row heap traffic off the hot path.
+    thread_local std::vector<float> scores;
+    scores.resize(static_cast<size_t>(s));
+    for (int64_t i = i0; i < i1; ++i) {
+      const int64_t visible = s - n + i + 1;  // causal mask
+      for (int h = 0; h < cfg.n_heads; ++h) {
+        const float* qh = q.row(i) + int64_t(h) * cfg.head_dim;
+        float* oh = out.row(i) + int64_t(h) * cfg.head_dim;
+        head_attention(qh, k, v, h / group, cfg.head_dim, visible,
+                       cfg.fp16_accum, scores.data(), oh);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -68,12 +76,16 @@ void attention_decode_token(const float* q, const Tensor& k, const Tensor& v,
   QS_CHECK(k.same_shape(v));
   const int64_t s = k.rows();
   const int group = cfg.n_heads / cfg.n_kv_heads;
-  std::vector<float> scores(static_cast<size_t>(s));
-  for (int h = 0; h < cfg.n_heads; ++h) {
-    head_attention(q + int64_t(h) * cfg.head_dim, k, v, h / group,
-                   cfg.head_dim, s, cfg.fp16_accum, scores.data(),
-                   out + int64_t(h) * cfg.head_dim);
-  }
+  parallel_for(0, cfg.n_heads, 1, [&](int64_t h0, int64_t h1) {
+    // Reused per pool thread to keep per-head heap traffic off the hot path.
+    thread_local std::vector<float> scores;
+    scores.resize(static_cast<size_t>(s));
+    for (int64_t h = h0; h < h1; ++h) {
+      head_attention(q + h * cfg.head_dim, k, v, static_cast<int>(h) / group,
+                     cfg.head_dim, s, cfg.fp16_accum, scores.data(),
+                     out + h * cfg.head_dim);
+    }
+  });
 }
 
 }  // namespace qserve

@@ -3,9 +3,18 @@
 #include <vector>
 
 #include "common/half.h"
+#include "common/parallel.h"
 #include "kernels/rlp.h"
 
 namespace qserve {
+
+namespace {
+
+// Output channels per parallel_for chunk. Each (t, r) output is computed
+// independently, so any partition yields bitwise-identical results.
+constexpr int64_t kRowGrain = 8;
+
+}  // namespace
 
 Tensor gemm_f32_ref(const Tensor& x, const Tensor& w) {
   QS_CHECK_EQ(x.cols(), w.cols());
@@ -44,18 +53,19 @@ Tensor gemm_w8a8(const QuantizedActs& x, const W8PerChannel& w) {
   QS_CHECK_EQ(x.k(), w.k());
   const int64_t m = x.m(), k = x.k(), n = w.n();
   Tensor y({m, n});
-  for (int64_t t = 0; t < m; ++t) {
-    const int8_t* xr = x.q.row(t);
-    const float sx = x.s[t];
-    for (int64_t r = 0; r < n; ++r) {
+  parallel_for(0, n, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
       const int8_t* wr = w.qw.row(r);
-      int32_t acc = 0;
-      for (int64_t c = 0; c < k; ++c)
-        acc += int32_t(xr[c]) * int32_t(wr[c]);
-      // Epilogue: outer-product scaling, FP16 output.
-      y.at2(t, r) = to_half_precision(float(acc) * sx * w.s[r]);
+      for (int64_t t = 0; t < m; ++t) {
+        const int8_t* xr = x.q.row(t);
+        int32_t acc = 0;
+        for (int64_t c = 0; c < k; ++c)
+          acc += int32_t(xr[c]) * int32_t(wr[c]);
+        // Epilogue: outer-product scaling, FP16 output.
+        y.at2(t, r) = to_half_precision(float(acc) * x.s[t] * w.s[r]);
+      }
     }
-  }
+  });
   return y;
 }
 
@@ -66,18 +76,18 @@ Tensor gemm_w4a8_per_channel(const QuantizedActs& x, const W4PerChannel& w) {
   // Main loop MACs the raw UINT4 codes against INT8 activations; the
   // zero-point correction -tX * (z*s) happens once per output in the epilogue
   // (subtraction after multiplication, Eq. 12/13).
-  for (int64_t t = 0; t < m; ++t) {
-    const int8_t* xr = x.q.row(t);
-    const float sx = x.s[t];
-    const float tx = x.token_sum[t];
-    for (int64_t r = 0; r < n; ++r) {
-      int32_t acc = 0;
-      for (int64_t c = 0; c < k; ++c)
-        acc += int32_t(xr[c]) * int32_t(get_u4(w.qw, r, c));
-      const float main_term = float(acc) * sx * w.s[r];
-      y.at2(t, r) = to_half_precision(main_term - tx * w.szw[r]);
+  parallel_for(0, n, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int64_t t = 0; t < m; ++t) {
+        const int8_t* xr = x.q.row(t);
+        int32_t acc = 0;
+        for (int64_t c = 0; c < k; ++c)
+          acc += int32_t(xr[c]) * int32_t(get_u4(w.qw, r, c));
+        const float main_term = float(acc) * x.s[t] * w.s[r];
+        y.at2(t, r) = to_half_precision(main_term - x.token_sum[t] * w.szw[r]);
+      }
     }
-  }
+  });
   return y;
 }
 
@@ -89,23 +99,29 @@ Tensor gemm_w4a8_per_group(const QuantizedActs& x, const W4PerGroup& w) {
   // codes (the protective range guarantees they fit INT8), then INT8 MACs.
   // The SWAR-faithful version of this dequant is exercised by the streamed
   // kernel below; the integer arithmetic is identical.
-  std::vector<int8_t> wrow(static_cast<size_t>(k));
-  for (int64_t r = 0; r < n; ++r) {
-    for (int64_t c = 0; c < k; ++c) {
-      const int64_t g = c / w.group;
-      const int code = (int(get_u4(w.qw, r, c)) - int(w.z.at2(r, g))) *
-                       int(w.s1.at2(r, g));
-      QS_DCHECK(code >= -128 && code <= 127);
-      wrow[static_cast<size_t>(c)] = static_cast<int8_t>(code);
+  parallel_for(0, n, kRowGrain, [&](int64_t r0, int64_t r1) {
+    std::vector<int8_t> wrow(static_cast<size_t>(k));  // per-chunk scratch
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int64_t c = 0; c < k; ++c) {
+        const int64_t g = c / w.group;
+        const int code = (int(get_u4(w.qw, r, c)) - int(w.z.at2(r, g))) *
+                         int(w.s1.at2(r, g));
+        // With the protective range (level1_range = 119) the code always
+        // fits INT8; with the naive range (127) it can exceed it, and the
+        // cast wraps exactly like the INT8 register in the GPU kernel —
+        // that overflow is the accuracy bug the paper's Fig. 6 reproduces,
+        // so it must not be asserted away.
+        wrow[static_cast<size_t>(c)] = static_cast<int8_t>(code);
+      }
+      for (int64_t t = 0; t < m; ++t) {
+        const int8_t* xr = x.q.row(t);
+        int32_t acc = 0;
+        for (int64_t c = 0; c < k; ++c)
+          acc += int32_t(xr[c]) * int32_t(wrow[static_cast<size_t>(c)]);
+        y.at2(t, r) = to_half_precision(float(acc) * x.s[t] * w.s0[r]);
+      }
     }
-    for (int64_t t = 0; t < m; ++t) {
-      const int8_t* xr = x.q.row(t);
-      int32_t acc = 0;
-      for (int64_t c = 0; c < k; ++c)
-        acc += int32_t(xr[c]) * int32_t(wrow[static_cast<size_t>(c)]);
-      y.at2(t, r) = to_half_precision(float(acc) * x.s[t] * w.s0[r]);
-    }
-  }
+  });
   return y;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/half.h"
 #include "common/math_util.h"
+#include "common/parallel.h"
 
 namespace qserve {
 
@@ -14,22 +15,30 @@ void fused_decode_attention(const PagedKvCache& cache, int seq,
   QS_CHECK_EQ(cfg.n_kv_heads, cache.config().n_kv_heads);
   QS_CHECK_EQ(cfg.head_dim, cache.config().head_dim);
   QS_CHECK_EQ(cfg.n_heads % cfg.n_kv_heads, 0);
-  const int64_t s_len = cache.seq_len(seq);
+  // One locked page-table resolution for the whole kernel; the per-(token,
+  // head) reads below are lock-free, as a fused kernel's gathers must be.
+  const PagedKvCache::SeqView kv = cache.view(seq);
+  const int64_t s_len = kv.length();
   QS_CHECK_GT(s_len, 0);
   const int group = cfg.n_heads / cfg.n_kv_heads;
   const float scale = 1.0f / std::sqrt(float(cfg.head_dim));
 
-  std::vector<float> scores(static_cast<size_t>(s_len));
-  std::vector<float> head_vec(static_cast<size_t>(cfg.head_dim));
+  // Parallel over heads; each head reads its own KV slices and writes its
+  // own slice of `out`, so the result matches the serial loop bitwise.
+  parallel_for(0, cfg.n_heads, 1, [&](int64_t h0, int64_t h1) {
+  // Reused per pool thread to keep per-head heap traffic off the hot path.
+  thread_local std::vector<float> scores, head_vec;
+  scores.resize(static_cast<size_t>(s_len));
+  head_vec.resize(static_cast<size_t>(cfg.head_dim));
 
-  for (int h = 0; h < cfg.n_heads; ++h) {
-    const int kv_head = h / group;
-    const float* qh = q + int64_t(h) * cfg.head_dim;
-    float* oh = out + int64_t(h) * cfg.head_dim;
+  for (int64_t h = h0; h < h1; ++h) {
+    const int kv_head = static_cast<int>(h) / group;
+    const float* qh = q + h * cfg.head_dim;
+    float* oh = out + h * cfg.head_dim;
 
     // Pass 1: QK scores with inline K dequantization, page by page.
     for (int64_t t = 0; t < s_len; ++t) {
-      cache.read_k(seq, t, kv_head, head_vec.data());
+      kv.read_k(t, kv_head, head_vec.data());
       float dot = 0.0f;
       for (int d = 0; d < cfg.head_dim; ++d) dot += qh[d] * head_vec[size_t(d)];
       scores[size_t(t)] =
@@ -40,7 +49,7 @@ void fused_decode_attention(const PagedKvCache& cache, int seq,
     // Pass 2: SV accumulation with inline V dequantization.
     for (int d = 0; d < cfg.head_dim; ++d) oh[d] = 0.0f;
     for (int64_t t = 0; t < s_len; ++t) {
-      cache.read_v(seq, t, kv_head, head_vec.data());
+      kv.read_v(t, kv_head, head_vec.data());
       const float p = scores[size_t(t)];
       for (int d = 0; d < cfg.head_dim; ++d) oh[d] += p * head_vec[size_t(d)];
     }
@@ -48,6 +57,7 @@ void fused_decode_attention(const PagedKvCache& cache, int seq,
       for (int d = 0; d < cfg.head_dim; ++d) oh[d] = to_half_precision(oh[d]);
     }
   }
+  });
 }
 
 }  // namespace qserve

@@ -33,6 +33,7 @@ PagedKvCache::PagedKvCache(const KvCacheConfig& cfg) : cfg_(cfg) {
 }
 
 int PagedKvCache::alloc_sequence() {
+  std::lock_guard<std::mutex> lk(mu_);
   int id;
   if (!free_seq_ids_.empty()) {
     id = free_seq_ids_.back();
@@ -49,11 +50,12 @@ int PagedKvCache::alloc_sequence() {
 }
 
 void PagedKvCache::free_sequence(int seq) {
-  QS_CHECK(is_live(seq));
+  std::lock_guard<std::mutex> lk(mu_);
+  QS_CHECK(is_live_locked(seq));
   auto& s = seqs_[static_cast<size_t>(seq)];
   for (int pid : s.page_table) {
     free_page_ids_.push_back(pid);
-    --used_pages_;
+    used_pages_.fetch_sub(1, std::memory_order_relaxed);
   }
   s.page_table.clear();
   s.length = 0;
@@ -62,17 +64,23 @@ void PagedKvCache::free_sequence(int seq) {
 }
 
 int64_t PagedKvCache::seq_len(int seq) const {
-  QS_CHECK(is_live(seq));
+  std::lock_guard<std::mutex> lk(mu_);
+  QS_CHECK(is_live_locked(seq));
   return seqs_[static_cast<size_t>(seq)].length;
 }
 
 bool PagedKvCache::is_live(int seq) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return is_live_locked(seq);
+}
+
+bool PagedKvCache::is_live_locked(int seq) const {
   return seq >= 0 && seq < static_cast<int>(seqs_.size()) &&
          seqs_[static_cast<size_t>(seq)].live;
 }
 
-int PagedKvCache::alloc_page() {
-  QS_CHECK_MSG(used_pages_ < cfg_.max_pages, "KV cache pool exhausted");
+int PagedKvCache::alloc_page_locked() {
+  QS_CHECK_MSG(pages_in_use() < cfg_.max_pages, "KV cache pool exhausted");
   int pid;
   if (!free_page_ids_.empty()) {
     pid = free_page_ids_.back();
@@ -100,19 +108,13 @@ int PagedKvCache::alloc_page() {
     p.k_params.assign(heads, {});
     p.v_params.assign(heads, {});
   }
-  ++used_pages_;
+  used_pages_.fetch_add(1, std::memory_order_relaxed);
   return pid;
 }
 
-PagedKvCache::Page& PagedKvCache::page_for_append(Sequence& s) {
-  if (s.length % cfg_.page_size == 0) {
-    s.page_table.push_back(alloc_page());
-  }
-  return pages_[static_cast<size_t>(s.page_table.back())];
-}
-
 bool PagedKvCache::can_grow(int seq, int64_t tokens) const {
-  QS_CHECK(is_live(seq));
+  std::lock_guard<std::mutex> lk(mu_);
+  QS_CHECK(is_live_locked(seq));
   const auto& s = seqs_[static_cast<size_t>(seq)];
   const int64_t have =
       int64_t(s.page_table.size()) * cfg_.page_size - s.length;
@@ -122,10 +124,21 @@ bool PagedKvCache::can_grow(int seq, int64_t tokens) const {
 }
 
 void PagedKvCache::append(int seq, const float* k, const float* v) {
-  QS_CHECK(is_live(seq));
-  auto& s = seqs_[static_cast<size_t>(seq)];
-  Page& page = page_for_append(s);
-  const int64_t slot = s.length % cfg_.page_size;
+  // Bookkeeping under the lock; the quantize-into-page writes below touch a
+  // page owned exclusively by this sequence, so they can run unlocked.
+  Page* page_ptr;
+  int64_t slot;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    QS_CHECK(is_live_locked(seq));
+    auto& s = seqs_[static_cast<size_t>(seq)];
+    if (s.length % cfg_.page_size == 0)
+      s.page_table.push_back(alloc_page_locked());
+    page_ptr = &pages_[static_cast<size_t>(s.page_table.back())];
+    slot = s.length % cfg_.page_size;
+    ++s.length;
+  }
+  Page& page = *page_ptr;
   const int64_t span = head_span();
   const int64_t off = slot * span;
 
@@ -156,103 +169,97 @@ void PagedKvCache::append(int seq, const float* k, const float* v) {
                                         page.v_codes.data() + hoff);
     }
   }
-  ++s.length;
+}
+
+const PagedKvCache::Page* PagedKvCache::locate(int seq, int64_t token,
+                                               int head) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  QS_CHECK(is_live_locked(seq));
+  const auto& s = seqs_[static_cast<size_t>(seq)];
+  QS_CHECK(token >= 0 && token < s.length);
+  QS_CHECK(head >= 0 && head < cfg_.n_kv_heads);
+  return &pages_[static_cast<size_t>(
+      s.page_table[static_cast<size_t>(token / cfg_.page_size)])];
+}
+
+void PagedKvCache::read_head(const Page& page, int64_t token, int head,
+                             bool is_k, float* out) const {
+  const int64_t slot = token % cfg_.page_size;
+  const int64_t hoff = slot * head_span() + int64_t(head) * cfg_.head_dim;
+  if (cfg_.precision == KvPrecision::kFp16) {
+    const auto& fp = is_k ? page.k_fp : page.v_fp;
+    for (int i = 0; i < cfg_.head_dim; ++i)
+      out[i] = fp[static_cast<size_t>(hoff + i)];
+  } else if (cfg_.static_scales) {
+    StaticKv8Params p{is_k ? cfg_.static_scale_k : cfg_.static_scale_v};
+    const auto& codes = is_k ? page.k_codes : page.v_codes;
+    for (int i = 0; i < cfg_.head_dim; ++i) {
+      const int8_t c =
+          static_cast<int8_t>(codes[static_cast<size_t>(hoff + i)]);
+      kv8_static_dequantize(&c, 1, p, out + i);
+    }
+  } else {
+    const size_t pidx = static_cast<size_t>(slot * cfg_.n_kv_heads + head);
+    const auto& codes = is_k ? page.k_codes : page.v_codes;
+    const auto& params = is_k ? page.k_params : page.v_params;
+    kv_dequantize(codes.data() + hoff, cfg_.head_dim, params[pidx], out);
+  }
 }
 
 void PagedKvCache::read_k(int seq, int64_t token, int head,
                           float* out) const {
-  QS_CHECK(is_live(seq));
-  const auto& s = seqs_[static_cast<size_t>(seq)];
-  QS_CHECK(token >= 0 && token < s.length);
-  QS_CHECK(head >= 0 && head < cfg_.n_kv_heads);
-  const auto& page = pages_[static_cast<size_t>(
-      s.page_table[static_cast<size_t>(token / cfg_.page_size)])];
-  const int64_t slot = token % cfg_.page_size;
-  const int64_t hoff =
-      slot * head_span() + int64_t(head) * cfg_.head_dim;
-  if (cfg_.precision == KvPrecision::kFp16) {
-    for (int i = 0; i < cfg_.head_dim; ++i)
-      out[i] = page.k_fp[static_cast<size_t>(hoff + i)];
-  } else if (cfg_.static_scales) {
-    StaticKv8Params pk{cfg_.static_scale_k};
-    for (int i = 0; i < cfg_.head_dim; ++i) {
-      const int8_t c =
-          static_cast<int8_t>(page.k_codes[static_cast<size_t>(hoff + i)]);
-      kv8_static_dequantize(&c, 1, pk, out + i);
-    }
-  } else {
-    const size_t pidx = static_cast<size_t>(slot * cfg_.n_kv_heads + head);
-    kv_dequantize(page.k_codes.data() + hoff, cfg_.head_dim,
-                  page.k_params[pidx], out);
-  }
+  read_head(*locate(seq, token, head), token, head, /*is_k=*/true, out);
 }
 
 void PagedKvCache::read_v(int seq, int64_t token, int head,
                           float* out) const {
-  QS_CHECK(is_live(seq));
+  read_head(*locate(seq, token, head), token, head, /*is_k=*/false, out);
+}
+
+PagedKvCache::SeqView PagedKvCache::view(int seq) const {
+  SeqView v;
+  v.cache_ = this;
+  std::lock_guard<std::mutex> lk(mu_);
+  QS_CHECK(is_live_locked(seq));
   const auto& s = seqs_[static_cast<size_t>(seq)];
-  QS_CHECK(token >= 0 && token < s.length);
-  QS_CHECK(head >= 0 && head < cfg_.n_kv_heads);
-  const auto& page = pages_[static_cast<size_t>(
-      s.page_table[static_cast<size_t>(token / cfg_.page_size)])];
-  const int64_t slot = token % cfg_.page_size;
-  const int64_t hoff =
-      slot * head_span() + int64_t(head) * cfg_.head_dim;
-  if (cfg_.precision == KvPrecision::kFp16) {
-    for (int i = 0; i < cfg_.head_dim; ++i)
-      out[i] = page.v_fp[static_cast<size_t>(hoff + i)];
-  } else if (cfg_.static_scales) {
-    StaticKv8Params pv{cfg_.static_scale_v};
-    for (int i = 0; i < cfg_.head_dim; ++i) {
-      const int8_t c =
-          static_cast<int8_t>(page.v_codes[static_cast<size_t>(hoff + i)]);
-      kv8_static_dequantize(&c, 1, pv, out + i);
-    }
-  } else {
-    const size_t pidx = static_cast<size_t>(slot * cfg_.n_kv_heads + head);
-    kv_dequantize(page.v_codes.data() + hoff, cfg_.head_dim,
-                  page.v_params[pidx], out);
-  }
+  v.length_ = s.length;
+  v.pages_.reserve(s.page_table.size());
+  for (int pid : s.page_table)
+    v.pages_.push_back(&pages_[static_cast<size_t>(pid)]);
+  return v;
+}
+
+void PagedKvCache::SeqView::read_k(int64_t token, int head,
+                                   float* out) const {
+  QS_CHECK(token >= 0 && token < length_);
+  QS_CHECK(head >= 0 && head < cache_->cfg_.n_kv_heads);
+  cache_->read_head(*pages_[static_cast<size_t>(
+                        token / cache_->cfg_.page_size)],
+                    token, head, /*is_k=*/true, out);
+}
+
+void PagedKvCache::SeqView::read_v(int64_t token, int head,
+                                   float* out) const {
+  QS_CHECK(token >= 0 && token < length_);
+  QS_CHECK(head >= 0 && head < cache_->cfg_.n_kv_heads);
+  cache_->read_head(*pages_[static_cast<size_t>(
+                        token / cache_->cfg_.page_size)],
+                    token, head, /*is_k=*/false, out);
 }
 
 void PagedKvCache::gather(int seq, Tensor& k_out, Tensor& v_out) const {
-  QS_CHECK(is_live(seq));
-  const auto& s = seqs_[static_cast<size_t>(seq)];
+  // One locked page-table snapshot, then unlocked per-head dequantization —
+  // the same arithmetic as read_k/read_v, head by head.
+  const SeqView v = view(seq);
   const int64_t span = head_span();
-  k_out = Tensor({s.length, span});
-  v_out = Tensor({s.length, span});
-  for (int64_t t = 0; t < s.length; ++t) {
-    const auto& page =
-        pages_[static_cast<size_t>(s.page_table[static_cast<size_t>(
-            t / cfg_.page_size)])];
-    const int64_t slot = t % cfg_.page_size;
-    const int64_t off = slot * span;
+  k_out = Tensor({v.length(), span});
+  v_out = Tensor({v.length(), span});
+  for (int64_t t = 0; t < v.length(); ++t) {
     float* kr = k_out.row(t);
     float* vr = v_out.row(t);
-    if (cfg_.precision == KvPrecision::kFp16) {
-      for (int64_t i = 0; i < span; ++i) {
-        kr[i] = page.k_fp[static_cast<size_t>(off + i)];
-        vr[i] = page.v_fp[static_cast<size_t>(off + i)];
-      }
-    } else if (cfg_.static_scales) {
-      StaticKv8Params pk{cfg_.static_scale_k}, pv{cfg_.static_scale_v};
-      for (int64_t i = 0; i < span; ++i) {
-        const int8_t ck =
-            static_cast<int8_t>(page.k_codes[static_cast<size_t>(off + i)]);
-        const int8_t cv =
-            static_cast<int8_t>(page.v_codes[static_cast<size_t>(off + i)]);
-        kv8_static_dequantize(&ck, 1, pk, kr + i);
-        kv8_static_dequantize(&cv, 1, pv, vr + i);
-      }
-    } else {
-      for (int h = 0; h < cfg_.n_kv_heads; ++h) {
-        const int64_t hoff = off + int64_t(h) * cfg_.head_dim;
-        const size_t pidx = static_cast<size_t>(slot * cfg_.n_kv_heads + h);
-        kv_dequantize(page.k_codes.data() + hoff, cfg_.head_dim,
-                      page.k_params[pidx], kr + int64_t(h) * cfg_.head_dim);
-        kv_dequantize(page.v_codes.data() + hoff, cfg_.head_dim,
-                      page.v_params[pidx], vr + int64_t(h) * cfg_.head_dim);
-      }
+    for (int h = 0; h < cfg_.n_kv_heads; ++h) {
+      v.read_k(t, h, kr + int64_t(h) * cfg_.head_dim);
+      v.read_v(t, h, vr + int64_t(h) * cfg_.head_dim);
     }
   }
 }

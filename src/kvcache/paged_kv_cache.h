@@ -6,9 +6,19 @@
 // updates them on the fly — the requirement for KV4 accuracy. This module is
 // the storage substrate; the fused attention numerics (FP16 accumulation)
 // live in kernels/attention.h and consume the dequantized gather.
+// Threading contract: the serving engine fans out prefill/decode across
+// requests, so append/read/gather on *distinct* sequences may run
+// concurrently — pool bookkeeping (page allocation, free lists, usage
+// counters) is guarded by an internal mutex, and page/sequence storage is
+// reference-stable (std::deque). Operations on the *same* sequence, and the
+// sequence lifecycle (alloc_sequence/free_sequence) relative to uses of that
+// sequence, must still be serialized by the caller.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -37,6 +47,8 @@ struct KvCacheConfig {
 int64_t kv_page_bytes(const KvCacheConfig& cfg);
 
 class PagedKvCache {
+  struct Page;  // defined below; forward-declared for SeqView
+
  public:
   explicit PagedKvCache(const KvCacheConfig& cfg);
 
@@ -50,9 +62,11 @@ class PagedKvCache {
   void append(int seq, const float* k, const float* v);
 
   int64_t seq_len(int seq) const;
-  int64_t pages_in_use() const { return used_pages_; }
-  int64_t free_pages() const { return cfg_.max_pages - used_pages_; }
-  int64_t bytes_in_use() const { return used_pages_ * kv_page_bytes(cfg_); }
+  int64_t pages_in_use() const {
+    return used_pages_.load(std::memory_order_relaxed);
+  }
+  int64_t free_pages() const { return cfg_.max_pages - pages_in_use(); }
+  int64_t bytes_in_use() const { return pages_in_use() * kv_page_bytes(cfg_); }
 
   // Would appending `tokens` more tokens to `seq` fit in the pool?
   bool can_grow(int seq, int64_t tokens) const;
@@ -66,6 +80,26 @@ class PagedKvCache {
   // the same arithmetic as gather().
   void read_k(int seq, int64_t token, int head, float* out) const;
   void read_v(int seq, int64_t token, int head, float* out) const;
+
+  // Lock-free repeated reads over one sequence: resolves the page table
+  // once under the lock, then every read_k/read_v dequantizes without
+  // synchronization — the access pattern of a fused attention kernel that
+  // must not take a mutex per (token, head). Valid while the sequence is
+  // live and not concurrently appended (the same same-sequence
+  // serialization contract as the locked readers above).
+  class SeqView {
+   public:
+    int64_t length() const { return length_; }
+    void read_k(int64_t token, int head, float* out) const;
+    void read_v(int64_t token, int head, float* out) const;
+
+   private:
+    friend class PagedKvCache;
+    const PagedKvCache* cache_ = nullptr;
+    std::vector<const Page*> pages_;
+    int64_t length_ = 0;
+  };
+  SeqView view(int seq) const;
 
   const KvCacheConfig& config() const { return cfg_; }
 
@@ -86,15 +120,24 @@ class PagedKvCache {
   };
 
   int64_t head_span() const { return int64_t(cfg_.n_kv_heads) * cfg_.head_dim; }
-  Page& page_for_append(Sequence& s);
-  int alloc_page();
+  bool is_live_locked(int seq) const;
+  int alloc_page_locked();
+  // Resolve the page holding (seq, token) under mu_, with bounds checks.
+  const Page* locate(int seq, int64_t token, int head) const;
+  // Dequantize one (token, head) K or V vector out of `page` (no locking;
+  // pages of a live sequence are immutable except via same-seq append).
+  void read_head(const Page& page, int64_t token, int head, bool is_k,
+                 float* out) const;
 
   KvCacheConfig cfg_;
-  std::vector<Page> pages_;
+  // Deques keep references to live pages/sequences stable while the pool
+  // grows under concurrent append (see threading contract above).
+  mutable std::mutex mu_;
+  std::deque<Page> pages_;
   std::vector<int> free_page_ids_;
-  std::vector<Sequence> seqs_;
+  std::deque<Sequence> seqs_;
   std::vector<int> free_seq_ids_;
-  int64_t used_pages_ = 0;
+  std::atomic<int64_t> used_pages_{0};
 };
 
 }  // namespace qserve

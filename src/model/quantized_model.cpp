@@ -147,6 +147,7 @@ QuantizedModel::QuantizedModel(const ModelWeights& weights,
   kcfg.head_dim = cfg_.head_dim;
   kcfg.precision = cfg.kv;
   kcfg.page_size = 16;
+  kcfg.max_pages = cfg.kv_max_pages;
   kv_ = std::make_unique<PagedKvCache>(kcfg);
 }
 

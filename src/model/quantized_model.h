@@ -32,6 +32,9 @@ struct QuantSchemeConfig {
   int group = 128;
   int level1_range = 119;  // kProtectiveRange; 127 = naive (overflow repro)
   bool fp16_attention = true;  // QServe's FP16 attention arithmetic
+  // KV pool size (pages of 16 tokens per layer-sequence); shrink to create
+  // real memory pressure in serving tests.
+  int64_t kv_max_pages = 1 << 20;
 
   static QuantSchemeConfig qserve_w4a8kv4_g128();
   static QuantSchemeConfig qserve_w4a8kv4_per_channel();

@@ -4,14 +4,32 @@
 #include <chrono>
 
 #include "common/math_util.h"
+#include "common/parallel.h"
 
 namespace qserve {
 
-ServingEngine::ServingEngine(QuantizedModel* model, const EngineConfig& cfg)
-    : model_(model), cfg_(cfg), scheduler_(cfg.scheduler),
-      rng_(cfg.sample_seed) {
+namespace {
+
+// KV admission must reserve whole pages: a request's tokens land in
+// ceil(tokens / page_size) pages per layer, so token-granular reservations
+// can admit a request the pool cannot actually hold and strand a running
+// request mid-decode. Align the scheduler's rounding to the real page size.
+SchedulerConfig page_aligned(SchedulerConfig sched, QuantizedModel* model) {
   QS_CHECK(model != nullptr);
+  const int page_size = model->kv_cache().config().page_size;
+  // A page_round above page_size but not a multiple of it would still
+  // under-reserve (17-token rounding for 16-token pages misses the second
+  // page a 17-token request needs), so align to a whole page multiple.
+  sched.page_round = static_cast<int>(
+      round_up(std::max(sched.page_round, page_size), page_size));
+  return sched;
 }
+
+}  // namespace
+
+ServingEngine::ServingEngine(QuantizedModel* model, const EngineConfig& cfg)
+    : model_(model), cfg_(cfg), scheduler_(page_aligned(cfg.scheduler, model)),
+      rng_(cfg.sample_seed) {}
 
 int ServingEngine::submit(std::vector<int> prompt, int max_new_tokens) {
   QS_CHECK(!prompt.empty());
@@ -47,40 +65,75 @@ int ServingEngine::sample(const Tensor& logits) {
   return static_cast<int>(vocab - 1);
 }
 
+int64_t ServingEngine::reserved_pages(const Request& r) const {
+  const auto& kv_cfg = model_->kv_cache().config();
+  return ceil_div(static_cast<int64_t>(r.prompt.size()) + r.max_new_tokens,
+                  kv_cfg.page_size) *
+         std::max(1, model_->config().n_layers);
+}
+
 void ServingEngine::finish(Request& r) {
   r.state = RequestState::kFinished;
   r.finished_step = stats_.steps;
   model_->end_sequence(r.seq_handle);
   r.seq_handle = -1;
+  committed_pages_ -= reserved_pages(r);
+  QS_CHECK_GE(committed_pages_, 0);
 }
 
 bool ServingEngine::step() {
   const auto t0 = std::chrono::steady_clock::now();
 
   // --- admit ---
+  // Conservative page-granular admission: every running request holds a
+  // reservation for its *maximum* final length (committed_pages_), so the
+  // budget offered to the scheduler excludes growth pages that running
+  // requests have reserved but not yet allocated. Without that term a new
+  // request could take the last free page and strand a running decode.
   const auto& kv = model_->kv_cache();
+  const int n_layers = std::max(1, model_->config().n_layers);
+  const int64_t future_growth = committed_pages_ - kv.pages_in_use();
+  QS_CHECK_GE(future_growth, 0);
+  const int64_t admissible_pages = kv.free_pages() - future_growth;
   const int64_t tokens_available =
-      kv.free_pages() / std::max(1, model_->config().n_layers) *
-      kv.config().page_size;
+      admissible_pages > 0
+          ? admissible_pages / n_layers * kv.config().page_size
+          : 0;
   const auto admitted =
       scheduler_.admit(static_cast<int>(running_.size()), tokens_available);
   for (Request* r : admitted) {
+    committed_pages_ += reserved_pages(*r);
+    // Admission invariant: reservations never exceed what the pool can hold.
+    QS_CHECK_LE(committed_pages_ - kv.pages_in_use(), kv.free_pages());
     r->state = RequestState::kPrefilling;
     r->seq_handle = model_->begin_sequence();
     running_.push_back(r);
   }
 
   // --- prefill newcomers, decode the rest (one token each) ---
-  for (Request* r : running_) {
-    Tensor logits;
+  // The forward passes fan out across requests: each one touches only its
+  // own sequence (the KV pool bookkeeping is internally locked). Sampling
+  // and stats stay serial, in submission order, so the generated streams are
+  // identical to the single-thread engine.
+  std::vector<Tensor> logits(running_.size());
+  parallel_for(0, static_cast<int64_t>(running_.size()), 1,
+               [&](int64_t lo, int64_t hi) {
+                 for (int64_t i = lo; i < hi; ++i) {
+                   Request* r = running_[static_cast<size_t>(i)];
+                   logits[static_cast<size_t>(i)] =
+                       r->state == RequestState::kPrefilling
+                           ? model_->prefill(r->seq_handle, r->prompt)
+                           : model_->decode_step(r->seq_handle,
+                                                 r->generated.back());
+                 }
+               });
+  for (size_t i = 0; i < running_.size(); ++i) {
+    Request* r = running_[i];
     if (r->state == RequestState::kPrefilling) {
-      logits = model_->prefill(r->seq_handle, r->prompt);
       stats_.prefill_tokens += static_cast<int64_t>(r->prompt.size());
       r->state = RequestState::kDecoding;
-    } else {
-      logits = model_->decode_step(r->seq_handle, r->generated.back());
     }
-    const int tok = sample(logits);
+    const int tok = sample(logits[i]);
     r->generated.push_back(tok);
     ++stats_.decode_tokens;
     if (r->first_token_step < 0) r->first_token_step = stats_.steps;

@@ -54,12 +54,17 @@ class ServingEngine {
  private:
   int sample(const Tensor& logits);
   void finish(Request& r);
+  // KV pages this request reserves at its maximum final length, all layers.
+  int64_t reserved_pages(const Request& r) const;
 
   QuantizedModel* model_;
   EngineConfig cfg_;
   Scheduler scheduler_;
   std::vector<std::unique_ptr<Request>> requests_;
   std::vector<Request*> running_;
+  // Pages reserved by running requests (max final length); admission offers
+  // the scheduler only what is left after these reservations.
+  int64_t committed_pages_ = 0;
   EngineStats stats_;
   Rng rng_;
 };

@@ -1,0 +1,178 @@
+// Parallel runtime correctness: exact index coverage under adversarial grain
+// sizes, nested regions, exception propagation, and bitwise equivalence of
+// the parallel kernels and the serving engine against single-thread runs.
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "kernels/gemm.h"
+#include "quant/quantize.h"
+#include "serving/engine.h"
+
+namespace qserve {
+namespace {
+
+// Restores the default thread count when a test ends.
+struct ThreadGuard {
+  explicit ThreadGuard(int n) { set_num_threads(n); }
+  ~ThreadGuard() { set_num_threads(0); }
+};
+
+void expect_exact_coverage(int64_t begin, int64_t end, int64_t grain) {
+  const int64_t n = end > begin ? end - begin : 0;
+  std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+  for (auto& h : hits) h.store(0);
+  parallel_for(begin, end, grain, [&](int64_t lo, int64_t hi) {
+    ASSERT_LE(begin, lo);
+    ASSERT_LT(lo, hi);
+    ASSERT_LE(hi, end);
+    for (int64_t i = lo; i < hi; ++i)
+      hits[static_cast<size_t>(i - begin)].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+        << "index " << begin + i << " grain " << grain;
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadGuard guard(8);
+  const int64_t sizes[] = {1, 2, 7, 64, 1000, 4099};
+  const int64_t grains[] = {-5, 0, 1, 2, 3, 7, 63, 64, 65, 1 << 30};
+  for (int64_t n : sizes)
+    for (int64_t g : grains) expect_exact_coverage(0, n, g);
+}
+
+TEST(ParallelFor, CoversNonZeroBasedRanges) {
+  ThreadGuard guard(8);
+  expect_exact_coverage(17, 1003, 3);
+  expect_exact_coverage(-50, 50, 7);
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokesBody) {
+  ThreadGuard guard(8);
+  std::atomic<int> calls{0};
+  parallel_for(0, 0, 1, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  parallel_for(10, 3, 4, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, NestedRegionsRunInlineAndStillCover) {
+  ThreadGuard guard(8);
+  constexpr int64_t kOuter = 16, kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  for (auto& h : hits) h.store(0);
+  parallel_for(0, kOuter, 1, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      parallel_for(0, kInner, 4, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+          hits[static_cast<size_t>(o * kInner + i)].fetch_add(1);
+      });
+    }
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesExceptionsToCaller) {
+  ThreadGuard guard(8);
+  EXPECT_THROW(parallel_for(0, 1000, 1,
+                            [&](int64_t lo, int64_t) {
+                              QS_CHECK_NE(lo, 500);
+                            }),
+               CheckError);
+}
+
+TEST(ParallelFor, PoolSurvivesAnExceptionalRegion) {
+  ThreadGuard guard(8);
+  try {
+    parallel_for(0, 100, 1, [](int64_t, int64_t) { QS_CHECK(false); });
+  } catch (const CheckError&) {
+  }
+  expect_exact_coverage(0, 1000, 3);
+}
+
+TEST(ParallelConfig, OverrideAndReset) {
+  set_num_threads(6);
+  EXPECT_EQ(num_threads(), 6);
+  set_num_threads(0);
+  EXPECT_GE(num_threads(), 1);
+}
+
+// --- bitwise equivalence of the parallel kernels --------------------------------
+
+Tensor random_tensor(int64_t n, int64_t k, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t({n, k});
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = rng.heavy_tailed(1.0f);
+  return t;
+}
+
+TEST(ParallelKernels, W4A8PerGroupBitwiseIdenticalAcrossThreadCounts) {
+  const Tensor x = random_tensor(5, 256, 21);
+  const Tensor w = random_tensor(48, 256, 22);
+  const auto qx = quantize_acts_per_token(x);
+  const auto qw = quantize_progressive(w, {.group = 128});
+
+  set_num_threads(1);
+  const Tensor serial = gemm_w4a8_per_group(qx, qw);
+  set_num_threads(8);
+  const Tensor parallel = gemm_w4a8_per_group(qx, qw);
+  set_num_threads(0);
+
+  ASSERT_TRUE(serial.same_shape(parallel));
+  for (int64_t i = 0; i < serial.numel(); ++i)
+    ASSERT_EQ(serial[i], parallel[i]) << i;
+}
+
+TEST(ParallelKernels, W8A8BitwiseIdenticalAcrossThreadCounts) {
+  const Tensor x = random_tensor(4, 128, 23);
+  const Tensor w = random_tensor(40, 128, 24);
+  const auto qx = quantize_acts_per_token(x);
+  const auto qw = quantize_w8_per_channel(w);
+
+  set_num_threads(1);
+  const Tensor serial = gemm_w8a8(qx, qw);
+  set_num_threads(8);
+  const Tensor parallel = gemm_w8a8(qx, qw);
+  set_num_threads(0);
+
+  for (int64_t i = 0; i < serial.numel(); ++i)
+    ASSERT_EQ(serial[i], parallel[i]) << i;
+}
+
+// --- the serving engine's fan-out is deterministic -------------------------------
+
+std::vector<std::vector<int>> run_engine(int threads) {
+  set_num_threads(threads);
+  QuantizedModel model(make_synthetic_weights(toy_config(1)),
+                       QuantSchemeConfig::qserve_w4a8kv4_g128());
+  EngineConfig cfg;
+  cfg.scheduler.max_batch = 4;
+  cfg.temperature = 0.8f;  // exercise the rng-consuming sampling path
+  ServingEngine engine(&model, cfg);
+  std::vector<int> ids;
+  ids.push_back(engine.submit({1, 2, 3, 4}, 5));
+  ids.push_back(engine.submit({5, 6}, 7));
+  ids.push_back(engine.submit({7, 8, 9}, 3));
+  ids.push_back(engine.submit({2, 4, 6, 8, 10}, 4));
+  engine.run_to_completion();
+  std::vector<std::vector<int>> out;
+  for (int id : ids) out.push_back(engine.request(id).generated);
+  set_num_threads(0);
+  return out;
+}
+
+TEST(ParallelEngine, GeneratedStreamsIdenticalAcrossThreadCounts) {
+  const auto serial = run_engine(1);
+  const auto parallel = run_engine(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], parallel[i]) << "request " << i;
+}
+
+}  // namespace
+}  // namespace qserve

@@ -158,6 +158,27 @@ TEST(ServingEngine, MemoryPressureDefersAdmission) {
   EXPECT_GE(stats.steps, 24);
 }
 
+TEST(ServingEngine, PageReservationsPreventMidDecodeExhaustion) {
+  // Regression: admission must account for the growth pages running
+  // requests have reserved but not yet allocated. With a 2-page pool,
+  // request A (8 prompt + 24 new = 32 tokens) needs both pages eventually
+  // but holds only one after prefill; budgeting from free_pages alone would
+  // admit B onto the last page and strand A mid-decode ("pool exhausted").
+  const auto& f = engine_fixture();
+  QuantSchemeConfig scheme = QuantSchemeConfig::qserve_w4a8kv4_g128();
+  scheme.kv_max_pages = 2;  // 2 pages x 16 tokens, 1 layer
+  QuantizedModel model(f.weights, scheme);
+  EngineConfig cfg;
+  cfg.scheduler.max_batch = 4;
+  ServingEngine engine(&model, cfg);
+  const int a = engine.submit(std::vector<int>(8, 2), 24);
+  const int b = engine.submit(std::vector<int>(8, 3), 8);
+  const EngineStats stats = engine.run_to_completion();  // must not throw
+  EXPECT_EQ(engine.request(a).generated.size(), 24u);
+  EXPECT_EQ(engine.request(b).generated.size(), 8u);
+  EXPECT_EQ(stats.peak_batch, 1);  // B deferred until A released its pages
+}
+
 TEST(ServingEngine, FirstTokenLatencyOrderedByArrival) {
   const auto& f = engine_fixture();
   QuantizedModel model(f.weights, QuantSchemeConfig::qserve_w4a8kv4_g128());

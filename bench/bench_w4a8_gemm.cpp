@@ -3,9 +3,22 @@
 // they are compared against, and the RLP dequantization primitives. These
 // measure the *reproduction's* CPU kernels — wall-clock GPU claims live in
 // the simulator benches.
+//
+// Invoked with `--json <path>` it instead runs a fixed decode/prefill shape
+// matrix over every supported ISA (scalar + the host's best) on pre-packed
+// weights and writes machine-readable records (GOPS, GB/s, shape) — the
+// artifact bench/check_regression.py compares against bench/baseline.json.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "kernels/cpu/isa.h"
+#include "kernels/cpu/microkernel.h"
 #include "kernels/gemm.h"
 #include "kernels/rlp.h"
 #include "kernels/weight_layout.h"
@@ -74,6 +87,28 @@ void BM_GemmW4A8Streamed(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmW4A8Streamed);
 
+// Pre-packed blocked driver (what the model layers run): pack once, then
+// GEMM — amortizing the layout transform the plain entry points pay per call.
+void BM_GemmW4A8PerGroupPacked(benchmark::State& state) {
+  const auto& s = setup();
+  const auto packed =
+      pack_gemm_b(s.w4g, cpu::microkernel_for(cpu::active_isa()).nr);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gemm_blocked(s.qx, packed));
+}
+BENCHMARK(BM_GemmW4A8PerGroupPacked);
+
+void BM_GemmW4A8PerGroupPackedScalarIsa(benchmark::State& state) {
+  const auto& s = setup();
+  cpu::set_isa(cpu::Isa::kScalar);
+  const auto packed =
+      pack_gemm_b(s.w4g, cpu::microkernel_for(cpu::active_isa()).nr);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gemm_blocked(s.qx, packed));
+  cpu::clear_isa_override();
+}
+BENCHMARK(BM_GemmW4A8PerGroupPackedScalarIsa);
+
 void BM_GemmW4A4Atom(benchmark::State& state) {
   const auto& s = setup();
   for (auto _ : state)
@@ -133,7 +168,116 @@ void BM_ScalarDequantReference(benchmark::State& state) {
 }
 BENCHMARK(BM_ScalarDequantReference);
 
+// --- machine-readable regression suite (--json) --------------------------------
+
+// Shapes mirror the two serving regimes: single-token decode and a stacked
+// 64-token prefill. Small enough to finish in seconds on a 1-core CI runner.
+struct JsonShape {
+  int64_t m, n, k;
+  const char* tag;
+  int reps;
+};
+
+constexpr JsonShape kJsonShapes[] = {
+    {1, 512, 512, "decode", 30},
+    {64, 512, 512, "prefill", 5},
+};
+
+// Bytes a packed W4A8 GEMM touches: INT8 activation codes, 4-bit weight
+// codes (their storage size — the packed panels hold one code per byte, but
+// the deployable format is nibble-packed), FP16 outputs.
+int64_t w4_bytes_touched(int64_t m, int64_t n, int64_t k) {
+  return m * k + n * k / 2 + m * n * 2;
+}
+
+int64_t w8_bytes_touched(int64_t m, int64_t n, int64_t k) {
+  return m * k + n * k + m * n * 2;
+}
+
+int run_json_suite(const std::string& path) {
+  std::vector<benchutil::GemmBenchRecord> rows;
+  // scalar first, then the host's best ISA (skipped when the host is
+  // scalar-only so rows stay unique).
+  std::vector<cpu::Isa> isas{cpu::Isa::kScalar};
+  if (cpu::detected_isa() != cpu::Isa::kScalar)
+    isas.push_back(cpu::detected_isa());
+
+  float sink = 0.0f;
+  for (const JsonShape& shape : kJsonShapes) {
+    Rng rng(7);
+    Tensor x({shape.m, shape.k}), w({shape.n, shape.k});
+    for (int64_t i = 0; i < x.numel(); ++i) x[i] = rng.normal();
+    for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal();
+    const auto qx = quantize_acts_per_token(x);
+    const auto w8 = quantize_w8_per_channel(w);
+    const auto w4c = quantize_w4_per_channel(w);
+    const auto w4g = quantize_progressive(w, {.group = 128});
+
+    for (cpu::Isa isa : isas) {
+      cpu::set_isa(isa);
+      const int nr = cpu::microkernel_for(cpu::active_isa()).nr;
+      const auto p8 = pack_gemm_b(w8, nr);
+      const auto p4c = pack_gemm_b(w4c, nr);
+      const auto p4g = pack_gemm_b(w4g, nr);
+      const struct {
+        const char* name;
+        const PackedGemmB* packed;
+        int64_t bytes;
+      } cases[] = {
+          {"w8a8", &p8, w8_bytes_touched(shape.m, shape.n, shape.k)},
+          {"w4a8_per_channel", &p4c,
+           w4_bytes_touched(shape.m, shape.n, shape.k)},
+          {"w4a8_per_group", &p4g,
+           w4_bytes_touched(shape.m, shape.n, shape.k)},
+      };
+      for (const auto& c : cases) {
+        const double secs = benchutil::time_best_of(
+            [&] {
+              const Tensor y = gemm_blocked(qx, *c.packed);
+              sink += y[0];
+            },
+            shape.reps);
+        rows.push_back(benchutil::make_record(
+            std::string(c.name) + "/" + shape.tag, cpu::isa_name(isa),
+            shape.m, shape.n, shape.k, secs, c.bytes));
+      }
+      cpu::clear_isa_override();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+
+  if (!benchutil::write_bench_json(path, cpu::isa_name(cpu::detected_isa()),
+                                   num_threads(), rows))
+    return 1;
+  std::printf("%-28s %-8s %12s %10s\n", "kernel/shape", "isa", "GOPS",
+              "GB/s");
+  for (const auto& r : rows)
+    std::printf("%-28s %-8s %12.2f %10.2f\n", r.name.c_str(), r.isa.c_str(),
+                r.gops, r.gbps);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace qserve
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip `--json <path>` before handing the rest to google-benchmark.
+  std::string json_path;
+  std::vector<char*> args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return qserve::run_json_suite(json_path);
+
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

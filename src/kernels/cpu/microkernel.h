@@ -1,0 +1,64 @@
+// INT8 dot-product microkernels behind the runtime ISA dispatch.
+//
+// One microkernel call accumulates a panel of `nr` output channels against a
+// run of `kc` input channels for a single token:
+//
+//   acc[r] += sum_{c < kc} x[c] * w_panel[c, r]        (r in [0, nr))
+//
+// `w_panel` is the interleaved layout produced by pack_gemm_b()
+// (kernels/weight_layout.h): input channels are grouped in fours ("k-groups",
+// the granularity of vpdpbusd / vpmaddubsw), and within a k-group the `nr`
+// rows are stored contiguously:
+//
+//   w_panel[(g * nr + r) * 4 + j] = code(row r, input channel g*4 + j)
+//
+// so one 64-byte vector load yields 16 rows x 4 input channels — the same
+// fragment shape an MMA tile consumes on the GPU. `kc` is always a multiple
+// of 4 (the packer zero-pads k).
+//
+// Numerics contract: every implementation produces the INT32 accumulator the
+// scalar loop produces, bit for bit, for the full operand ranges
+// (activations and signed weight codes in [-128, 127], unsigned codes in
+// [0, 15]). Two ISA-specific tricks keep that true:
+//  * AVX2 widens both operands to 16 bits and uses vpmaddwd — exact for all
+//    int8 products (vpmaddubsw on sign-split operands would saturate or
+//    mis-handle -128, which the naive-range overflow repro can emit).
+//  * AVX-512 VNNI biases activations to unsigned (x ^ 0x80 = x + 128) and
+//    uses vpdpbusd; the driver subtracts 128 * row_sum(w) once per output
+//    (`bias_compensated`), restoring the exact sum.
+// Integer addition is associative, so vector-lane order never matters.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/cpu/isa.h"
+
+namespace qserve::cpu {
+
+// Input channels per packed k-group (vpdpbusd granularity).
+inline constexpr int kKGroup = 4;
+
+struct Microkernel {
+  Isa isa;
+  int nr;  // output channels per panel (vector width in INT32 lanes)
+  // True if dot_s8 accumulates sum((x + 128) * w); the caller must subtract
+  // 128 * row_sum afterwards. dot_u4 never needs compensation.
+  bool bias_compensated;
+  // Signed weight codes (W8A8 and pre-dequantized per-group W4A8 panels).
+  void (*dot_s8)(const int8_t* x, const int8_t* w_panel, int64_t kc, int nr,
+                 int32_t* acc);
+  // Unsigned UINT4 codes stored one per byte (per-channel W4A8 panels).
+  void (*dot_u4)(const int8_t* x, const uint8_t* w_panel, int64_t kc, int nr,
+                 int32_t* acc);
+};
+
+// Dispatch table lookup; falls back to the scalar kernel if `isa` was not
+// compiled into this binary (non-x86 builds).
+const Microkernel& microkernel_for(Isa isa);
+
+// Per-ISA factories (nullptr when compiled out). The scalar kernel accepts
+// any nr; the vector kernels require nr == their fixed width.
+const Microkernel* avx2_microkernel();
+const Microkernel* avx512_microkernel();
+
+}  // namespace qserve::cpu

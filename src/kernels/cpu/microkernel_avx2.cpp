@@ -1,0 +1,105 @@
+// AVX2 microkernels: 8 output channels per panel, one 32-byte weight load per
+// k-group (8 rows x 4 input channels).
+//
+// Compiled via function-level target attributes so the translation unit
+// builds regardless of -march; the dispatch in isa.cpp guarantees these are
+// only called on hosts that support AVX2.
+#include "kernels/cpu/microkernel.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace qserve::cpu {
+
+namespace {
+
+constexpr int kNr = 8;
+
+// Broadcast a 4-byte k-group of activations, sign-extended to 16 bits:
+// lanes = {x0,x1,x2,x3} repeated four times.
+__attribute__((target("avx2"))) inline __m256i broadcast_x16(const int8_t* x) {
+  uint32_t word;
+  std::memcpy(&word, x, sizeof(word));
+  return _mm256_cvtepi8_epi16(_mm_set1_epi32(static_cast<int>(word)));
+}
+
+// Signed weights: widen both operands to int16 and vpmaddwd. Exact for the
+// full int8 x int8 range (products <= 2^14, pair sums <= 2^15 — far inside
+// int32), unlike vpmaddubsw sign-splitting which breaks on -128 operands.
+__attribute__((target("avx2"))) void dot_s8_avx2(const int8_t* x,
+                                                 const int8_t* w_panel,
+                                                 int64_t kc, int nr,
+                                                 int32_t* acc) {
+  (void)nr;  // dispatch guarantees nr == kNr
+  // Accumulate in "two partial int32 lanes per row" form; the pairs are
+  // folded after the k loop. Integer adds commute, so this is still the
+  // scalar accumulator bit for bit.
+  __m256i acc_lo = _mm256_setzero_si256();  // rows 0-3
+  __m256i acc_hi = _mm256_setzero_si256();  // rows 4-7
+  const int64_t groups = kc / kKGroup;
+  for (int64_t g = 0; g < groups; ++g) {
+    const __m256i x16 = broadcast_x16(x + g * kKGroup);
+    const __m256i wv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(w_panel + g * kNr * kKGroup));
+    const __m256i w_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wv));
+    const __m256i w_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wv, 1));
+    acc_lo = _mm256_add_epi32(acc_lo, _mm256_madd_epi16(w_lo, x16));
+    acc_hi = _mm256_add_epi32(acc_hi, _mm256_madd_epi16(w_hi, x16));
+  }
+  // acc_lo = [r0a r0b r1a r1b | r2a r2b r3a r3b], acc_hi likewise for rows
+  // 4-7. hadd folds pairs per 128-bit half: [r0 r1 r4 r5 | r2 r3 r6 r7].
+  const __m256i folded = _mm256_hadd_epi32(acc_lo, acc_hi);
+  const __m256i order = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+  const __m256i rows = _mm256_permutevar8x32_epi32(folded, order);
+  const __m256i prev =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc),
+                      _mm256_add_epi32(prev, rows));
+}
+
+// Unsigned UINT4 codes (0..15): vpmaddubsw(w, x) is exact — byte products
+// are at most 15*128, so the int16 pair sums never saturate.
+__attribute__((target("avx2"))) void dot_u4_avx2(const int8_t* x,
+                                                 const uint8_t* w_panel,
+                                                 int64_t kc, int nr,
+                                                 int32_t* acc) {
+  (void)nr;
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i accv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc));
+  const int64_t groups = kc / kKGroup;
+  for (int64_t g = 0; g < groups; ++g) {
+    uint32_t word;
+    std::memcpy(&word, x + g * kKGroup, sizeof(word));
+    const __m256i xb = _mm256_set1_epi32(static_cast<int>(word));
+    const __m256i wv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(w_panel + g * kNr * kKGroup));
+    const __m256i pairs = _mm256_maddubs_epi16(wv, xb);
+    accv = _mm256_add_epi32(accv, _mm256_madd_epi16(pairs, ones));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc), accv);
+}
+
+constexpr Microkernel kAvx2Kernel = {
+    Isa::kAvx2,
+    kNr,
+    /*bias_compensated=*/false,
+    dot_s8_avx2,
+    dot_u4_avx2,
+};
+
+}  // namespace
+
+const Microkernel* avx2_microkernel() { return &kAvx2Kernel; }
+
+}  // namespace qserve::cpu
+
+#else  // non-x86 or non-GNU toolchain: AVX2 path compiled out.
+
+namespace qserve::cpu {
+const Microkernel* avx2_microkernel() { return nullptr; }
+}  // namespace qserve::cpu
+
+#endif

@@ -1,0 +1,105 @@
+// AVX-512 VNNI microkernels: 16 output channels per panel, one vpdpbusd per
+// 64-byte weight load (16 rows x 4 input channels = 64 MACs per instruction).
+//
+// vpdpbusd multiplies unsigned bytes by signed bytes. The unsigned operand:
+//  * dot_u4 — the UINT4 weight codes themselves (0..15), activations signed;
+//  * dot_s8 — the activations biased by +128 (x ^ 0x80), weights signed. The
+//    accumulator then holds sum((x+128)*w) = sum(x*w) + 128*sum(w); the
+//    driver subtracts 128*row_sum(w) once per output (bias_compensated),
+//    which is exact in two's-complement int32 for any operand values —
+//    including the -128 weight codes the naive-range overflow repro emits.
+#include "kernels/cpu/microkernel.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace qserve::cpu {
+
+namespace {
+
+constexpr int kNr = 16;
+
+#define QS_AVX512_TARGET \
+  __attribute__((target("avx512f,avx512bw,avx512vnni")))
+
+QS_AVX512_TARGET inline __m512i load_panel(const void* p) {
+  return _mm512_loadu_si512(p);
+}
+
+QS_AVX512_TARGET inline __m512i broadcast_group(const int8_t* x) {
+  uint32_t word;
+  std::memcpy(&word, x, sizeof(word));
+  return _mm512_set1_epi32(static_cast<int>(word));
+}
+
+QS_AVX512_TARGET void dot_s8_avx512(const int8_t* x, const int8_t* w_panel,
+                                    int64_t kc, int nr, int32_t* acc) {
+  (void)nr;  // dispatch guarantees nr == kNr
+  const __m512i bias = _mm512_set1_epi8(static_cast<char>(0x80));
+  __m512i a0 = _mm512_loadu_si512(acc);
+  __m512i a1 = _mm512_setzero_si512();  // second chain hides vpdpbusd latency
+  const int64_t groups = kc / kKGroup;
+  int64_t g = 0;
+  for (; g + 2 <= groups; g += 2) {
+    const __m512i x0 = _mm512_xor_si512(broadcast_group(x + g * kKGroup), bias);
+    const __m512i x1 =
+        _mm512_xor_si512(broadcast_group(x + (g + 1) * kKGroup), bias);
+    a0 = _mm512_dpbusd_epi32(a0, x0,
+                             load_panel(w_panel + g * kNr * kKGroup));
+    a1 = _mm512_dpbusd_epi32(a1, x1,
+                             load_panel(w_panel + (g + 1) * kNr * kKGroup));
+  }
+  if (g < groups) {
+    const __m512i x0 = _mm512_xor_si512(broadcast_group(x + g * kKGroup), bias);
+    a0 = _mm512_dpbusd_epi32(a0, x0,
+                             load_panel(w_panel + g * kNr * kKGroup));
+  }
+  _mm512_storeu_si512(acc, _mm512_add_epi32(a0, a1));
+}
+
+QS_AVX512_TARGET void dot_u4_avx512(const int8_t* x, const uint8_t* w_panel,
+                                    int64_t kc, int nr, int32_t* acc) {
+  (void)nr;
+  __m512i a0 = _mm512_loadu_si512(acc);
+  __m512i a1 = _mm512_setzero_si512();
+  const int64_t groups = kc / kKGroup;
+  int64_t g = 0;
+  for (; g + 2 <= groups; g += 2) {
+    a0 = _mm512_dpbusd_epi32(a0, load_panel(w_panel + g * kNr * kKGroup),
+                             broadcast_group(x + g * kKGroup));
+    a1 = _mm512_dpbusd_epi32(a1, load_panel(w_panel + (g + 1) * kNr * kKGroup),
+                             broadcast_group(x + (g + 1) * kKGroup));
+  }
+  if (g < groups) {
+    a0 = _mm512_dpbusd_epi32(a0, load_panel(w_panel + g * kNr * kKGroup),
+                             broadcast_group(x + g * kKGroup));
+  }
+  _mm512_storeu_si512(acc, _mm512_add_epi32(a0, a1));
+}
+
+#undef QS_AVX512_TARGET
+
+constexpr Microkernel kAvx512Kernel = {
+    Isa::kAvx512,
+    kNr,
+    /*bias_compensated=*/true,
+    dot_s8_avx512,
+    dot_u4_avx512,
+};
+
+}  // namespace
+
+const Microkernel* avx512_microkernel() { return &kAvx512Kernel; }
+
+}  // namespace qserve::cpu
+
+#else  // non-x86 or non-GNU toolchain: AVX-512 path compiled out.
+
+namespace qserve::cpu {
+const Microkernel* avx512_microkernel() { return nullptr; }
+}  // namespace qserve::cpu
+
+#endif

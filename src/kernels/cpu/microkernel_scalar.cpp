@@ -1,0 +1,64 @@
+// Scalar reference microkernel + the dispatch table.
+//
+// This file is compiled with auto-vectorization disabled (see CMakeLists) so
+// that QSERVE_ISA=scalar measures a genuine one-MAC-at-a-time baseline and
+// the bench regression numbers stay comparable across compiler versions.
+#include "kernels/cpu/microkernel.h"
+
+namespace qserve::cpu {
+
+namespace {
+
+void dot_s8_scalar(const int8_t* x, const int8_t* w_panel, int64_t kc, int nr,
+                   int32_t* acc) {
+  for (int64_t g = 0; g < kc / kKGroup; ++g) {
+    const int8_t* xg = x + g * kKGroup;
+    const int8_t* wg = w_panel + g * nr * kKGroup;
+    for (int r = 0; r < nr; ++r) {
+      int32_t a = acc[r];
+      for (int j = 0; j < kKGroup; ++j)
+        a += int32_t(xg[j]) * int32_t(wg[r * kKGroup + j]);
+      acc[r] = a;
+    }
+  }
+}
+
+void dot_u4_scalar(const int8_t* x, const uint8_t* w_panel, int64_t kc,
+                   int nr, int32_t* acc) {
+  for (int64_t g = 0; g < kc / kKGroup; ++g) {
+    const int8_t* xg = x + g * kKGroup;
+    const uint8_t* wg = w_panel + g * nr * kKGroup;
+    for (int r = 0; r < nr; ++r) {
+      int32_t a = acc[r];
+      for (int j = 0; j < kKGroup; ++j)
+        a += int32_t(xg[j]) * int32_t(wg[r * kKGroup + j]);
+      acc[r] = a;
+    }
+  }
+}
+
+constexpr Microkernel kScalarKernel = {
+    Isa::kScalar,
+    /*nr=*/8,  // shares the AVX2 panel layout so ISA flips stay compatible
+    /*bias_compensated=*/false,
+    dot_s8_scalar,
+    dot_u4_scalar,
+};
+
+}  // namespace
+
+const Microkernel& microkernel_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      break;
+    case Isa::kAvx2:
+      if (const Microkernel* mk = avx2_microkernel()) return *mk;
+      break;
+    case Isa::kAvx512:
+      if (const Microkernel* mk = avx512_microkernel()) return *mk;
+      break;
+  }
+  return kScalarKernel;
+}
+
+}  // namespace qserve::cpu

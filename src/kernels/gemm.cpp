@@ -1,18 +1,104 @@
 #include "kernels/gemm.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/half.h"
+#include "common/math_util.h"
 #include "common/parallel.h"
+#include "kernels/cpu/microkernel.h"
 #include "kernels/rlp.h"
 
 namespace qserve {
 
 namespace {
 
-// Output channels per parallel_for chunk. Each (t, r) output is computed
-// independently, so any partition yields bitwise-identical results.
-constexpr int64_t kRowGrain = 8;
+// Input channels per cache block of the (n, k) tiling. An nr x kKcBlock
+// weight sub-panel (8-16 KiB) stays L1-resident while the driver sweeps all
+// m tokens over it, so unpacked weight tiles are read from memory once per
+// call instead of once per token.
+constexpr int64_t kKcBlock = 1024;
+
+// Weight-stream size (n*k elements) above which a single-token call should
+// take the plain per-group kernel instead of walking the reordered stream:
+// for m == 1 the stream walk is pure overhead (one fragment feeds one
+// output), and decode-layer weights are always far above this threshold.
+constexpr int64_t kStreamedDecodeBypassElems = 1 << 14;
+
+// Panels per parallel_for chunk, derived from the panel count and the pool
+// size so small-n decode layers spread over every worker instead of
+// serializing on one chunk (a fixed grain of 8 rows left n <= 8*threads
+// running on a fraction of the pool). Capped at 8 panels per chunk to keep
+// chunks cache-friendly on wide layers.
+int64_t panel_grain(int64_t panels) {
+  const int64_t threads = std::max(1, num_threads());
+  return clamp<int64_t>(panels / (4 * threads), 1, 8);
+}
+
+// Core blocked driver. Calls epilogue(t, r, acc) exactly once per output
+// element with the exact scalar INT32 accumulator; epilogue must be safe to
+// call concurrently for disjoint r.
+template <typename EpilogueFn>
+void run_blocked(const QuantizedActs& x, const PackedGemmB& w,
+                 const EpilogueFn& epilogue) {
+  QS_CHECK(w.valid());
+  QS_CHECK_EQ(x.k(), w.k);
+  const int64_t m = x.m(), kp = w.k_padded;
+  const int nr = w.nr;
+
+  // Microkernel lookup: if the active ISA's vector width no longer matches
+  // the packed layout (a test flipped QSERVE_ISA after packing), fall back
+  // to the scalar kernel, which handles any nr.
+  const cpu::Microkernel* mk = &cpu::microkernel_for(cpu::active_isa());
+  if (mk->nr != nr) mk = &cpu::microkernel_for(cpu::Isa::kScalar);
+  const bool compensate = mk->bias_compensated && !w.unsigned_codes;
+
+  // Stage activations zero-padded to the k-group multiple (pad codes are
+  // zero and pad weight codes are zero, so pads contribute nothing).
+  const int8_t* xbase = x.q.data();
+  std::vector<int8_t> xpad;
+  if (kp != w.k) {
+    xpad.assign(static_cast<size_t>(m * kp), 0);
+    for (int64_t t = 0; t < m; ++t)
+      std::copy(x.q.row(t), x.q.row(t) + w.k, xpad.data() + t * kp);
+    xbase = xpad.data();
+  }
+
+  parallel_for(0, w.panels(), panel_grain(w.panels()), [&](int64_t p0,
+                                                           int64_t p1) {
+    std::vector<int32_t> pacc(static_cast<size_t>(m * nr));
+    for (int64_t p = p0; p < p1; ++p) {
+      std::fill(pacc.begin(), pacc.end(), 0);
+      const int8_t* panel = w.data.data() + p * w.panel_stride();
+      for (int64_t c0 = 0; c0 < kp; c0 += kKcBlock) {
+        const int64_t kc = std::min(kKcBlock, kp - c0);
+        const int8_t* sub = panel + c0 * nr;
+        for (int64_t t = 0; t < m; ++t) {
+          const int8_t* xr = xbase + t * kp + c0;
+          int32_t* acc = pacc.data() + t * nr;
+          if (w.unsigned_codes) {
+            mk->dot_u4(xr, reinterpret_cast<const uint8_t*>(sub), kc, nr, acc);
+          } else {
+            mk->dot_s8(xr, sub, kc, nr, acc);
+          }
+        }
+      }
+      const int64_t r_end = std::min<int64_t>(nr, w.n - p * nr);
+      for (int64_t t = 0; t < m; ++t) {
+        for (int64_t ri = 0; ri < r_end; ++ri) {
+          const int64_t r = p * nr + ri;
+          int32_t a = pacc[static_cast<size_t>(t * nr + ri)];
+          if (compensate) a -= 128 * w.row_sum[static_cast<size_t>(r)];
+          epilogue(t, r, a);
+        }
+      }
+    }
+  });
+}
+
+int preferred_nr() {
+  return cpu::microkernel_for(cpu::active_isa()).nr;
+}
 
 }  // namespace
 
@@ -49,80 +135,48 @@ I32Tensor gemm_i8i8_i32(const I8Tensor& x, const I8Tensor& w) {
   return y;
 }
 
-Tensor gemm_w8a8(const QuantizedActs& x, const W8PerChannel& w) {
-  QS_CHECK_EQ(x.k(), w.k());
-  const int64_t m = x.m(), k = x.k(), n = w.n();
-  Tensor y({m, n});
-  parallel_for(0, n, kRowGrain, [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const int8_t* wr = w.qw.row(r);
-      for (int64_t t = 0; t < m; ++t) {
-        const int8_t* xr = x.q.row(t);
-        int32_t acc = 0;
-        for (int64_t c = 0; c < k; ++c)
-          acc += int32_t(xr[c]) * int32_t(wr[c]);
-        // Epilogue: outer-product scaling, FP16 output.
-        y.at2(t, r) = to_half_precision(float(acc) * x.s[t] * w.s[r]);
-      }
-    }
+Tensor gemm_blocked(const QuantizedActs& x, const PackedGemmB& w) {
+  Tensor y({x.m(), w.n});
+  const bool has_zp = !w.zp_term.empty();
+  run_blocked(x, w, [&](int64_t t, int64_t r, int32_t acc) {
+    // Epilogue: outer-product scaling, FP16 output; the per-channel W4A8
+    // zero-point term -tX * (z*s) is subtracted after multiplication
+    // (Eq. 12/13). Evaluation order matches the scalar kernels exactly.
+    float v = float(acc) * x.s[t] * w.scale[static_cast<size_t>(r)];
+    if (has_zp) v -= x.token_sum[t] * w.zp_term[static_cast<size_t>(r)];
+    y.at2(t, r) = to_half_precision(v);
   });
   return y;
+}
+
+I32Tensor gemm_blocked_acc(const QuantizedActs& x, const PackedGemmB& w) {
+  I32Tensor acc({x.m(), w.n});
+  run_blocked(x, w,
+              [&](int64_t t, int64_t r, int32_t a) { acc.at2(t, r) = a; });
+  return acc;
+}
+
+Tensor gemm_w8a8(const QuantizedActs& x, const W8PerChannel& w) {
+  QS_CHECK_EQ(x.k(), w.k());
+  return gemm_blocked(x, pack_gemm_b(w, preferred_nr()));
 }
 
 Tensor gemm_w4a8_per_channel(const QuantizedActs& x, const W4PerChannel& w) {
   QS_CHECK_EQ(x.k(), w.k());
-  const int64_t m = x.m(), k = x.k(), n = w.n();
-  Tensor y({m, n});
   // Main loop MACs the raw UINT4 codes against INT8 activations; the
-  // zero-point correction -tX * (z*s) happens once per output in the epilogue
-  // (subtraction after multiplication, Eq. 12/13).
-  parallel_for(0, n, kRowGrain, [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      for (int64_t t = 0; t < m; ++t) {
-        const int8_t* xr = x.q.row(t);
-        int32_t acc = 0;
-        for (int64_t c = 0; c < k; ++c)
-          acc += int32_t(xr[c]) * int32_t(get_u4(w.qw, r, c));
-        const float main_term = float(acc) * x.s[t] * w.s[r];
-        y.at2(t, r) = to_half_precision(main_term - x.token_sum[t] * w.szw[r]);
-      }
-    }
-  });
-  return y;
+  // zero-point correction -tX * (z*s) happens once per output in the
+  // epilogue (subtraction after multiplication, Eq. 12/13).
+  return gemm_blocked(x, pack_gemm_b(w, preferred_nr()));
 }
 
 Tensor gemm_w4a8_per_group(const QuantizedActs& x, const W4PerGroup& w) {
   QS_CHECK_EQ(x.k(), w.k());
-  const int64_t m = x.m(), k = x.k(), n = w.n();
-  Tensor y({m, n});
-  // Main loop: level-2 dequant (q - z) * s1 restores the *integer* level-1
-  // codes (the protective range guarantees they fit INT8), then INT8 MACs.
-  // The SWAR-faithful version of this dequant is exercised by the streamed
-  // kernel below; the integer arithmetic is identical.
-  parallel_for(0, n, kRowGrain, [&](int64_t r0, int64_t r1) {
-    std::vector<int8_t> wrow(static_cast<size_t>(k));  // per-chunk scratch
-    for (int64_t r = r0; r < r1; ++r) {
-      for (int64_t c = 0; c < k; ++c) {
-        const int64_t g = c / w.group;
-        const int code = (int(get_u4(w.qw, r, c)) - int(w.z.at2(r, g))) *
-                         int(w.s1.at2(r, g));
-        // With the protective range (level1_range = 119) the code always
-        // fits INT8; with the naive range (127) it can exceed it, and the
-        // cast wraps exactly like the INT8 register in the GPU kernel —
-        // that overflow is the accuracy bug the paper's Fig. 6 reproduces,
-        // so it must not be asserted away.
-        wrow[static_cast<size_t>(c)] = static_cast<int8_t>(code);
-      }
-      for (int64_t t = 0; t < m; ++t) {
-        const int8_t* xr = x.q.row(t);
-        int32_t acc = 0;
-        for (int64_t c = 0; c < k; ++c)
-          acc += int32_t(xr[c]) * int32_t(wrow[static_cast<size_t>(c)]);
-        y.at2(t, r) = to_half_precision(float(acc) * x.s[t] * w.s0[r]);
-      }
-    }
-  });
-  return y;
+  // Packing performs the level-2 dequant (q - z) * s1 to integer level-1
+  // codes (the protective range guarantees they fit INT8; the naive range
+  // wraps, reproducing the paper's Fig. 6 overflow); the blocked GEMM then
+  // runs entirely on the INT8 path. The SWAR-faithful version of the dequant
+  // is exercised by the streamed kernel below; the arithmetic is identical.
+  return gemm_blocked(x, pack_gemm_b(w, preferred_nr()));
 }
 
 Tensor gemm_w4a8_per_group_streamed(const QuantizedActs& x,
@@ -133,6 +187,14 @@ Tensor gemm_w4a8_per_group_streamed(const QuantizedActs& x,
   QS_CHECK_EQ(stream.n, w.n());
   QS_CHECK_EQ(stream.k, w.k());
   const int64_t m = x.m(), n = w.n();
+
+  // Single-token decode against a large weight stream: every fragment feeds
+  // exactly one output, so the sequential stream walk buys nothing and the
+  // per-fragment bookkeeping dominates. Route to the plain kernel (bitwise
+  // identical, and it takes the blocked SIMD path).
+  if (m == 1 && n * w.k() >= kStreamedDecodeBypassElems)
+    return gemm_w4a8_per_group(x, w);
+
   I32Tensor acc({m, n});
 
   // Walk the stream in storage order — one pass, no per-fragment index

@@ -16,6 +16,11 @@
 //   gemm_w4a16             — weight-only path: FP16 dequant in the main loop.
 //
 // Outputs are rounded through FP16 (the GPU kernels emit FP16).
+//
+// The three INT8-path kernels (w8a8, w4a8 per-channel, w4a8 per-group) run on
+// runtime-dispatched SIMD microkernels (kernels/cpu/) over a cache-blocked,
+// pre-packed weight layout; QSERVE_ISA selects scalar/avx2/avx512 at runtime
+// and every path is bitwise identical.
 #pragma once
 
 #include "kernels/weight_layout.h"
@@ -35,6 +40,28 @@ Tensor gemm_w8a8(const QuantizedActs& x, const W8PerChannel& w);
 Tensor gemm_w4a8_per_channel(const QuantizedActs& x, const W4PerChannel& w);
 
 Tensor gemm_w4a8_per_group(const QuantizedActs& x, const W4PerGroup& w);
+
+// --- cache-blocked SIMD driver on pre-packed weights -------------------------
+//
+// The three INT8-path kernels above are thin wrappers: they pack the weights
+// for the active ISA (kernels/cpu/isa.h) and call gemm_blocked. Callers that
+// run many GEMMs against the same weights (every model layer, the benches)
+// should pack once with pack_gemm_b (kernels/weight_layout.h) and call
+// gemm_blocked directly — packing also pre-dequantizes per-group weights to
+// their level-1 INT8 codes, so the per-call re-dequantization disappears.
+//
+// The driver tiles over (n, k): output channels in panels of `w.nr` rows,
+// input channels in blocks sized to keep a weight sub-panel L1-resident, and
+// iterates tokens innermost so each unpacked weight tile is reused across
+// all m tokens of the call. Results are bitwise identical for every ISA and
+// any thread count: the INT32 accumulators are exact integer sums and the
+// FP16 epilogue is evaluated in the same order as the scalar kernels.
+Tensor gemm_blocked(const QuantizedActs& x, const PackedGemmB& w);
+
+// The raw INT32 accumulators acc[t, r] = sum_c x.q[t, c] * code(r, c) before
+// the epilogue — exposed so tests can assert cross-ISA bitwise identity at
+// the accumulator level, not just after FP16 rounding.
+I32Tensor gemm_blocked_acc(const QuantizedActs& x, const PackedGemmB& w);
 
 Tensor gemm_w4a8_per_group_streamed(const QuantizedActs& x,
                                     const W4PerGroup& w,

@@ -1,6 +1,8 @@
 #include "kernels/weight_layout.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "kernels/cpu/microkernel.h"
 #include "kernels/rlp.h"
 #include "tensor/int4.h"
 
@@ -80,6 +82,97 @@ ReorderedGroupMeta reorder_group_meta(const W4PerGroup& w) {
     }
   }
   return out;
+}
+
+// --- packed layout for the blocked SIMD GEMM driver --------------------------
+
+namespace {
+
+// `code_at(row, col)` returns the signed code value; out-of-range panel slots
+// are zero codes (they contribute nothing to dot products or row sums).
+template <typename CodeAtFn>
+PackedGemmB pack_panels(int64_t n, int64_t k, int nr, bool unsigned_codes,
+                        const CodeAtFn& code_at) {
+  QS_CHECK(nr > 0);
+  PackedGemmB b;
+  b.n = n;
+  b.k = k;
+  b.k_padded = round_up(k, cpu::kKGroup);
+  b.nr = nr;
+  b.unsigned_codes = unsigned_codes;
+  b.data.assign(static_cast<size_t>(b.panels() * b.panel_stride()), 0);
+  b.row_sum.assign(static_cast<size_t>(n), 0);
+  // Panels write disjoint data/row_sum slices, so packing fans out over the
+  // pool — plain-API GEMM calls (which pack per call) and the streamed
+  // kernel's m==1 bypass keep the dequant parallelism the old in-kernel
+  // per-row dequant had.
+  parallel_for(0, b.panels(), 1, [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      int8_t* panel = b.data.data() + p * b.panel_stride();
+      for (int64_t g = 0; g < b.k_padded / cpu::kKGroup; ++g) {
+        for (int r = 0; r < nr; ++r) {
+          const int64_t row = p * nr + r;
+          if (row >= n) continue;
+          for (int j = 0; j < cpu::kKGroup; ++j) {
+            const int64_t col = g * cpu::kKGroup + j;
+            if (col >= k) continue;
+            const int code = code_at(row, col);
+            panel[(g * nr + r) * cpu::kKGroup + j] =
+                static_cast<int8_t>(code);
+            b.row_sum[static_cast<size_t>(row)] += code;
+          }
+        }
+      }
+    }
+  });
+  return b;
+}
+
+}  // namespace
+
+PackedGemmB pack_gemm_b(const W8PerChannel& w, int nr) {
+  PackedGemmB b = pack_panels(
+      w.n(), w.k(), nr, /*unsigned_codes=*/false,
+      [&](int64_t r, int64_t c) { return int(w.qw.at2(r, c)); });
+  b.scale.assign(static_cast<size_t>(w.n()), 0.0f);
+  for (int64_t r = 0; r < w.n(); ++r) b.scale[static_cast<size_t>(r)] = w.s[r];
+  return b;
+}
+
+PackedGemmB pack_gemm_b(const W4PerChannel& w, int nr) {
+  // Raw UINT4 codes are MAC'd directly; the zero-point term is handled in
+  // the epilogue via tX * (z*s) (Eq. 12/13), carried here as zp_term.
+  PackedGemmB b = pack_panels(
+      w.n(), w.k(), nr, /*unsigned_codes=*/true,
+      [&](int64_t r, int64_t c) { return int(get_u4(w.qw, r, c)); });
+  b.scale.assign(static_cast<size_t>(w.n()), 0.0f);
+  b.zp_term.assign(static_cast<size_t>(w.n()), 0.0f);
+  for (int64_t r = 0; r < w.n(); ++r) {
+    b.scale[static_cast<size_t>(r)] = w.s[r];
+    b.zp_term[static_cast<size_t>(r)] = w.szw[r];
+  }
+  return b;
+}
+
+PackedGemmB pack_gemm_b(const W4PerGroup& w, int nr) {
+  // Level-2 dequant (q - z) * s1 restores the integer level-1 codes once, at
+  // pack time. With the protective range (level1_range = 119) the code
+  // always fits INT8; with the naive range (127) it can exceed it, and the
+  // cast wraps exactly like the INT8 register in the GPU kernel — that
+  // overflow is the accuracy bug the paper's Fig. 6 reproduces, so it must
+  // not be asserted away.
+  PackedGemmB b = pack_panels(
+      w.n(), w.k(), nr, /*unsigned_codes=*/false,
+      [&](int64_t r, int64_t c) {
+        const int64_t g = c / w.group;
+        const int code = (int(get_u4(w.qw, r, c)) - int(w.z.at2(r, g))) *
+                         int(w.s1.at2(r, g));
+        return int(static_cast<int8_t>(code));
+      });
+  b.scale.assign(static_cast<size_t>(w.n()), 0.0f);
+  for (int64_t r = 0; r < w.n(); ++r)
+    b.scale[static_cast<size_t>(r)] = w.s0[r];
+  return b;
 }
 
 }  // namespace qserve

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/math_util.h"
 #include "quant/types.h"
 
 namespace qserve {
@@ -72,5 +73,50 @@ struct ReorderedGroupMeta {
 };
 
 ReorderedGroupMeta reorder_group_meta(const W4PerGroup& w);
+
+// ---------------------------------------------------------------------------
+// ISA-friendly packed layout for the cache-blocked SIMD GEMM driver
+// ---------------------------------------------------------------------------
+//
+// pack_gemm_b() transforms a quantized weight matrix once per layer into the
+// interleaved panel layout the CPU microkernels (kernels/cpu/microkernel.h)
+// consume: output channels are tiled into panels of `nr` rows, input channels
+// into k-groups of 4 codes, and within a k-group the nr rows are contiguous:
+//
+//   data[p * k_padded * nr + (g * nr + r) * 4 + j]
+//     = code(row p*nr + r, input channel g*4 + j)
+//
+// k is zero-padded to a multiple of 4 and the last panel's missing rows are
+// zero codes, so the microkernels never need edge handling. Packing also:
+//  * pre-dequantizes per-group W4 weights to their level-1 INT8 codes
+//    ((q - z) * s1, two's-complement wrap, exactly the scalar kernel's
+//    arithmetic) — eliminating the per-call re-dequantization of weight rows
+//    the plain kernel pays on every token batch;
+//  * precomputes per-row code sums (`row_sum`) so the AVX-512 VNNI kernel's
+//    biased-activation trick can be compensated exactly in the epilogue;
+//  * carries the per-row epilogue constants (scale, and z*s for the
+//    per-channel scheme) so the driver needs no access to the source struct.
+struct PackedGemmB {
+  std::vector<int8_t> data;      // interleaved codes (u4 codes stored 0..15)
+  std::vector<int32_t> row_sum;  // [n] sum of codes per row (bias compensation)
+  std::vector<float> scale;      // [n] per-row epilogue scale (s / s0)
+  std::vector<float> zp_term;    // [n] per-row z*s; empty unless per-channel W4
+  int64_t n = 0;
+  int64_t k = 0;
+  int64_t k_padded = 0;  // k rounded up to a k-group multiple
+  int nr = 8;            // rows per panel (microkernel vector width)
+  bool unsigned_codes = false;  // true: UINT4 codes, use the dot_u4 kernel
+
+  bool valid() const { return n > 0; }
+  int64_t panels() const { return ceil_div(n, nr); }
+  int64_t panel_stride() const { return k_padded * nr; }  // bytes per panel
+};
+
+// `nr` is the microkernel vector width — pass
+// cpu::microkernel_for(cpu::active_isa()).nr (the blocked driver falls back
+// to the scalar kernel when the packed nr no longer matches the active ISA).
+PackedGemmB pack_gemm_b(const W8PerChannel& w, int nr);
+PackedGemmB pack_gemm_b(const W4PerChannel& w, int nr);
+PackedGemmB pack_gemm_b(const W4PerGroup& w, int nr);
 
 }  // namespace qserve

@@ -2,6 +2,7 @@
 
 #include "common/half.h"
 #include "kernels/attention.h"
+#include "kernels/cpu/microkernel.h"
 #include "kernels/gemm.h"
 #include "kernels/ops.h"
 #include "kvcache/fused_attention.h"
@@ -66,6 +67,10 @@ QuantSchemeConfig QuantSchemeConfig::fp16() {
 QuantizedLinear::QuantizedLinear(const Tensor& w,
                                  const QuantSchemeConfig& cfg)
     : scheme_(cfg.weights), acts_(cfg.acts), n_(w.rows()) {
+  // INT8-path schemes are packed for the ISA active at construction; the
+  // blocked driver falls back to the scalar microkernel if the active ISA
+  // changes to an incompatible vector width afterwards.
+  const int nr = cpu::microkernel_for(cpu::active_isa()).nr;
   switch (scheme_) {
     case WeightScheme::kFp16:
       fp_ = w;
@@ -73,16 +78,16 @@ QuantizedLinear::QuantizedLinear(const Tensor& w,
         fp_[i] = to_half_precision(fp_[i]);
       break;
     case WeightScheme::kW8PerChannel:
-      w8_ = quantize_w8_per_channel(w);
+      packed_ = pack_gemm_b(quantize_w8_per_channel(w), nr);
       break;
     case WeightScheme::kW4PerChannel:
-      w4c_ = quantize_w4_per_channel(w);
+      packed_ = pack_gemm_b(quantize_w4_per_channel(w), nr);
       break;
     case WeightScheme::kW4PerGroupProgressive: {
       ProgressiveOptions popt;
       popt.group = static_cast<int>(std::min<int64_t>(cfg.group, w.cols()));
       popt.level1_range = cfg.level1_range;
-      w4g_ = quantize_progressive(w, popt);
+      packed_ = pack_gemm_b(quantize_progressive(w, popt), nr);
       break;
     }
     case WeightScheme::kW4A16Group:
@@ -100,12 +105,14 @@ Tensor QuantizedLinear::apply(const Tensor& x) const {
   switch (scheme_) {
     case WeightScheme::kFp16:
       return gemm_f32_ref(x, fp_);
+    // The INT8 paths hit the pre-packed blocked GEMM: weight tiles were
+    // interleaved (and, for per-group, dequantized to level-1 codes) once at
+    // construction, and a stacked prefill reuses each tile across all its
+    // tokens in one call.
     case WeightScheme::kW8PerChannel:
-      return gemm_w8a8(quantize_acts_per_token(x), w8_);
     case WeightScheme::kW4PerChannel:
-      return gemm_w4a8_per_channel(quantize_acts_per_token(x), w4c_);
     case WeightScheme::kW4PerGroupProgressive:
-      return gemm_w4a8_per_group(quantize_acts_per_token(x), w4g_);
+      return gemm_blocked(quantize_acts_per_token(x), packed_);
     case WeightScheme::kW4A16Group:
       return gemm_w4a16(x, w4a16_);
     case WeightScheme::kW4A4Group:
@@ -244,6 +251,10 @@ Tensor QuantizedModel::logits_from_hidden(const Tensor& h) const {
 
 Tensor QuantizedModel::prefill(int seq, const std::vector<int>& tokens) {
   QS_CHECK(!tokens.empty());
+  // The whole prompt is stacked into one [n, hidden] activation matrix, so
+  // each projection below is a single blocked GEMM call and every packed
+  // weight tile is unpacked once and reused across all n tokens — this is
+  // what makes the pre-packed layout pay during prefill.
   const int64_t n = static_cast<int64_t>(tokens.size());
   Tensor x({n, cfg_.hidden});
   for (int64_t t = 0; t < n; ++t)

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "kernels/weight_layout.h"
 #include "kvcache/paged_kv_cache.h"
 #include "model/weights.h"
 #include "quant/types.h"
@@ -61,11 +62,16 @@ class QuantizedLinear {
   ActScheme acts_ = ActScheme::kFp16;
   int64_t n_ = 0;
   Tensor fp_;
-  W8PerChannel w8_;
-  W4PerChannel w4c_;
-  W4PerGroup w4g_;
   W4A16PerGroup w4a16_;
   W4A4PerGroup w4a4_;
+  // INT8-path schemes (W8A8, per-channel/per-group W4A8) keep only this
+  // packed form: ISA-interleaved tiles, per-group weights pre-dequantized to
+  // level-1 codes, epilogue constants inline. Every apply() — a decode step
+  // or a whole stacked prefill — reuses the tiles via the blocked GEMM
+  // driver instead of re-dequantizing weight rows per call, and the
+  // quantization-time structs are dropped after packing to avoid holding
+  // the weights twice.
+  PackedGemmB packed_;
 };
 
 class QuantizedModel {

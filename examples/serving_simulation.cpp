@@ -29,11 +29,15 @@ int main() {
 
   std::printf("engine finished in %lld steps (peak batch %d)\n",
               static_cast<long long>(stats.steps), stats.peak_batch);
-  std::printf("  prefill tokens: %lld, decode tokens: %lld\n",
+  std::printf("  prefill tokens: %lld, first tokens: %lld, decode tokens: "
+              "%lld, preemptions: %lld\n",
               static_cast<long long>(stats.prefill_tokens),
-              static_cast<long long>(stats.decode_tokens));
-  std::printf("  CPU decode throughput: %.1f tok/s\n",
-              stats.decode_tokens_per_second);
+              static_cast<long long>(stats.first_tokens),
+              static_cast<long long>(stats.decode_tokens),
+              static_cast<long long>(stats.preemptions));
+  std::printf("  CPU decode throughput: %.1f tok/s (prefill %.1f tok/s)\n",
+              stats.decode_tokens_per_second,
+              stats.prefill_tokens_per_second);
   std::printf("  mean time-to-first-token: %.1f steps, completion: %.1f\n",
               stats.mean_first_token_steps, stats.mean_completion_steps);
   for (int id : ids) {

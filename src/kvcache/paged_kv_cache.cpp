@@ -24,10 +24,46 @@ int64_t kv_page_bytes(const KvCacheConfig& cfg) {
   return bytes;
 }
 
+void PagedKvCache::Page::resize(const KvCacheConfig& cfg) {
+  const size_t span =
+      static_cast<size_t>(cfg.page_size) * cfg.n_kv_heads * cfg.head_dim;
+  if (cfg.precision == KvPrecision::kFp16) {
+    k_half.assign(span, 0);
+    v_half.assign(span, 0);
+  } else {
+    const size_t code_bytes = span * static_cast<int>(cfg.precision) / 8;
+    k_codes.assign(code_bytes, 0);
+    v_codes.assign(code_bytes, 0);
+    if (!cfg.static_scales) {
+      const size_t heads =
+          static_cast<size_t>(cfg.page_size) * cfg.n_kv_heads;
+      k_params.assign(heads, {});
+      v_params.assign(heads, {});
+    }
+  }
+}
+
+int64_t PagedKvCache::Page::payload_bytes() const {
+  return static_cast<int64_t>(k_codes.size() + v_codes.size()) +
+         2 * static_cast<int64_t>(k_half.size() + v_half.size()) +
+         static_cast<int64_t>(sizeof(PackedKvParams)) *
+             static_cast<int64_t>(k_params.size() + v_params.size());
+}
+
+int64_t PagedKvCache::measured_page_bytes() const {
+  Page p;
+  p.resize(cfg_);
+  return p.payload_bytes();
+}
+
 PagedKvCache::PagedKvCache(const KvCacheConfig& cfg) : cfg_(cfg) {
   QS_CHECK_GT(cfg_.page_size, 0);
   QS_CHECK_GT(cfg_.n_kv_heads, 0);
   QS_CHECK_GT(cfg_.head_dim, 0);
+  // Nibble packing stores two INT4 codes per byte, so a head vector must
+  // span whole bytes.
+  if (cfg_.precision == KvPrecision::kInt4)
+    QS_CHECK_MSG(cfg_.head_dim % 2 == 0, "INT4 KV needs an even head_dim");
   if (cfg_.static_scales)
     QS_CHECK(cfg_.precision == KvPrecision::kInt8);
 }
@@ -54,6 +90,9 @@ void PagedKvCache::free_sequence(int seq) {
   QS_CHECK(is_live_locked(seq));
   auto& s = seqs_[static_cast<size_t>(seq)];
   for (int pid : s.page_table) {
+    // Invalidate outstanding SeqViews before the page can be recycled.
+    pages_[static_cast<size_t>(pid)].generation.fetch_add(
+        1, std::memory_order_relaxed);
     free_page_ids_.push_back(pid);
     used_pages_.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -85,29 +124,11 @@ int PagedKvCache::alloc_page_locked() {
   if (!free_page_ids_.empty()) {
     pid = free_page_ids_.back();
     free_page_ids_.pop_back();
-    auto& p = pages_[static_cast<size_t>(pid)];
-    p.k_codes.clear();
-    p.v_codes.clear();
-    p.k_fp.clear();
-    p.v_fp.clear();
-    p.k_params.clear();
-    p.v_params.clear();
   } else {
     pid = static_cast<int>(pages_.size());
     pages_.emplace_back();
   }
-  auto& p = pages_[static_cast<size_t>(pid)];
-  const size_t span = static_cast<size_t>(cfg_.page_size * head_span());
-  const size_t heads = static_cast<size_t>(cfg_.page_size * cfg_.n_kv_heads);
-  if (cfg_.precision == KvPrecision::kFp16) {
-    p.k_fp.assign(span, 0.0f);
-    p.v_fp.assign(span, 0.0f);
-  } else {
-    p.k_codes.assign(span, 0);
-    p.v_codes.assign(span, 0);
-    p.k_params.assign(heads, {});
-    p.v_params.assign(heads, {});
-  }
+  pages_[static_cast<size_t>(pid)].resize(cfg_);
   used_pages_.fetch_add(1, std::memory_order_relaxed);
   return pid;
 }
@@ -144,8 +165,10 @@ void PagedKvCache::append(int seq, const float* k, const float* v) {
 
   if (cfg_.precision == KvPrecision::kFp16) {
     for (int64_t i = 0; i < span; ++i) {
-      page.k_fp[static_cast<size_t>(off + i)] = to_half_precision(k[i]);
-      page.v_fp[static_cast<size_t>(off + i)] = to_half_precision(v[i]);
+      page.k_half[static_cast<size_t>(off + i)] =
+          detail::float_to_half_bits(k[i]);
+      page.v_half[static_cast<size_t>(off + i)] =
+          detail::float_to_half_bits(v[i]);
     }
   } else if (cfg_.static_scales) {
     StaticKv8Params pk{cfg_.static_scale_k}, pv{cfg_.static_scale_v};
@@ -158,15 +181,27 @@ void PagedKvCache::append(int seq, const float* k, const float* v) {
     }
   } else {
     const int bits = static_cast<int>(cfg_.precision);
-    for (int h = 0; h < cfg_.n_kv_heads; ++h) {
-      const int64_t hoff = off + int64_t(h) * cfg_.head_dim;
+    // kv_quantize emits one code per byte; INT4 packs pairs into the page.
+    thread_local std::vector<uint8_t> scratch;
+    if (bits == 4) scratch.resize(static_cast<size_t>(cfg_.head_dim));
+    auto store = [&](const float* src, int h, std::vector<uint8_t>& codes,
+                     std::vector<PackedKvParams>& params) {
+      const int64_t hoff = code_offset(slot, h);
       const size_t pidx = static_cast<size_t>(slot * cfg_.n_kv_heads + h);
-      page.k_params[pidx] = kv_quantize(k + int64_t(h) * cfg_.head_dim,
-                                        cfg_.head_dim, bits,
-                                        page.k_codes.data() + hoff);
-      page.v_params[pidx] = kv_quantize(v + int64_t(h) * cfg_.head_dim,
-                                        cfg_.head_dim, bits,
-                                        page.v_codes.data() + hoff);
+      KvQuantParams p;
+      if (bits == 4) {
+        p = kv_quantize(src, cfg_.head_dim, 4, scratch.data());
+        kv_pack_nibbles(scratch.data(), cfg_.head_dim, codes.data() + hoff);
+      } else {
+        p = kv_quantize(src, cfg_.head_dim, 8, codes.data() + hoff);
+      }
+      // kv_quantize already rounded scale/zero to FP16, so storing the bits
+      // is lossless.
+      params[pidx] = {Half(p.scale).bits(), Half(p.zero).bits()};
+    };
+    for (int h = 0; h < cfg_.n_kv_heads; ++h) {
+      store(k + int64_t(h) * cfg_.head_dim, h, page.k_codes, page.k_params);
+      store(v + int64_t(h) * cfg_.head_dim, h, page.v_codes, page.v_params);
     }
   }
 }
@@ -185,12 +220,13 @@ const PagedKvCache::Page* PagedKvCache::locate(int seq, int64_t token,
 void PagedKvCache::read_head(const Page& page, int64_t token, int head,
                              bool is_k, float* out) const {
   const int64_t slot = token % cfg_.page_size;
-  const int64_t hoff = slot * head_span() + int64_t(head) * cfg_.head_dim;
   if (cfg_.precision == KvPrecision::kFp16) {
-    const auto& fp = is_k ? page.k_fp : page.v_fp;
+    const int64_t hoff = slot * head_span() + int64_t(head) * cfg_.head_dim;
+    const auto& fp = is_k ? page.k_half : page.v_half;
     for (int i = 0; i < cfg_.head_dim; ++i)
-      out[i] = fp[static_cast<size_t>(hoff + i)];
+      out[i] = detail::half_bits_to_float(fp[static_cast<size_t>(hoff + i)]);
   } else if (cfg_.static_scales) {
+    const int64_t hoff = code_offset(slot, head);
     StaticKv8Params p{is_k ? cfg_.static_scale_k : cfg_.static_scale_v};
     const auto& codes = is_k ? page.k_codes : page.v_codes;
     for (int i = 0; i < cfg_.head_dim; ++i) {
@@ -199,10 +235,17 @@ void PagedKvCache::read_head(const Page& page, int64_t token, int head,
       kv8_static_dequantize(&c, 1, p, out + i);
     }
   } else {
+    const int64_t hoff = code_offset(slot, head);
     const size_t pidx = static_cast<size_t>(slot * cfg_.n_kv_heads + head);
     const auto& codes = is_k ? page.k_codes : page.v_codes;
-    const auto& params = is_k ? page.k_params : page.v_params;
-    kv_dequantize(codes.data() + hoff, cfg_.head_dim, params[pidx], out);
+    const auto& stored = (is_k ? page.k_params : page.v_params)[pidx];
+    const KvQuantParams p{detail::half_bits_to_float(stored.scale_bits),
+                          detail::half_bits_to_float(stored.zero_bits)};
+    if (cfg_.precision == KvPrecision::kInt4) {
+      kv_dequantize_packed4(codes.data() + hoff, cfg_.head_dim, p, out);
+    } else {
+      kv_dequantize(codes.data() + hoff, cfg_.head_dim, p, out);
+    }
   }
 }
 
@@ -224,8 +267,12 @@ PagedKvCache::SeqView PagedKvCache::view(int seq) const {
   const auto& s = seqs_[static_cast<size_t>(seq)];
   v.length_ = s.length;
   v.pages_.reserve(s.page_table.size());
-  for (int pid : s.page_table)
-    v.pages_.push_back(&pages_[static_cast<size_t>(pid)]);
+  v.generations_.reserve(s.page_table.size());
+  for (int pid : s.page_table) {
+    const Page& p = pages_[static_cast<size_t>(pid)];
+    v.pages_.push_back(&p);
+    v.generations_.push_back(p.generation.load(std::memory_order_relaxed));
+  }
   return v;
 }
 
@@ -233,18 +280,21 @@ void PagedKvCache::SeqView::read_k(int64_t token, int head,
                                    float* out) const {
   QS_CHECK(token >= 0 && token < length_);
   QS_CHECK(head >= 0 && head < cache_->cfg_.n_kv_heads);
-  cache_->read_head(*pages_[static_cast<size_t>(
-                        token / cache_->cfg_.page_size)],
-                    token, head, /*is_k=*/true, out);
+  const size_t pi = static_cast<size_t>(token / cache_->cfg_.page_size);
+  // Stale view: the sequence was freed (e.g. preempted) after view().
+  QS_DCHECK(pages_[pi]->generation.load(std::memory_order_relaxed) ==
+            generations_[pi]);
+  cache_->read_head(*pages_[pi], token, head, /*is_k=*/true, out);
 }
 
 void PagedKvCache::SeqView::read_v(int64_t token, int head,
                                    float* out) const {
   QS_CHECK(token >= 0 && token < length_);
   QS_CHECK(head >= 0 && head < cache_->cfg_.n_kv_heads);
-  cache_->read_head(*pages_[static_cast<size_t>(
-                        token / cache_->cfg_.page_size)],
-                    token, head, /*is_k=*/false, out);
+  const size_t pi = static_cast<size_t>(token / cache_->cfg_.page_size);
+  QS_DCHECK(pages_[pi]->generation.load(std::memory_order_relaxed) ==
+            generations_[pi]);
+  cache_->read_head(*pages_[pi], token, head, /*is_k=*/false, out);
 }
 
 void PagedKvCache::gather(int seq, Tensor& k_out, Tensor& v_out) const {

@@ -43,8 +43,19 @@ struct KvCacheConfig {
 };
 
 // Device bytes one page occupies (codes + in-page dynamic params), matching
-// the layout described in §5.1. Used for memory-budget accounting.
+// the layout described in §5.1. Used for memory-budget accounting. Storage
+// matches the model exactly: INT4 codes are nibble-packed two per byte, the
+// FP16 payload and per-(token, head) scale/zero params are binary16 bits —
+// see PagedKvCache::measured_page_bytes().
 int64_t kv_page_bytes(const KvCacheConfig& cfg);
+
+// One (token, head) dynamic scale/zero pair as stored in a page: binary16
+// bits, 4 bytes total, exactly the §5.1 in-page layout.
+struct PackedKvParams {
+  uint16_t scale_bits = 0;
+  uint16_t zero_bits = 0;
+};
+static_assert(sizeof(PackedKvParams) == 4, "in-page params must be 2x FP16");
 
 class PagedKvCache {
   struct Page;  // defined below; forward-declared for SeqView
@@ -67,6 +78,9 @@ class PagedKvCache {
   }
   int64_t free_pages() const { return cfg_.max_pages - pages_in_use(); }
   int64_t bytes_in_use() const { return pages_in_use() * kv_page_bytes(cfg_); }
+  // Bytes a page's payload vectors actually occupy, summed from the real
+  // container sizes; equals kv_page_bytes(config()) (asserted in tests).
+  int64_t measured_page_bytes() const;
 
   // Would appending `tokens` more tokens to `seq` fit in the pool?
   bool can_grow(int seq, int64_t tokens) const;
@@ -86,7 +100,11 @@ class PagedKvCache {
   // synchronization — the access pattern of a fused attention kernel that
   // must not take a mutex per (token, head). Valid while the sequence is
   // live and not concurrently appended (the same same-sequence
-  // serialization contract as the locked readers above).
+  // serialization contract as the locked readers above). The view snapshots
+  // each page's generation counter; once preemption free_sequence()s the
+  // sequence mid-flight, any page may be recycled, and a stale read trips a
+  // QS_DCHECK (Debug builds) instead of silently reading another request's
+  // KV data.
   class SeqView {
    public:
     int64_t length() const { return length_; }
@@ -97,6 +115,7 @@ class PagedKvCache {
     friend class PagedKvCache;
     const PagedKvCache* cache_ = nullptr;
     std::vector<const Page*> pages_;
+    std::vector<uint32_t> generations_;
     int64_t length_ = 0;
   };
   SeqView view(int seq) const;
@@ -105,12 +124,21 @@ class PagedKvCache {
 
  private:
   struct Page {
-    // One entry per (token_in_page, head): codes packed one-per-byte for
-    // INT8/INT4 (nibble packing is modelled in kv_page_bytes; storing bytes
-    // keeps the CPU path simple), floats for FP16.
+    // Payload at true device width: INT8 codes one per byte, INT4 codes
+    // nibble-packed two per byte, FP16 payload and per-(token, head) dynamic
+    // params as binary16 bits — a page's in-memory footprint equals
+    // kv_page_bytes() exactly.
     std::vector<uint8_t> k_codes, v_codes;
-    std::vector<float> k_fp, v_fp;
-    std::vector<KvQuantParams> k_params, v_params;  // per (token, head)
+    std::vector<uint16_t> k_half, v_half;
+    std::vector<PackedKvParams> k_params, v_params;  // per (token, head)
+    // Bumped every time the page is returned to the free list; a SeqView
+    // created before the free holds the old value and QS_DCHECKs on reads.
+    // Atomic only to keep the stale-read *detector* itself benign when the
+    // same-sequence contract has already been violated.
+    std::atomic<uint32_t> generation{0};
+
+    void resize(const KvCacheConfig& cfg);
+    int64_t payload_bytes() const;
   };
 
   struct Sequence {
@@ -120,6 +148,11 @@ class PagedKvCache {
   };
 
   int64_t head_span() const { return int64_t(cfg_.n_kv_heads) * cfg_.head_dim; }
+  // Byte offset of (token_in_page, head)'s codes inside a code vector.
+  int64_t code_offset(int64_t slot, int head) const {
+    return (slot * head_span() + int64_t(head) * cfg_.head_dim) *
+           static_cast<int>(cfg_.precision) / 8;
+  }
   bool is_live_locked(int seq) const;
   int alloc_page_locked();
   // Resolve the page holding (seq, token) under mu_, with bounds checks.

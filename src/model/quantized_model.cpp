@@ -250,25 +250,40 @@ Tensor QuantizedModel::logits_from_hidden(const Tensor& h) const {
 }
 
 Tensor QuantizedModel::prefill(int seq, const std::vector<int>& tokens) {
+  return prefill_chunk(
+      seq, tokens,
+      static_cast<int>(seqs_[static_cast<size_t>(seq)].next_pos));
+}
+
+Tensor QuantizedModel::prefill_chunk(int seq, const std::vector<int>& tokens,
+                                     int pos0) {
   QS_CHECK(!tokens.empty());
-  // The whole prompt is stacked into one [n, hidden] activation matrix, so
-  // each projection below is a single blocked GEMM call and every packed
-  // weight tile is unpacked once and reused across all n tokens — this is
-  // what makes the pre-packed layout pay during prefill.
+  auto& state = seqs_[static_cast<size_t>(seq)];
+  QS_CHECK(state.live);
+  QS_CHECK_EQ(int64_t(pos0), state.next_pos);
+  // The chunk is stacked into one [n, hidden] activation matrix, so each
+  // projection below is a single blocked GEMM call and every packed weight
+  // tile is unpacked once and reused across all n tokens — this is what
+  // makes the pre-packed layout pay during prefill.
   const int64_t n = static_cast<int64_t>(tokens.size());
   Tensor x({n, cfg_.hidden});
   for (int64_t t = 0; t < n; ++t)
     for (int64_t c = 0; c < cfg_.hidden; ++c)
       x.at2(t, c) = embedding_.at2(tokens[static_cast<size_t>(t)], c);
-  const int pos0 = static_cast<int>(seqs_[static_cast<size_t>(seq)].next_pos);
   Tensor h = run_blocks(seq, x, pos0);
-  seqs_[static_cast<size_t>(seq)].next_pos += n;
+  state.next_pos += n;
 
   Tensor last({1, cfg_.hidden});
   for (int64_t c = 0; c < cfg_.hidden; ++c)
     last.at2(0, c) = h.at2(n - 1, c);
   Tensor logits = logits_from_hidden(last);
   return logits.reshaped({cfg_.vocab});
+}
+
+int64_t QuantizedModel::seq_pos(int seq) const {
+  const auto& state = seqs_[static_cast<size_t>(seq)];
+  QS_CHECK(state.live);
+  return state.next_pos;
 }
 
 Tensor QuantizedModel::decode_step(int seq, int token) {

@@ -87,8 +87,18 @@ class QuantizedModel {
   void end_sequence(int seq);
   // Prefill `tokens`, return logits of the last position ([vocab]).
   Tensor prefill(int seq, const std::vector<int>& tokens);
+  // Chunked prefill: run one slice of a prompt whose first `pos0` tokens are
+  // already in the cache. `pos0` must equal the sequence's current position
+  // (the engine tracks it per request). Per-token outputs are bitwise
+  // identical to a monolithic prefill of the whole prompt — every GEMM row,
+  // norm, and attention score is computed per position, and the causal mask
+  // offsets against the cached prefix. Returns logits of the chunk's last
+  // position ([vocab]); only the final chunk's logits are sampled.
+  Tensor prefill_chunk(int seq, const std::vector<int>& tokens, int pos0);
   // Decode one token given the previous one; returns logits [vocab].
   Tensor decode_step(int seq, int token);
+  // Tokens appended to `seq` so far (next position to prefill/decode).
+  int64_t seq_pos(int seq) const;
 
   const ModelConfig& config() const { return cfg_; }
   const QuantSchemeConfig& scheme() const { return qcfg_; }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/half.h"
 #include "common/math_util.h"
 #include "tensor/tensor.h"
@@ -21,8 +22,8 @@ struct KvQuantParams {
   float zero = 0.0f;   // FP16 (real-valued zero point: x ≈ q*scale + zero)
 };
 
-// Quantize `d` floats into `bits`-wide unsigned codes (4 or 8), packed one
-// code per byte (the paged cache handles nibble packing for INT4).
+// Quantize `d` floats into `bits`-wide unsigned codes (4 or 8), emitted one
+// code per byte; INT4 callers pack pairs with kv_pack_nibbles afterwards.
 inline KvQuantParams kv_quantize(const float* x, int d, int bits,
                                  uint8_t* codes) {
   const int qmax = (1 << bits) - 1;
@@ -46,6 +47,25 @@ inline KvQuantParams kv_quantize(const float* x, int d, int bits,
 inline void kv_dequantize(const uint8_t* codes, int d,
                           const KvQuantParams& p, float* out) {
   for (int i = 0; i < d; ++i) out[i] = float(codes[i]) * p.scale + p.zero;
+}
+
+// Nibble packing for INT4 pages: two codes per byte, even index in the low
+// nibble. `d` must be even (the paged cache enforces an even head_dim).
+inline void kv_pack_nibbles(const uint8_t* codes, int d, uint8_t* packed) {
+  QS_DCHECK(d % 2 == 0);
+  for (int i = 0; i < d; i += 2)
+    packed[i >> 1] =
+        static_cast<uint8_t>((codes[i] & 0xF) | (codes[i + 1] << 4));
+}
+
+// Dequantize `d` INT4 codes straight out of their nibble-packed storage —
+// same arithmetic as kv_dequantize on unpacked codes.
+inline void kv_dequantize_packed4(const uint8_t* packed, int d,
+                                  const KvQuantParams& p, float* out) {
+  for (int i = 0; i < d; ++i) {
+    const uint8_t c = (packed[i >> 1] >> ((i & 1) * 4)) & 0xF;
+    out[i] = float(c) * p.scale + p.zero;
+  }
 }
 
 // Static per-tensor symmetric INT8 KV quantization (the TRT-LLM/vLLM KV8

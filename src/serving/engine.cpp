@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
 #include "common/math_util.h"
 #include "common/parallel.h"
@@ -10,25 +11,17 @@ namespace qserve {
 
 namespace {
 
-// KV admission must reserve whole pages: a request's tokens land in
-// ceil(tokens / page_size) pages per layer, so token-granular reservations
-// can admit a request the pool cannot actually hold and strand a running
-// request mid-decode. Align the scheduler's rounding to the real page size.
-SchedulerConfig page_aligned(SchedulerConfig sched, QuantizedModel* model) {
-  QS_CHECK(model != nullptr);
-  const int page_size = model->kv_cache().config().page_size;
-  // A page_round above page_size but not a multiple of it would still
-  // under-reserve (17-token rounding for 16-token pages misses the second
-  // page a 17-token request needs), so align to a whole page multiple.
-  sched.page_round = static_cast<int>(
-      round_up(std::max(sched.page_round, page_size), page_size));
-  return sched;
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 }  // namespace
 
 ServingEngine::ServingEngine(QuantizedModel* model, const EngineConfig& cfg)
-    : model_(model), cfg_(cfg), scheduler_(page_aligned(cfg.scheduler, model)),
+    : model_(model), cfg_(cfg),
+      scheduler_(cfg.scheduler, model->kv_cache().config().page_size,
+                 model->config().n_layers),
       rng_(cfg.sample_seed) {}
 
 int ServingEngine::submit(std::vector<int> prompt, int max_new_tokens) {
@@ -65,82 +58,135 @@ int ServingEngine::sample(const Tensor& logits) {
   return static_cast<int>(vocab - 1);
 }
 
-int64_t ServingEngine::reserved_pages(const Request& r) const {
-  const auto& kv_cfg = model_->kv_cache().config();
-  return ceil_div(static_cast<int64_t>(r.prompt.size()) + r.max_new_tokens,
-                  kv_cfg.page_size) *
-         std::max(1, model_->config().n_layers);
-}
-
 void ServingEngine::finish(Request& r) {
   r.state = RequestState::kFinished;
   r.finished_step = stats_.steps;
   model_->end_sequence(r.seq_handle);
   r.seq_handle = -1;
-  committed_pages_ -= reserved_pages(r);
-  QS_CHECK_GE(committed_pages_, 0);
+}
+
+void ServingEngine::evict(Request& r) {
+  model_->end_sequence(r.seq_handle);
+  r.seq_handle = -1;
+  r.prefill_pos = 0;
+  r.state = RequestState::kQueued;
+  ++r.preemptions;
+  ++stats_.preemptions;
 }
 
 bool ServingEngine::step() {
   const auto t0 = std::chrono::steady_clock::now();
 
-  // --- admit ---
-  // Conservative page-granular admission: every running request holds a
-  // reservation for its *maximum* final length (committed_pages_), so the
-  // budget offered to the scheduler excludes growth pages that running
-  // requests have reserved but not yet allocated. Without that term a new
-  // request could take the last free page and strand a running decode.
-  const auto& kv = model_->kv_cache();
-  const int n_layers = std::max(1, model_->config().n_layers);
-  const int64_t future_growth = committed_pages_ - kv.pages_in_use();
-  QS_CHECK_GE(future_growth, 0);
-  const int64_t admissible_pages = kv.free_pages() - future_growth;
-  const int64_t tokens_available =
-      admissible_pages > 0
-          ? admissible_pages / n_layers * kv.config().page_size
-          : 0;
-  const auto admitted =
-      scheduler_.admit(static_cast<int>(running_.size()), tokens_available);
-  for (Request* r : admitted) {
-    committed_pages_ += reserved_pages(*r);
-    // Admission invariant: reservations never exceed what the pool can hold.
-    QS_CHECK_LE(committed_pages_ - kv.pages_in_use(), kv.free_pages());
+  StepPlan plan = scheduler_.plan(running_, model_->kv_cache().free_pages());
+  // An all-empty plan with work outstanding means the pool can never serve
+  // it (e.g. a single request larger than the whole pool): nothing running
+  // will free pages and nothing queued can be admitted. Fail loudly rather
+  // than spinning.
+  QS_CHECK_MSG(!(plan.empty() &&
+                 !scheduler_.idle(static_cast<int>(running_.size()))),
+               "serving stalled: KV pool too small for the submitted work");
+
+  // Apply evictions (the scheduler already re-queued the victims).
+  if (!plan.evicted.empty()) {
+    for (Request* r : plan.evicted) evict(*r);
+    running_.erase(std::remove_if(running_.begin(), running_.end(),
+                                  [](Request* r) {
+                                    return r->state == RequestState::kQueued;
+                                  }),
+                   running_.end());
+  }
+  // Apply admissions (FCFS order; keeps running_ in admission order).
+  for (Request* r : plan.admitted) {
     r->state = RequestState::kPrefilling;
     r->seq_handle = model_->begin_sequence();
     running_.push_back(r);
   }
 
-  // --- prefill newcomers, decode the rest (one token each) ---
-  // The forward passes fan out across requests: each one touches only its
-  // own sequence (the KV pool bookkeeping is internally locked). Sampling
-  // and stats stay serial, in submission order, so the generated streams are
-  // identical to the single-thread engine.
-  std::vector<Tensor> logits(running_.size());
-  parallel_for(0, static_cast<int64_t>(running_.size()), 1,
-               [&](int64_t lo, int64_t hi) {
-                 for (int64_t i = lo; i < hi; ++i) {
-                   Request* r = running_[static_cast<size_t>(i)];
-                   logits[static_cast<size_t>(i)] =
-                       r->state == RequestState::kPrefilling
-                           ? model_->prefill(r->seq_handle, r->prompt)
-                           : model_->decode_step(r->seq_handle,
-                                                 r->generated.back());
-                 }
-               });
-  for (size_t i = 0; i < running_.size(); ++i) {
-    Request* r = running_[i];
-    if (r->state == RequestState::kPrefilling) {
-      stats_.prefill_tokens += static_cast<int64_t>(r->prompt.size());
-      r->state = RequestState::kDecoding;
-    }
-    const int tok = sample(logits[i]);
-    r->generated.push_back(tok);
-    ++stats_.decode_tokens;
-    if (r->first_token_step < 0) r->first_token_step = stats_.steps;
-    if (static_cast<int>(r->generated.size()) >= r->max_new_tokens) {
-      finish(*r);
+  // Materialize each prefill share's token slice (prompt, then generated
+  // tokens for a request resuming after preemption).
+  struct ChunkJob {
+    Request* req = nullptr;
+    std::vector<int> tokens;
+    Tensor logits;
+  };
+  std::vector<ChunkJob> chunks(plan.prefills.size());
+  for (size_t i = 0; i < plan.prefills.size(); ++i) {
+    Request* r = plan.prefills[i].req;
+    chunks[i].req = r;
+    chunks[i].tokens.reserve(static_cast<size_t>(plan.prefills[i].tokens));
+    const int64_t prompt_len = static_cast<int64_t>(r->prompt.size());
+    for (int64_t p = r->prefill_pos;
+         p < r->prefill_pos + plan.prefills[i].tokens; ++p) {
+      chunks[i].tokens.push_back(
+          p < prompt_len ? r->prompt[static_cast<size_t>(p)]
+                         : r->generated[static_cast<size_t>(p - prompt_len)]);
     }
   }
+
+  // Forward passes fan out across requests; each touches only its own
+  // sequence (the KV pool bookkeeping is internally locked). Decode and
+  // prefill run as separate fan-outs so their wall time is split in stats.
+  std::vector<Tensor> decode_logits(plan.decodes.size());
+  const auto td = std::chrono::steady_clock::now();
+  parallel_for(0, static_cast<int64_t>(plan.decodes.size()), 1,
+               [&](int64_t lo, int64_t hi) {
+                 for (int64_t i = lo; i < hi; ++i) {
+                   Request* r = plan.decodes[static_cast<size_t>(i)];
+                   decode_logits[static_cast<size_t>(i)] =
+                       model_->decode_step(r->seq_handle,
+                                           r->generated.back());
+                 }
+               });
+  if (!plan.decodes.empty()) stats_.decode_seconds += seconds_since(td);
+
+  const auto tp = std::chrono::steady_clock::now();
+  parallel_for(0, static_cast<int64_t>(chunks.size()), 1,
+               [&](int64_t lo, int64_t hi) {
+                 for (int64_t i = lo; i < hi; ++i) {
+                   ChunkJob& c = chunks[static_cast<size_t>(i)];
+                   c.logits = model_->prefill_chunk(
+                       c.req->seq_handle, c.tokens,
+                       static_cast<int>(c.req->prefill_pos));
+                 }
+               });
+  if (!chunks.empty()) stats_.prefill_seconds += seconds_since(tp);
+
+  // Sampling and stats stay serial, in admission (running_) order, so the
+  // generated streams are identical to the single-thread engine.
+  std::unordered_map<const Request*, const Tensor*> decode_out;
+  for (size_t i = 0; i < plan.decodes.size(); ++i)
+    decode_out.emplace(plan.decodes[i], &decode_logits[i]);
+  std::unordered_map<const Request*, ChunkJob*> chunk_out;
+  for (auto& c : chunks) chunk_out.emplace(c.req, &c);
+
+  for (Request* r : running_) {
+    if (auto it = chunk_out.find(r); it != chunk_out.end()) {
+      ChunkJob& c = *it->second;
+      r->prefill_pos += static_cast<int64_t>(c.tokens.size());
+      stats_.prefill_tokens += static_cast<int64_t>(c.tokens.size());
+      if (r->prefill_pos < r->context_len()) continue;  // more chunks to go
+      r->state = RequestState::kDecoding;
+      const int tok = sample(c.logits);
+      r->generated.push_back(tok);
+      if (r->first_token_step < 0) {
+        r->first_token_step = stats_.steps;
+        ++stats_.first_tokens;
+      } else {
+        // Re-prefill after preemption: this token continues the decode
+        // stream the request was producing before it was evicted.
+        ++stats_.decode_tokens;
+      }
+      if (static_cast<int>(r->generated.size()) >= r->max_new_tokens)
+        finish(*r);
+    } else if (auto dit = decode_out.find(r); dit != decode_out.end()) {
+      const int tok = sample(*dit->second);
+      r->generated.push_back(tok);
+      ++stats_.decode_tokens;
+      if (static_cast<int>(r->generated.size()) >= r->max_new_tokens)
+        finish(*r);
+    }
+  }
+
   stats_.peak_batch =
       std::max(stats_.peak_batch, static_cast<int>(running_.size()));
   running_.erase(std::remove_if(running_.begin(), running_.end(),
@@ -148,9 +194,7 @@ bool ServingEngine::step() {
                  running_.end());
 
   ++stats_.steps;
-  stats_.wall_seconds +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  stats_.wall_seconds += seconds_since(t0);
   return !scheduler_.idle(static_cast<int>(running_.size()));
 }
 
@@ -158,9 +202,13 @@ EngineStats ServingEngine::run_to_completion() {
   while (step()) {
   }
   stats_.decode_tokens_per_second =
-      stats_.wall_seconds > 0 ? double(stats_.decode_tokens) /
-                                    stats_.wall_seconds
-                              : 0;
+      stats_.decode_seconds > 0
+          ? double(stats_.decode_tokens) / stats_.decode_seconds
+          : 0;
+  stats_.prefill_tokens_per_second =
+      stats_.prefill_seconds > 0
+          ? double(stats_.prefill_tokens) / stats_.prefill_seconds
+          : 0;
   double ft = 0, comp = 0;
   int64_t n = 0;
   for (const auto& r : requests_) {

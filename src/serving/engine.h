@@ -3,8 +3,12 @@
 // This is the CPU-executable counterpart of the QServe runtime — it really
 // runs the quantized kernels and the paged quantized KV cache, so integration
 // tests can assert end-to-end behaviour (admission under memory pressure,
-// in-flight join/leave, token-order preservation). Wall-clock throughput at
-// GPU scale comes from src/simulator instead.
+// in-flight join/leave, chunked prefill, preemption round trips, token-order
+// preservation). Wall-clock throughput at GPU scale comes from src/simulator.
+//
+// Each step executes the Scheduler's StepPlan: all pending decodes (one token
+// each) plus at most one chunk's worth of prefill work, so a long prompt can
+// no longer stall running decodes for a whole monolithic prefill call.
 #pragma once
 
 #include <memory>
@@ -24,10 +28,24 @@ struct EngineConfig {
 
 struct EngineStats {
   int64_t steps = 0;
+  // Prompt tokens run through prefill chunks (re-prefill after preemption
+  // counts again — it is real work).
   int64_t prefill_tokens = 0;
+  // Tokens produced by decode steps, plus post-preemption re-prefill
+  // completions (they continue the decode stream). First tokens are counted
+  // separately: the token sampled when a prompt's prefill completes is not a
+  // decode token and must not inflate decode throughput.
   int64_t decode_tokens = 0;
+  int64_t first_tokens = 0;
+  int64_t preemptions = 0;
+  // Wall time split by work type (forward passes only) plus the whole-step
+  // total (includes scheduling/sampling overhead).
+  double prefill_seconds = 0;
+  double decode_seconds = 0;
   double wall_seconds = 0;
   int peak_batch = 0;
+  // Throughputs over the matching wall-time split.
+  double prefill_tokens_per_second = 0;
   double decode_tokens_per_second = 0;
   // Per-request latency in engine steps.
   double mean_first_token_steps = 0;
@@ -41,8 +59,8 @@ class ServingEngine {
   // Submit a request; returns its id. Requests are owned by the engine.
   int submit(std::vector<int> prompt, int max_new_tokens);
 
-  // One engine iteration: admit, prefill newcomers, decode running batch.
-  // Returns false when fully idle.
+  // One engine iteration: plan (admit/evict), run all decodes + one prefill
+  // chunk, sample. Returns false when fully idle.
   bool step();
 
   // Run until all submitted requests finish.
@@ -54,17 +72,15 @@ class ServingEngine {
  private:
   int sample(const Tensor& logits);
   void finish(Request& r);
-  // KV pages this request reserves at its maximum final length, all layers.
-  int64_t reserved_pages(const Request& r) const;
+  // Preempt: free the KV sequence and reset prefill progress; the request is
+  // already back in the scheduler queue.
+  void evict(Request& r);
 
   QuantizedModel* model_;
   EngineConfig cfg_;
   Scheduler scheduler_;
   std::vector<std::unique_ptr<Request>> requests_;
-  std::vector<Request*> running_;
-  // Pages reserved by running requests (max final length); admission offers
-  // the scheduler only what is left after these reservations.
-  int64_t committed_pages_ = 0;
+  std::vector<Request*> running_;  // admission order; back = youngest
   EngineStats stats_;
   Rng rng_;
 };

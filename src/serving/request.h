@@ -1,4 +1,10 @@
 // Request / sequence state machine for the serving engine.
+//
+// Lifecycle: kQueued -> kPrefilling -> kDecoding -> kFinished, with one back
+// edge: preemption returns a running request to kQueued (its KV pages are
+// freed and prefill_pos resets). On re-admission it re-prefills its whole
+// context — prompt plus every token generated so far — which rebuilds the
+// identical KV state, so the continued token stream is bitwise unchanged.
 #pragma once
 
 #include <cstdint>
@@ -17,13 +23,19 @@ struct Request {
   std::vector<int> generated;
   int seq_handle = -1;  // QuantizedModel sequence id while running
 
+  // Chunked prefill progress: context tokens (prompt + generated, for a
+  // resumed request) already appended to the KV cache. Reset on preemption.
+  int64_t prefill_pos = 0;
+  int preemptions = 0;
+
   // Timeline (engine step indices) for latency metrics.
   int64_t submitted_step = -1;
   int64_t first_token_step = -1;
   int64_t finished_step = -1;
 
   bool done() const { return state == RequestState::kFinished; }
-  int64_t total_len() const {
+  // The tokens a (re-)prefill must append before decoding can proceed.
+  int64_t context_len() const {
     return static_cast<int64_t>(prompt.size() + generated.size());
   }
 };

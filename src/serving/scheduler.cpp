@@ -1,24 +1,143 @@
 #include "serving/scheduler.h"
 
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
 namespace qserve {
 
-std::vector<Request*> Scheduler::admit(int running,
-                                       int64_t kv_tokens_available) {
-  std::vector<Request*> admitted;
-  int64_t budget = kv_tokens_available;
-  while (!queue_.empty() &&
-         running + static_cast<int>(admitted.size()) < cfg_.max_batch) {
-    Request* r = queue_.front();
-    const int64_t raw =
-        static_cast<int64_t>(r->prompt.size()) + r->max_new_tokens;
-    const int64_t pr = cfg_.page_round > 0 ? cfg_.page_round : 1;
-    const int64_t need = (raw + pr - 1) / pr * pr;
-    if (need > budget) break;  // FCFS: do not skip ahead of the head
-    budget -= need;
-    queue_.pop_front();
-    admitted.push_back(r);
+Scheduler::Scheduler(const SchedulerConfig& cfg, int page_size, int n_layers)
+    : cfg_(cfg), page_size_(page_size), n_layers_(std::max(1, n_layers)) {
+  QS_CHECK_GT(cfg_.max_batch, 0);
+  QS_CHECK_GT(cfg_.prefill_chunk, 0);
+  QS_CHECK_GT(page_size_, 0);
+}
+
+int64_t Scheduler::kv_len(const Request& r) {
+  if (r.state == RequestState::kDecoding) {
+    // The most recent sampled token is appended by the *next* decode step.
+    return r.context_len() - 1;
   }
-  return admitted;
+  return r.prefill_pos;
+}
+
+int64_t Scheduler::grow_pages(int64_t len, int64_t tokens) const {
+  return (ceil_div(len + tokens, int64_t(page_size_)) -
+          ceil_div(len, int64_t(page_size_))) *
+         n_layers_;
+}
+
+int64_t Scheduler::held_pages(const Request& r) const {
+  return ceil_div(kv_len(r), int64_t(page_size_)) * n_layers_;
+}
+
+int64_t Scheduler::token_capacity(int64_t len, int64_t free) const {
+  const int64_t slack = len % page_size_ ? page_size_ - len % page_size_ : 0;
+  return slack + std::max<int64_t>(free, 0) / n_layers_ * page_size_;
+}
+
+StepPlan Scheduler::plan(const std::vector<Request*>& running,
+                         int64_t free_pages) {
+  StepPlan plan;
+  int64_t free = free_pages;
+  std::vector<Request*> live = running;
+
+  // 1. Decode-priority page reservation. Evict the youngest running request
+  // (prefilling or decoding) until every decode's next token fits.
+  const auto decode_need = [&live, this]() {
+    int64_t need = 0;
+    for (Request* r : live)
+      if (r->state == RequestState::kDecoding)
+        need += grow_pages(kv_len(*r), 1);
+    return need;
+  };
+  int64_t need = decode_need();
+  while (need > free) {
+    QS_CHECK_MSG(live.size() > 1,
+                 "KV pool cannot hold a single request's next token");
+    Request* victim = live.back();
+    live.pop_back();
+    free += held_pages(*victim);
+    plan.evicted.push_back(victim);
+    // Front of the queue: an evictee outranks never-admitted requests, and
+    // evicting youngest-first then pushing front keeps older evictees ahead.
+    queue_.push_front(victim);
+    need = decode_need();
+  }
+  free -= need;
+  for (Request* r : live)
+    if (r->state == RequestState::kDecoding) plan.decodes.push_back(r);
+
+  // 2. FCFS admission against what the decodes left over. Admission is
+  // page-incremental: one token's pages must fit now; later growth is
+  // resolved by allocation on demand and, if needed, preemption. Skipped on
+  // eviction steps so a victim's pages are not immediately re-committed.
+  if (plan.evicted.empty()) {
+    int64_t admit_hold = 0;  // one-page-per-layer notional hold per admit
+    while (!queue_.empty() &&
+           static_cast<int>(live.size()) < cfg_.max_batch &&
+           free - admit_hold >= n_layers_) {
+      Request* r = queue_.front();
+      queue_.pop_front();
+      plan.admitted.push_back(r);
+      live.push_back(r);
+      admit_hold += n_layers_;
+    }
+  }
+
+  // 3. Distribute the prefill chunk. Shortest-remaining-first bounds a short
+  // request's time-to-first-token by one chunk step even when a long prompt
+  // is mid-prefill; the oldest prefilling request keeps at least half the
+  // chunk so short arrivals cannot starve it. Page-exact clamping: the
+  // engine appends exactly the planned tokens, so the pool cannot be
+  // exhausted mid-step.
+  const auto remaining = [](const Request* r) {
+    return r->context_len() - r->prefill_pos;
+  };
+  const auto distribute = [&]() {
+    std::vector<Request*> pre;
+    for (Request* r : live)
+      if (r->state != RequestState::kDecoding) pre.push_back(r);
+    Request* const oldest = pre.empty() ? nullptr : pre.front();
+    std::stable_sort(pre.begin(), pre.end(),
+                     [&](const Request* a, const Request* b) {
+                       return remaining(a) < remaining(b);
+                     });
+    int64_t budget = cfg_.prefill_chunk;
+    int64_t other_budget = budget / 2;
+    for (Request* r : pre) {
+      const int64_t cap =
+          r == oldest ? budget : std::min(budget, other_budget);
+      int64_t t = std::min(remaining(r), cap);
+      t = std::min(t, token_capacity(kv_len(*r), free));
+      if (t <= 0) continue;
+      plan.prefills.push_back({r, static_cast<int>(t)});
+      free -= grow_pages(kv_len(*r), t);
+      budget -= t;
+      if (r != oldest) other_budget -= t;
+    }
+  };
+  distribute();
+
+  // 4. Prefill-deadlock relief. With no decodes to drive eviction, several
+  // mid-prefill requests can jointly exhaust the pool and all stall even
+  // though each would complete alone. Evict the youngest (freeing its
+  // pages) until the oldest can progress; if one lone request still cannot,
+  // the pool is genuinely too small and the engine fails loudly. Admission
+  // cannot have happened on such a step (no pages -> no admission), so the
+  // victims are always previously-running prefills. `plan.prefills` is
+  // empty on entry (nothing was assigned), so re-running the distribution
+  // after freeing pages starts from a clean slate.
+  while (plan.decodes.empty() && plan.prefills.empty() && live.size() > 1) {
+    Request* victim = live.back();
+    live.pop_back();
+    free += held_pages(*victim);
+    plan.evicted.push_back(victim);
+    queue_.push_front(victim);
+    distribute();
+  }
+  return plan;
 }
 
 }  // namespace qserve

@@ -1,12 +1,25 @@
-// Continuous (in-flight) batching scheduler (§5.1: QServe supports in-flight
-// batching like vLLM / TRT-LLM).
+// Decode-priority continuous-batching scheduler with chunked prefill and
+// preemption (§5.1: QServe supports in-flight batching like vLLM / TRT-LLM;
+// chunking follows Sarathi-style stall-free scheduling, preemption follows
+// vLLM's recompute-on-resume).
 //
-// Policy: FCFS admission. A queued request is admitted when (a) the running
-// batch is below `max_batch` and (b) the KV pool can hold the request at its
-// *maximum* final length (prompt + max_new_tokens) — the conservative
-// admission that guarantees a running request never has to be evicted.
-// Finished sequences release their pages immediately, letting the next
-// queued request join mid-flight (iteration-level scheduling, as in Orca).
+// Each engine step asks the scheduler for a StepPlan:
+//   1. Every decoding request decodes one token. Their page needs are
+//      reserved *first*; if the pool cannot serve them, the youngest running
+//      request is evicted back to the *front* of the queue (its pages free
+//      immediately, it re-prefills prompt + generated-so-far on re-admission)
+//      — queued prefill work can never starve a running decode.
+//   2. Admission is FCFS and incremental: a queued request joins as soon as
+//      the batch has room and at least one token's worth of pages is left
+//      after the decode reservations. No max-final-length reservation — the
+//      pool is allowed to over-commit, and preemption resolves the pressure.
+//   3. At most `prefill_chunk` prompt tokens are prefilled per step, shared
+//      across the batch shortest-remaining-first (so a short prompt's TTFT
+//      is never stuck behind a long prompt's prefill), with the oldest
+//      prefilling request guaranteed at least half the chunk (so a stream
+//      of short arrivals cannot starve a long prompt). Every share is
+//      clamped to the pages actually free, so a planned step can never
+//      exhaust the pool mid-forward.
 #pragma once
 
 #include <deque>
@@ -18,26 +31,61 @@ namespace qserve {
 
 struct SchedulerConfig {
   int max_batch = 8;
-  // KV reservations are rounded up to whole pages of this many tokens.
-  int page_round = 1;
+  // Maximum prompt tokens prefilled per engine step, shared across requests.
+  int prefill_chunk = 128;
+};
+
+// One request's slice of this step's prefill chunk budget.
+struct PrefillWork {
+  Request* req = nullptr;
+  int tokens = 0;
+};
+
+// Work for one engine step. A request appears in at most one list.
+struct StepPlan {
+  std::vector<Request*> decodes;     // one token each, always all decoders
+  std::vector<PrefillWork> prefills; // chunk shares, includes newly admitted
+  std::vector<Request*> admitted;    // FCFS order
+  std::vector<Request*> evicted;     // youngest first; already re-queued
+  bool empty() const {
+    return decodes.empty() && prefills.empty() && admitted.empty() &&
+           evicted.empty();
+  }
 };
 
 class Scheduler {
  public:
-  explicit Scheduler(const SchedulerConfig& cfg) : cfg_(cfg) {}
+  // `page_size` / `n_layers` give the KV pool geometry: appending one token
+  // to a request costs one page per layer whenever its length crosses a
+  // page boundary.
+  Scheduler(const SchedulerConfig& cfg, int page_size, int n_layers);
 
   void enqueue(Request* r) { queue_.push_back(r); }
 
-  // Admit queued requests that fit. `kv_tokens_available` is a callback-free
-  // snapshot: the number of tokens the KV pool can still hold; admission
-  // reserves (prompt + max_new) tokens per request.
-  std::vector<Request*> admit(int running, int64_t kv_tokens_available);
+  // Plan one step. `running` is the engine's batch in admission order (the
+  // eviction victim is its back); `free_pages` is the pool's current free
+  // page count. Evicted requests are pushed to the queue front (oldest
+  // evictee first); admitted requests are popped. The engine applies the
+  // corresponding model-side state changes.
+  StepPlan plan(const std::vector<Request*>& running, int64_t free_pages);
 
   bool idle(int running) const { return queue_.empty() && running == 0; }
   int64_t queued() const { return static_cast<int64_t>(queue_.size()); }
 
+  // KV tokens `r` has appended so far (used for page-cost arithmetic; also
+  // handy for tests). During prefill this is the chunk progress; during
+  // decode the last sampled token is not yet appended.
+  static int64_t kv_len(const Request& r);
+
  private:
+  int64_t grow_pages(int64_t len, int64_t tokens) const;
+  int64_t held_pages(const Request& r) const;
+  // Tokens that fit in the last partially-filled page plus `free` new pages.
+  int64_t token_capacity(int64_t len, int64_t free) const;
+
   SchedulerConfig cfg_;
+  int page_size_;
+  int n_layers_;
   std::deque<Request*> queue_;
 };
 

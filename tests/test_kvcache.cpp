@@ -200,6 +200,70 @@ TEST(PagedKvCache, PageBytesLayout) {
   EXPECT_EQ(kv_page_bytes(cfg8), 2 * 4 * 16);
 }
 
+TEST(PagedKvCache, ModeledPageBytesMatchMeasuredStorage) {
+  // Regression: INT4 codes used to be stored one per byte while
+  // kv_page_bytes modeled nibble packing, understating real usage 2x. The
+  // payload vectors (nibble-packed codes, binary16 payload and params) must
+  // now occupy exactly the modeled bytes.
+  for (KvPrecision p :
+       {KvPrecision::kFp16, KvPrecision::kInt8, KvPrecision::kInt4}) {
+    PagedKvCache cache(small_cfg(p));
+    EXPECT_EQ(kv_page_bytes(cache.config()), cache.measured_page_bytes())
+        << "precision " << static_cast<int>(p);
+  }
+  auto cfg8 = small_cfg(KvPrecision::kInt8);
+  cfg8.static_scales = true;
+  PagedKvCache static8(cfg8);
+  EXPECT_EQ(kv_page_bytes(cfg8), static8.measured_page_bytes());
+}
+
+TEST(KvQuant, NibblePackedDequantMatchesUnpacked) {
+  Rng rng(12);
+  const auto x = random_vec(rng, 32);
+  std::vector<uint8_t> codes(32), packed(16);
+  const auto p = kv_quantize(x.data(), 32, 4, codes.data());
+  kv_pack_nibbles(codes.data(), 32, packed.data());
+  std::vector<float> from_codes(32), from_packed(32);
+  kv_dequantize(codes.data(), 32, p, from_codes.data());
+  kv_dequantize_packed4(packed.data(), 32, p, from_packed.data());
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(from_packed[size_t(i)], from_codes[size_t(i)]) << i;
+}
+
+TEST(PagedKvCache, Int4RequiresEvenHeadDim) {
+  KvCacheConfig cfg = small_cfg(KvPrecision::kInt4);
+  cfg.head_dim = 7;
+  EXPECT_THROW(PagedKvCache{cfg}, CheckError);
+  cfg.precision = KvPrecision::kInt8;  // one code per byte: odd dim is fine
+  PagedKvCache ok(cfg);
+  EXPECT_EQ(kv_page_bytes(cfg), ok.measured_page_bytes());
+}
+
+TEST(PagedKvCache, StaleSeqViewDetectedAfterFree) {
+  // Regression for preemption: SeqView holds raw page pointers, and
+  // free_sequence() can recycle those pages mid-flight. The per-page
+  // generation counter turns a silent stale read into a QS_DCHECK failure.
+  PagedKvCache cache(small_cfg(KvPrecision::kInt4));
+  Rng rng(13);
+  const int a = cache.alloc_sequence();
+  const auto k = random_vec(rng, 16);
+  cache.append(a, k.data(), k.data());
+  const PagedKvCache::SeqView view = cache.view(a);
+  std::vector<float> out(8);
+  view.read_k(0, 0, out.data());  // live view reads fine
+  cache.free_sequence(a);
+#ifndef NDEBUG
+  EXPECT_THROW(view.read_k(0, 0, out.data()), CheckError);
+  // The page may since have been recycled into another sequence; the stale
+  // view must still trip even though the page is live again.
+  const int b = cache.alloc_sequence();
+  cache.append(b, k.data(), k.data());
+  EXPECT_THROW(view.read_v(0, 0, out.data()), CheckError);
+#else
+  GTEST_SKIP() << "generation checks are QS_DCHECK (compiled out in NDEBUG)";
+#endif
+}
+
 TEST(PagedKvCache, StaticKv8MatchesStaticQuantizer) {
   auto cfg = small_cfg(KvPrecision::kInt8);
   cfg.static_scales = true;

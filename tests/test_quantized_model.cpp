@@ -102,6 +102,47 @@ TEST(QuantizedModel, PrefillThenDecodeMatchesBatchForward) {
                 2e-2f * std::abs(batch_logits.at2(last, v)) + 2e-2f);
 }
 
+TEST(QuantizedModel, ChunkedPrefillBitwiseMatchesMonolithic) {
+  // prefill_chunk over uneven slices must reproduce the monolithic prefill
+  // exactly: same KV page contents (per-token quantization is independent of
+  // chunking), same causal attention (the mask offsets against the cached
+  // prefix), same final logits bit for bit.
+  const auto& f = fixture();
+  QuantizedModel mono(f.weights, QuantSchemeConfig::qserve_w4a8kv4_g128());
+  QuantizedModel chunked(f.weights, QuantSchemeConfig::qserve_w4a8kv4_g128());
+
+  const int sm = mono.begin_sequence();
+  const Tensor lm = mono.prefill(sm, f.tokens);
+
+  const int sc = chunked.begin_sequence();
+  Tensor lc;
+  int pos = 0;
+  for (const int step : {7, 1, 9, 3}) {  // 7+1+9+3 = 20 = |tokens|
+    std::vector<int> slice(f.tokens.begin() + pos,
+                           f.tokens.begin() + pos + step);
+    lc = chunked.prefill_chunk(sc, slice, pos);
+    pos += step;
+  }
+  EXPECT_EQ(chunked.seq_pos(sc), 20);
+  for (int64_t v = 0; v < lm.numel(); ++v) EXPECT_EQ(lm[v], lc[v]) << v;
+
+  // The next decode step continues identically from either cache state.
+  const Tensor dm = mono.decode_step(sm, 42);
+  const Tensor dc = chunked.decode_step(sc, 42);
+  for (int64_t v = 0; v < dm.numel(); ++v) EXPECT_EQ(dm[v], dc[v]) << v;
+  mono.end_sequence(sm);
+  chunked.end_sequence(sc);
+}
+
+TEST(QuantizedModel, PrefillChunkRejectsWrongPosition) {
+  const auto& f = fixture();
+  QuantizedModel qm(f.weights, QuantSchemeConfig::qserve_w4a8kv4_g128());
+  const int seq = qm.begin_sequence();
+  qm.prefill_chunk(seq, {1, 2, 3}, 0);
+  EXPECT_THROW(qm.prefill_chunk(seq, {4}, 1), CheckError);  // must be 3
+  qm.end_sequence(seq);
+}
+
 TEST(QuantizedModel, SequencesAreIndependent) {
   const auto& f = fixture();
   QuantizedModel qm(f.weights, QuantSchemeConfig::qserve_w4a8kv4_g128());

@@ -1,5 +1,6 @@
-// Scheduler unit tests + serving-engine integration tests (continuous
-// batching over the real quantized model and paged KV cache).
+// Scheduler unit tests (decode-priority planning, chunked prefill shares,
+// preemption) + serving-engine integration tests (continuous batching over
+// the real quantized model and paged KV cache).
 #include <gtest/gtest.h>
 
 #include "serving/engine.h"
@@ -17,46 +18,153 @@ Request make_request(int id, int prompt_len, int max_new) {
   return r;
 }
 
-TEST(Scheduler, AdmitsUpToMaxBatch) {
-  Scheduler s({.max_batch = 2});
+// A request mid-decode with `kv` tokens already in the cache.
+Request make_decoding(int id, int kv_tokens) {
+  Request r = make_request(id, kv_tokens, 64);
+  r.state = RequestState::kDecoding;
+  r.generated.push_back(1);
+  r.prefill_pos = kv_tokens;  // prefill completed
+  return r;
+}
+
+// A request mid-prefill with `remaining` context tokens still to run.
+Request make_prefilling(int id, int prompt_len, int done = 0) {
+  Request r = make_request(id, prompt_len, 64);
+  r.state = RequestState::kPrefilling;
+  r.prefill_pos = done;
+  return r;
+}
+
+Scheduler make_sched(int max_batch, int chunk, int page_size = 16,
+                     int n_layers = 1) {
+  return Scheduler({.max_batch = max_batch, .prefill_chunk = chunk},
+                   page_size, n_layers);
+}
+
+TEST(Scheduler, AdmitsFcfsUpToMaxBatch) {
+  Scheduler s = make_sched(2, 128);
   Request a = make_request(0, 4, 4), b = make_request(1, 4, 4),
           c = make_request(2, 4, 4);
   s.enqueue(&a);
   s.enqueue(&b);
   s.enqueue(&c);
-  const auto admitted = s.admit(0, 1000);
-  EXPECT_EQ(admitted.size(), 2u);
-  EXPECT_EQ(admitted[0]->id, 0);
-  EXPECT_EQ(admitted[1]->id, 1);
-  EXPECT_EQ(s.admit(2, 1000).size(), 0u);  // batch full
+  const StepPlan plan = s.plan({}, 1000);
+  ASSERT_EQ(plan.admitted.size(), 2u);
+  EXPECT_EQ(plan.admitted[0]->id, 0);
+  EXPECT_EQ(plan.admitted[1]->id, 1);
+  EXPECT_EQ(plan.prefills.size(), 2u);  // both get chunk shares immediately
+  EXPECT_EQ(s.queued(), 1);
 }
 
-TEST(Scheduler, RespectsKvBudget) {
-  Scheduler s({.max_batch = 8});
-  Request a = make_request(0, 10, 10), b = make_request(1, 10, 10);
+TEST(Scheduler, NoAdmissionWhenBatchFull) {
+  Scheduler s = make_sched(2, 128);
+  Request a = make_decoding(0, 8), b = make_decoding(1, 8);
+  Request c = make_request(2, 4, 4);
+  s.enqueue(&c);
+  const StepPlan plan = s.plan({&a, &b}, 1000);
+  EXPECT_EQ(plan.admitted.size(), 0u);
+  EXPECT_EQ(plan.decodes.size(), 2u);  // decodes always run
+  EXPECT_EQ(s.queued(), 1);
+}
+
+TEST(Scheduler, FcfsNoAdmissionWithoutPages) {
+  // No free pages -> head not admitted, and nothing behind it skips ahead.
+  Scheduler s = make_sched(8, 128);
+  Request a = make_request(0, 100, 10), b = make_request(1, 2, 2);
   s.enqueue(&a);
   s.enqueue(&b);
-  // Budget fits exactly one request (20 tokens each).
-  const auto admitted = s.admit(0, 25);
-  EXPECT_EQ(admitted.size(), 1u);
-}
-
-TEST(Scheduler, FcfsNeverSkipsHead) {
-  Scheduler s({.max_batch = 8});
-  Request big = make_request(0, 100, 10), small = make_request(1, 2, 2);
-  s.enqueue(&big);
-  s.enqueue(&small);
-  // Head doesn't fit -> nothing admitted, even though `small` would fit.
-  EXPECT_EQ(s.admit(0, 50).size(), 0u);
+  const StepPlan plan = s.plan({}, 0);
+  EXPECT_TRUE(plan.empty());
   EXPECT_EQ(s.queued(), 2);
 }
 
-TEST(Scheduler, PageRoundingReservesWholePages) {
-  Scheduler s({.max_batch = 8, .page_round = 16});
-  Request a = make_request(0, 10, 10);  // 20 tokens -> 32 rounded
-  s.enqueue(&a);
-  EXPECT_EQ(s.admit(0, 31).size(), 0u);
-  EXPECT_EQ(s.admit(0, 32).size(), 1u);
+TEST(Scheduler, DecodeReservationsBlockAdmission) {
+  // One decoding request sits exactly at a page boundary: its next token
+  // takes the only free page, so the queued request must wait (decode
+  // priority — queued prefill never starves a running decode).
+  Scheduler s = make_sched(8, 128);
+  Request a = make_decoding(0, 16);  // 16 tokens = 1 full page
+  Request b = make_request(1, 4, 4);
+  s.enqueue(&b);
+  const StepPlan plan = s.plan({&a}, 1);
+  EXPECT_EQ(plan.decodes.size(), 1u);
+  EXPECT_EQ(plan.admitted.size(), 0u);
+  EXPECT_EQ(s.queued(), 1);
+}
+
+TEST(Scheduler, EvictsYoungestWhenDecodesDoNotFit) {
+  Scheduler s = make_sched(8, 128);
+  Request a = make_decoding(0, 16), b = make_decoding(1, 16);
+  const StepPlan plan = s.plan({&a, &b}, 1);  // both need a page, one free
+  ASSERT_EQ(plan.evicted.size(), 1u);
+  EXPECT_EQ(plan.evicted[0]->id, 1);  // youngest (back of running order)
+  ASSERT_EQ(plan.decodes.size(), 1u);
+  EXPECT_EQ(plan.decodes[0]->id, 0);
+  EXPECT_EQ(s.queued(), 1);  // victim re-queued at the front
+  // No admission on an eviction step: the freed pages serve the decodes.
+  EXPECT_EQ(plan.admitted.size(), 0u);
+}
+
+TEST(Scheduler, EvictionRequeuesOldestEvicteeFirst) {
+  Scheduler s = make_sched(8, 128);
+  Request a = make_decoding(0, 16), b = make_decoding(1, 16),
+          c = make_decoding(2, 16);
+  const StepPlan plan = s.plan({&a, &b, &c}, 0);
+  ASSERT_EQ(plan.evicted.size(), 2u);
+  EXPECT_EQ(plan.evicted[0]->id, 2);  // youngest evicted first
+  EXPECT_EQ(plan.evicted[1]->id, 1);
+  // Queue order must preserve original arrival order among evictees.
+  Request d = make_request(3, 4, 4);
+  s.enqueue(&d);  // behind both evictees
+  b.state = RequestState::kQueued;
+  b.prefill_pos = 0;
+  c.state = RequestState::kQueued;
+  c.prefill_pos = 0;
+  const StepPlan next = s.plan({&a}, 1000);
+  ASSERT_GE(next.admitted.size(), 2u);
+  EXPECT_EQ(next.admitted[0]->id, 1);
+  EXPECT_EQ(next.admitted[1]->id, 2);
+}
+
+TEST(Scheduler, ChunkSharedShortestRemainingFirst) {
+  // A long prompt mid-prefill must not monopolize the chunk: the short
+  // request completes its prefill in this step (TTFT bounded by one chunk).
+  Scheduler s = make_sched(8, 128);
+  Request a = make_prefilling(0, 1000);  // oldest, huge remaining
+  Request b = make_prefilling(1, 8);
+  const StepPlan plan = s.plan({&a, &b}, 1 << 20);
+  ASSERT_EQ(plan.prefills.size(), 2u);
+  EXPECT_EQ(plan.prefills[0].req->id, 1);  // shortest first
+  EXPECT_EQ(plan.prefills[0].tokens, 8);
+  EXPECT_EQ(plan.prefills[1].req->id, 0);
+  EXPECT_EQ(plan.prefills[1].tokens, 120);  // rest of the chunk
+}
+
+TEST(Scheduler, OldestPrefillKeepsHalfTheChunk) {
+  // Anti-starvation: short arrivals cannot take more than half the chunk
+  // away from the oldest prefilling request.
+  Scheduler s = make_sched(8, 128);
+  Request a = make_prefilling(0, 1000);
+  Request b = make_prefilling(1, 500);
+  const StepPlan plan = s.plan({&a, &b}, 1 << 20);
+  ASSERT_EQ(plan.prefills.size(), 2u);
+  EXPECT_EQ(plan.prefills[0].req->id, 1);
+  EXPECT_EQ(plan.prefills[0].tokens, 64);  // capped at chunk/2
+  EXPECT_EQ(plan.prefills[1].req->id, 0);
+  EXPECT_EQ(plan.prefills[1].tokens, 64);
+}
+
+TEST(Scheduler, PrefillSharesClampedToFreePages) {
+  Scheduler s = make_sched(8, 128);
+  Request a = make_prefilling(0, 100);
+  const StepPlan one_layer = s.plan({&a}, 2);
+  ASSERT_EQ(one_layer.prefills.size(), 1u);
+  EXPECT_EQ(one_layer.prefills[0].tokens, 32);  // 2 pages x 16 tokens
+
+  Scheduler s2 = make_sched(8, 128, /*page_size=*/16, /*n_layers=*/2);
+  const StepPlan two_layer = s2.plan({&a}, 3);
+  ASSERT_EQ(two_layer.prefills.size(), 1u);
+  EXPECT_EQ(two_layer.prefills[0].tokens, 16);  // floor(3/2) pages per layer
 }
 
 // --- engine integration ------------------------------------------------------------
@@ -85,9 +193,12 @@ TEST(ServingEngine, CompletesAllRequests) {
   EXPECT_EQ(engine.request(a).generated.size(), 4u);
   EXPECT_EQ(engine.request(b).generated.size(), 6u);
   EXPECT_EQ(engine.request(c).generated.size(), 2u);
-  EXPECT_EQ(stats.decode_tokens, 12);
+  // First tokens (sampled when prefill completes) are not decode tokens.
+  EXPECT_EQ(stats.first_tokens, 3);
+  EXPECT_EQ(stats.decode_tokens, 9);
   EXPECT_EQ(stats.prefill_tokens, 9);
   EXPECT_EQ(stats.peak_batch, 3);
+  EXPECT_EQ(stats.preemptions, 0);
   // All pages released at the end.
   EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
 }
@@ -119,6 +230,31 @@ TEST(ServingEngine, GreedyDecodingMatchesOfflineGeneration) {
   EXPECT_EQ(engine.request(id).generated, expect);
 }
 
+TEST(ServingEngine, ChunkedPrefillMatchesMonolithicBitwise) {
+  // Splitting a prompt into 7-token chunks must reproduce the monolithic
+  // prefill's token stream exactly — the causal mask offsets against the
+  // cached prefix and every per-token computation is position-local.
+  const auto& f = engine_fixture();
+  std::vector<int> prompt;
+  for (int i = 0; i < 40; ++i) prompt.push_back((7 * i + 3) % 512);
+
+  auto run = [&](int chunk) {
+    QuantizedModel model(f.weights, QuantSchemeConfig::qserve_w4a8kv4_g128());
+    EngineConfig cfg;
+    cfg.scheduler.prefill_chunk = chunk;
+    ServingEngine engine(&model, cfg);
+    const int id = engine.submit(prompt, 6);
+    engine.run_to_completion();
+    return std::make_pair(engine.request(id).generated,
+                          engine.request(id).first_token_step);
+  };
+  const auto [monolithic, first_mono] = run(128);
+  const auto [chunked, first_chunked] = run(7);
+  EXPECT_EQ(monolithic, chunked);
+  EXPECT_EQ(first_mono, 0);   // whole prompt in one step
+  EXPECT_EQ(first_chunked, 5);  // ceil(40/7) = 6 chunk steps
+}
+
 TEST(ServingEngine, ContinuousBatchingJoinsMidFlight) {
   // max_batch=1 forces the second request to join only after the first
   // finishes; with max_batch=2 it joins while the first is decoding.
@@ -135,35 +271,12 @@ TEST(ServingEngine, ContinuousBatchingJoinsMidFlight) {
   EXPECT_EQ(engine.request(late).generated.size(), 2u);
 }
 
-TEST(ServingEngine, MemoryPressureDefersAdmission) {
-  // A tiny KV pool forces sequential execution: peak batch stays 1 and both
-  // requests still complete (no deadlock, no eviction).
-  const auto& f = engine_fixture();
-  QuantizedModel model(f.weights, QuantSchemeConfig::qserve_w4a8kv4_g128());
-  // Pool of 3 pages x 16 tokens with 1 layer: ~48 token budget.
-  // Each request needs 8+24=32 -> only one fits at a time.
-  // (Directly shrink the pool via the cache config's max_pages.)
-  EngineConfig cfg;
-  cfg.scheduler.max_batch = 4;
-  cfg.scheduler.page_round = 16;
-  ServingEngine engine(&model, cfg);
-  // Note: QuantizedModel's internal pool is large; emulate pressure via the
-  // scheduler's budget by submitting requests whose reservations exceed the
-  // per-step snapshot. Here we assert only liveness + order preservation.
-  const int a = engine.submit(std::vector<int>(8, 2), 24);
-  const int b = engine.submit(std::vector<int>(8, 3), 24);
-  const EngineStats stats = engine.run_to_completion();
-  EXPECT_EQ(engine.request(a).generated.size(), 24u);
-  EXPECT_EQ(engine.request(b).generated.size(), 24u);
-  EXPECT_GE(stats.steps, 24);
-}
-
-TEST(ServingEngine, PageReservationsPreventMidDecodeExhaustion) {
-  // Regression: admission must account for the growth pages running
-  // requests have reserved but not yet allocated. With a 2-page pool,
-  // request A (8 prompt + 24 new = 32 tokens) needs both pages eventually
-  // but holds only one after prefill; budgeting from free_pages alone would
-  // admit B onto the last page and strand A mid-decode ("pool exhausted").
+TEST(ServingEngine, TinyPoolAdmitsIncrementally) {
+  // Regression (replaces the conservative max-final-length reservation):
+  // with a 2-page pool, request A (8 prompt + 24 new) will eventually need
+  // both pages, but admission is incremental, so B (8 + 8, one page) runs
+  // *concurrently* and finishes before A's KV spills into the second page.
+  // The old engine serialized them (peak batch 1).
   const auto& f = engine_fixture();
   QuantSchemeConfig scheme = QuantSchemeConfig::qserve_w4a8kv4_g128();
   scheme.kv_max_pages = 2;  // 2 pages x 16 tokens, 1 layer
@@ -176,7 +289,147 @@ TEST(ServingEngine, PageReservationsPreventMidDecodeExhaustion) {
   const EngineStats stats = engine.run_to_completion();  // must not throw
   EXPECT_EQ(engine.request(a).generated.size(), 24u);
   EXPECT_EQ(engine.request(b).generated.size(), 8u);
-  EXPECT_EQ(stats.peak_batch, 1);  // B deferred until A released its pages
+  EXPECT_EQ(stats.peak_batch, 2);
+  EXPECT_EQ(stats.preemptions, 0);
+  EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
+}
+
+TEST(Scheduler, PrefillDeadlockResolvedByEvictingYoungest) {
+  // Two mid-prefill requests jointly exhaust the pool with no decoder to
+  // drive eviction: both page-aligned, zero pages free. The planner must
+  // evict the youngest so the oldest progresses, instead of returning an
+  // empty (stalled) plan.
+  Scheduler s = make_sched(8, 32);
+  Request a = make_prefilling(0, 24, /*done=*/16);
+  Request b = make_prefilling(1, 17, /*done=*/16);
+  const StepPlan plan = s.plan({&a, &b}, 0);  // a holds 1 page, b holds 1
+  ASSERT_EQ(plan.evicted.size(), 1u);
+  EXPECT_EQ(plan.evicted[0]->id, 1);
+  ASSERT_EQ(plan.prefills.size(), 1u);
+  EXPECT_EQ(plan.prefills[0].req->id, 0);
+  EXPECT_EQ(plan.prefills[0].tokens, 8);  // a's remaining 24 - 16
+  EXPECT_EQ(s.queued(), 1);
+}
+
+TEST(ServingEngine, ConcurrentPrefillsLargerThanPoolComplete) {
+  // Regression: each request fits the 2-page (32-token) pool alone, but
+  // their prefills together exhaust it mid-flight with nothing decoding.
+  // The engine used to abort ("serving stalled"); preemption must instead
+  // serialize them and both must finish.
+  const auto& f = engine_fixture();
+  QuantSchemeConfig scheme = QuantSchemeConfig::qserve_w4a8kv4_g128();
+  scheme.kv_max_pages = 2;
+  QuantizedModel model(f.weights, scheme);
+  EngineConfig cfg;
+  cfg.scheduler.max_batch = 4;
+  cfg.scheduler.prefill_chunk = 32;
+  ServingEngine engine(&model, cfg);
+  const int a = engine.submit(std::vector<int>(24, 2), 8);  // 32 tokens max
+  const int b = engine.submit(std::vector<int>(17, 3), 7);  // 24 tokens max
+  const EngineStats stats = engine.run_to_completion();  // must not throw
+  EXPECT_EQ(engine.request(a).generated.size(), 8u);
+  EXPECT_EQ(engine.request(b).generated.size(), 7u);
+  EXPECT_GE(stats.preemptions, 1);
+  EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
+}
+
+TEST(ServingEngine, PreemptionRoundTripBitwiseIdentical) {
+  // A 3-page pool forces eviction: A (needs 3 pages eventually) and B
+  // (needs 2) both cross a page boundary on the same step with one page
+  // free, so the younger B is evicted mid-decode, re-queued, re-prefilled
+  // (prompt + generated so far), and must finish with a token stream
+  // bitwise identical to an uncontended solo run.
+  const auto& f = engine_fixture();
+  const std::vector<int> prompt_a(8, 2), prompt_b(8, 3);
+  const int new_a = 30, new_b = 20;
+
+  auto solo = [&](const std::vector<int>& prompt, int max_new) {
+    QuantizedModel model(f.weights, QuantSchemeConfig::qserve_w4a8kv4_g128());
+    ServingEngine engine(&model, EngineConfig{});
+    const int id = engine.submit(prompt, max_new);
+    engine.run_to_completion();
+    return engine.request(id).generated;
+  };
+  const auto solo_a = solo(prompt_a, new_a);
+  const auto solo_b = solo(prompt_b, new_b);
+
+  QuantSchemeConfig scheme = QuantSchemeConfig::qserve_w4a8kv4_g128();
+  scheme.kv_max_pages = 3;
+  QuantizedModel model(f.weights, scheme);
+  EngineConfig cfg;
+  cfg.scheduler.max_batch = 4;
+  ServingEngine engine(&model, cfg);
+  const int a = engine.submit(prompt_a, new_a);
+  const int b = engine.submit(prompt_b, new_b);
+  const EngineStats stats = engine.run_to_completion();
+
+  EXPECT_GE(stats.preemptions, 1);
+  EXPECT_GE(engine.request(b).preemptions, 1);
+  EXPECT_EQ(engine.request(a).generated, solo_a);
+  EXPECT_EQ(engine.request(b).generated, solo_b);
+  EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
+}
+
+TEST(ServingEngine, LongPromptDoesNotDelayShortRequestsTtft) {
+  // Acceptance: with prefill_chunk=128, a 1024-token prompt admitted
+  // alongside short requests leaves the short requests' mean TTFT within
+  // one chunk-step of their solo latency.
+  const auto& f = engine_fixture();
+  const auto scheme = QuantSchemeConfig::qserve_w4a8kv4_g128();
+  std::vector<int> long_prompt;
+  for (int i = 0; i < 1024; ++i) long_prompt.push_back((5 * i + 1) % 512);
+  const std::vector<int> short_prompt = {4, 8, 15, 16, 23, 42, 7, 9};
+
+  int64_t solo_ttft;
+  {
+    QuantizedModel model(f.weights, scheme);
+    ServingEngine engine(&model, EngineConfig{});
+    const int id = engine.submit(short_prompt, 4);
+    engine.run_to_completion();
+    const Request& r = engine.request(id);
+    solo_ttft = r.first_token_step - r.submitted_step;
+  }
+
+  QuantizedModel model(f.weights, scheme);
+  EngineConfig cfg;
+  cfg.scheduler.prefill_chunk = 128;
+  ServingEngine engine(&model, cfg);
+  const int big = engine.submit(long_prompt, 4);
+  std::vector<int> shorts;
+  for (int i = 0; i < 3; ++i) shorts.push_back(engine.submit(short_prompt, 4));
+  engine.run_to_completion();
+
+  double mean_ttft = 0;
+  for (int id : shorts) {
+    const Request& r = engine.request(id);
+    mean_ttft +=
+        double(r.first_token_step - r.submitted_step) / double(shorts.size());
+  }
+  EXPECT_LE(mean_ttft, double(solo_ttft) + 1.0);
+  // The long prompt still progresses at ~a chunk per step: 1024 tokens at
+  // >= 64/step (oldest-keeps-half) and <= 128/step.
+  const Request& lr = engine.request(big);
+  EXPECT_GE(lr.first_token_step, 1024 / 128 - 1);
+  EXPECT_LE(lr.first_token_step, 1024 / 64 + 1);
+  EXPECT_EQ(lr.generated.size(), 4u);
+}
+
+TEST(ServingEngine, StatsSplitPrefillAndDecodeTime) {
+  const auto& f = engine_fixture();
+  QuantizedModel model(f.weights, QuantSchemeConfig::qserve_w4a8kv4_g128());
+  ServingEngine engine(&model, EngineConfig{});
+  engine.submit(std::vector<int>(24, 5), 4);
+  engine.submit({1, 2, 3}, 6);
+  const EngineStats stats = engine.run_to_completion();
+  EXPECT_EQ(stats.first_tokens, 2);
+  EXPECT_EQ(stats.decode_tokens, 8);  // (4 - 1) + (6 - 1)
+  EXPECT_EQ(stats.prefill_tokens, 27);
+  EXPECT_GT(stats.prefill_seconds, 0.0);
+  EXPECT_GT(stats.decode_seconds, 0.0);
+  EXPECT_LE(stats.prefill_seconds + stats.decode_seconds,
+            stats.wall_seconds + 1e-9);
+  EXPECT_GT(stats.decode_tokens_per_second, 0.0);
+  EXPECT_GT(stats.prefill_tokens_per_second, 0.0);
 }
 
 TEST(ServingEngine, FirstTokenLatencyOrderedByArrival) {

@@ -1,6 +1,6 @@
-// Randomized stress tests for the serving stack: scheduler invariants under
-// random workloads, engine liveness under mixed request shapes, and KV-pool
-// conservation across request churn.
+// Randomized stress tests for the serving stack: scheduler plan invariants
+// under random workloads, engine liveness under mixed request shapes,
+// preemption churn in a tiny KV pool, and pool conservation across churn.
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -9,34 +9,38 @@
 namespace qserve {
 namespace {
 
-TEST(SchedulerStress, NeverExceedsMaxBatchOrBudget) {
+TEST(SchedulerStress, PlanNeverExceedsBatchChunkOrPageBudget) {
   Rng rng(1);
   for (int trial = 0; trial < 50; ++trial) {
     const int max_batch = rng.uniform_int(1, 6);
-    Scheduler s({.max_batch = max_batch, .page_round = 8});
+    const int chunk = rng.uniform_int(4, 64);
+    const int page_size = 8;
+    Scheduler s({.max_batch = max_batch, .prefill_chunk = chunk}, page_size,
+                /*n_layers=*/1);
     std::vector<Request> reqs(16);
     for (auto& r : reqs) {
       r.prompt.assign(static_cast<size_t>(rng.uniform_int(1, 30)), 0);
       r.max_new_tokens = rng.uniform_int(1, 20);
       s.enqueue(&r);
     }
-    int running = rng.uniform_int(0, max_batch);
-    int64_t budget = rng.uniform_int(0, 200);
-    const auto admitted = s.admit(running, budget);
-    EXPECT_LE(running + static_cast<int>(admitted.size()), max_batch);
-    int64_t reserved = 0;
-    for (const Request* r : admitted) {
-      const int64_t raw =
-          static_cast<int64_t>(r->prompt.size()) + r->max_new_tokens;
-      reserved += (raw + 7) / 8 * 8;
+    const int64_t free_pages = rng.uniform_int(0, 20);
+    const StepPlan plan = s.plan({}, free_pages);
+    EXPECT_LE(static_cast<int>(plan.admitted.size()), max_batch);
+    int64_t tokens = 0, pages = 0;
+    for (const PrefillWork& w : plan.prefills) {
+      EXPECT_GT(w.tokens, 0);
+      EXPECT_LE(w.tokens, static_cast<int>(w.req->prompt.size()));
+      tokens += w.tokens;
+      pages += (w.tokens + page_size - 1) / page_size;  // from empty seqs
     }
-    EXPECT_LE(reserved, budget);
+    EXPECT_LE(tokens, chunk);
+    EXPECT_LE(pages, free_pages);
   }
 }
 
 TEST(SchedulerStress, DrainsCompletelyWithRepeatedAdmission) {
   Rng rng(2);
-  Scheduler s({.max_batch = 3});
+  Scheduler s({.max_batch = 3, .prefill_chunk = 64}, 16, 1);
   std::vector<Request> reqs(20);
   for (auto& r : reqs) {
     r.prompt.assign(static_cast<size_t>(rng.uniform_int(1, 10)), 0);
@@ -46,7 +50,7 @@ TEST(SchedulerStress, DrainsCompletelyWithRepeatedAdmission) {
   int total = 0;
   int guard = 0;
   while (s.queued() > 0 && guard++ < 100) {
-    total += static_cast<int>(s.admit(0, 1000).size());
+    total += static_cast<int>(s.plan({}, 1000).admitted.size());
   }
   EXPECT_EQ(total, 20);
 }
@@ -87,7 +91,9 @@ TEST(EngineStress, RandomWorkloadAllComplete) {
     EXPECT_EQ(static_cast<int>(r.generated.size()), want[i]);
     total += want[i];
   }
-  EXPECT_EQ(stats.decode_tokens, total);
+  // Every request's first token is counted separately from decode tokens.
+  EXPECT_EQ(stats.first_tokens, static_cast<int64_t>(ids.size()));
+  EXPECT_EQ(stats.decode_tokens, total - static_cast<int64_t>(ids.size()));
   EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
   EXPECT_LE(stats.peak_batch, 3);
 }
@@ -128,6 +134,50 @@ TEST(EngineStress, KvPagesConservedAcrossChurn) {
     engine.run_to_completion();
     EXPECT_EQ(model.kv_cache().pages_in_use(), 0) << "wave " << wave;
   }
+}
+
+TEST(EngineStress, PreemptionChurnStreamsMatchSoloRuns) {
+  // A 4-page pool with a crowded batch forces repeated eviction/resume.
+  // Greedy decoding is deterministic, so every request must emit exactly
+  // the stream an uncontended solo engine produces, regardless of how many
+  // times it was preempted and re-prefilled.
+  const auto& f = stress_fixture();
+  QuantSchemeConfig scheme = QuantSchemeConfig::qserve_w4a8kv4_g128();
+  scheme.kv_max_pages = 4;  // 64 tokens, 1 layer
+
+  Rng rng(5);
+  std::vector<std::vector<int>> prompts;
+  std::vector<int> max_new;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<int> p(static_cast<size_t>(rng.uniform_int(3, 12)));
+    for (auto& t : p) t = rng.uniform_int(0, 511);
+    prompts.push_back(std::move(p));
+    max_new.push_back(rng.uniform_int(8, 20));
+  }
+
+  std::vector<std::vector<int>> solo;
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    QuantizedModel model(f.weights, scheme);
+    ServingEngine engine(&model, EngineConfig{});
+    const int id = engine.submit(prompts[i], max_new[i]);
+    engine.run_to_completion();
+    solo.push_back(engine.request(id).generated);
+  }
+
+  QuantizedModel model(f.weights, scheme);
+  EngineConfig cfg;
+  cfg.scheduler.max_batch = 4;
+  ServingEngine engine(&model, cfg);
+  std::vector<int> ids;
+  for (size_t i = 0; i < prompts.size(); ++i)
+    ids.push_back(engine.submit(prompts[i], max_new[i]));
+  const EngineStats stats = engine.run_to_completion();
+
+  for (size_t i = 0; i < ids.size(); ++i)
+    EXPECT_EQ(engine.request(ids[i]).generated, solo[i]) << "request " << i;
+  EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
+  // The pool is small enough that the batch cannot coexist peacefully.
+  EXPECT_GE(stats.preemptions, 1);
 }
 
 TEST(EngineStress, SamplingTemperatureChangesOutputsGreedyDoesNot) {

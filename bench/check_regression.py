@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Compare `bench_w4a8_gemm --json` output against a checked-in baseline.
+"""Compare bench JSON output against a checked-in baseline.
 
 Usage:
-    check_regression.py BASELINE CURRENT [--warn-ratio 1.35] [--fail-ratio 2.0]
+    check_regression.py BASELINE CURRENT [CURRENT2 ...]
+                        [--warn-ratio 1.35] [--fail-ratio 2.0]
+
+Multiple CURRENT files (e.g. `bench_w4a8_gemm --json` plus
+`bench_serving_batched --json`) are merged before comparison — the baseline
+holds the union of every bench's rows, and rows no provided file produced
+are reported as skipped.
 
 Rows are matched on (name, isa). Rows the current host did not produce —
 e.g. the baseline was recorded on an AVX-512 machine and CI only has AVX2 —
 are reported as skipped, so the scalar rows (ISA-independent) always anchor
-the comparison.
+the comparison. The `gops` field is the compared figure of merit; serving
+rows store tokens/second there (only ratios matter).
 
 Policy (CI runs on noisy 1-2 core VMs, so absolute wall clock drifts):
   * slowdown ratio <= warn-ratio        -> ok
@@ -29,13 +36,19 @@ import sys
 def load_results(path):
     with open(path) as f:
         doc = json.load(f)
-    return doc, {(r["name"], r["isa"]): r for r in doc["results"]}
+    rows = {}
+    for r in doc["results"]:
+        key = (r["name"], r["isa"])
+        if key in rows:
+            raise SystemExit(f"FAIL  duplicate row {key} in {path}")
+        rows[key] = r
+    return doc, rows
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("current", nargs="+")
     ap.add_argument("--warn-ratio", type=float, default=1.35,
                     help="slowdown ratio above which to warn (default 1.35)")
     ap.add_argument("--fail-ratio", type=float, default=2.0,
@@ -47,15 +60,22 @@ def main():
     gate_isas = set(args.gate_isas.split(","))
 
     base_doc, base = load_results(args.baseline)
-    cur_doc, cur = load_results(args.current)
-    print(f"baseline host_isa={base_doc.get('host_isa')} "
-          f"current host_isa={cur_doc.get('host_isa')}")
-    if base_doc.get("threads") != cur_doc.get("threads"):
-        print(f"WARN  thread-count mismatch (baseline "
-              f"{base_doc.get('threads')} vs current "
-              f"{cur_doc.get('threads')}): GOPS ratios compare different "
-              f"pool sizes — run the bench with QSERVE_NUM_THREADS="
-              f"{base_doc.get('threads')} for a like-for-like gate")
+    cur = {}
+    for path in args.current:
+        cur_doc, cur_rows = load_results(path)
+        for key in cur_rows:
+            if key in cur:
+                print(f"FAIL  duplicate row {key} across current files")
+                return 1
+        cur.update(cur_rows)
+        print(f"baseline host_isa={base_doc.get('host_isa')} "
+              f"current[{path}] host_isa={cur_doc.get('host_isa')}")
+        if base_doc.get("threads") != cur_doc.get("threads"):
+            print(f"WARN  thread-count mismatch (baseline "
+                  f"{base_doc.get('threads')} vs {path} "
+                  f"{cur_doc.get('threads')}): GOPS ratios compare different "
+                  f"pool sizes — run the bench with QSERVE_NUM_THREADS="
+                  f"{base_doc.get('threads')} for a like-for-like gate")
 
     failures, warnings, skipped = [], [], []
     for key in sorted(base):

@@ -1,6 +1,7 @@
-// Serving demo: (1) run the real continuous-batching engine on the CPU
-// quantized model — requests join and leave the batch in flight; (2) use the
-// GPU performance simulator to size a deployment of a real model.
+// Serving demo: (1) stream tokens from the real continuous-batching engine
+// on the CPU quantized model — requests join and leave the batch in flight,
+// and each step executes ONE batched forward across every request's rows;
+// (2) use the GPU performance simulator to size a deployment of a real model.
 #include <cstdio>
 
 #include "serving/engine.h"
@@ -18,17 +19,35 @@ int main() {
   cfg.temperature = 0.8f;
   ServingEngine engine(&model, cfg);
 
-  std::printf("submitting 6 requests with mixed prompt/output lengths...\n");
+  std::printf("submitting 6 streaming requests with mixed lengths...\n");
+  // Streaming API: tokens arrive through per-request callbacks during the
+  // step that sampled them; finish fires exactly once per request. drain()
+  // pumps the engine until idle — no polling of request state needed.
   std::vector<int> ids;
   for (int i = 0; i < 6; ++i) {
     std::vector<int> prompt;
     for (int t = 0; t < 4 + i * 2; ++t) prompt.push_back((t * 31 + i) % 512);
-    ids.push_back(engine.submit(prompt, 6 + (i % 3) * 4));
+    RequestOptions opts;
+    opts.max_new_tokens = 6 + (i % 3) * 4;
+    ids.push_back(engine.submit(
+        prompt, opts,
+        [](const Request& r, int token) {
+          if (r.generated.size() == 1)
+            std::printf("  request %d streamed its first token: %d\n", r.id,
+                        token);
+        },
+        [](const Request& r) {
+          std::printf("  request %d finished with %zu tokens\n", r.id,
+                      r.generated.size());
+        }));
   }
-  const EngineStats stats = engine.run_to_completion();
+  const EngineStats stats = engine.drain();
 
-  std::printf("engine finished in %lld steps (peak batch %d)\n",
-              static_cast<long long>(stats.steps), stats.peak_batch);
+  std::printf("engine finished in %lld steps (peak batch %d requests, "
+              "%lld rows; mean %.1f rows/step)\n",
+              static_cast<long long>(stats.steps), stats.peak_batch,
+              static_cast<long long>(stats.peak_batch_tokens),
+              stats.mean_tokens_per_step);
   std::printf("  prefill tokens: %lld, first tokens: %lld, decode tokens: "
               "%lld, preemptions: %lld\n",
               static_cast<long long>(stats.prefill_tokens),

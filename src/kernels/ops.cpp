@@ -4,6 +4,7 @@
 
 #include "common/half.h"
 #include "common/math_util.h"
+#include "common/parallel.h"
 #include "quant/quantize.h"
 
 namespace qserve {
@@ -13,14 +14,18 @@ Tensor rms_norm(const Tensor& x, const Tensor& gamma, float eps) {
   QS_CHECK_EQ(x.cols(), gamma.numel());
   const int64_t m = x.rows(), d = x.cols();
   Tensor y({m, d});
-  for (int64_t t = 0; t < m; ++t) {
-    const float* xr = x.row(t);
-    double ss = 0.0;
-    for (int64_t c = 0; c < d; ++c) ss += double(xr[c]) * double(xr[c]);
-    const float inv = 1.0f / std::sqrt(float(ss / double(d)) + eps);
-    float* yr = y.row(t);
-    for (int64_t c = 0; c < d; ++c) yr[c] = xr[c] * inv * gamma[c];
-  }
+  // Row-independent, so the batched executor's stacked rows parallelize
+  // bitwise-identically; a decode-sized m stays inline via the grain.
+  parallel_for(0, m, 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      const float* xr = x.row(t);
+      double ss = 0.0;
+      for (int64_t c = 0; c < d; ++c) ss += double(xr[c]) * double(xr[c]);
+      const float inv = 1.0f / std::sqrt(float(ss / double(d)) + eps);
+      float* yr = y.row(t);
+      for (int64_t c = 0; c < d; ++c) yr[c] = xr[c] * inv * gamma[c];
+    }
+  });
   return y;
 }
 

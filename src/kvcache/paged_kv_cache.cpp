@@ -60,6 +60,8 @@ PagedKvCache::PagedKvCache(const KvCacheConfig& cfg) : cfg_(cfg) {
   QS_CHECK_GT(cfg_.page_size, 0);
   QS_CHECK_GT(cfg_.n_kv_heads, 0);
   QS_CHECK_GT(cfg_.head_dim, 0);
+  QS_CHECK_MSG(cfg_.max_pages > 0,
+               "KV pool needs at least one page (kv_max_pages)");
   // Nibble packing stores two INT4 codes per byte, so a head vector must
   // span whole bytes.
   if (cfg_.precision == KvPrecision::kInt4)
@@ -145,8 +147,8 @@ bool PagedKvCache::can_grow(int seq, int64_t tokens) const {
 }
 
 void PagedKvCache::append(int seq, const float* k, const float* v) {
-  // Bookkeeping under the lock; the quantize-into-page writes below touch a
-  // page owned exclusively by this sequence, so they can run unlocked.
+  // Single-token fast path: no destination buffer, one lock round, zero heap
+  // traffic — this is the per-layer decode hot path.
   Page* page_ptr;
   int64_t slot;
   {
@@ -159,7 +161,50 @@ void PagedKvCache::append(int seq, const float* k, const float* v) {
     slot = s.length % cfg_.page_size;
     ++s.length;
   }
-  Page& page = *page_ptr;
+  write_token(*page_ptr, slot, k, v);
+}
+
+void PagedKvCache::append_batch(int seq, const float* k, const float* v,
+                                int64_t n) {
+  QS_CHECK_GT(n, 0);
+  if (n == 1) return append(seq, k, v);
+  // Bookkeeping under the lock: allocate every page the n tokens need and
+  // resolve each token's (page, slot) destination. Capacity is checked up
+  // front so a too-large batch throws before any sequence state mutates —
+  // seq_len never claims tokens whose slots were not written. The
+  // quantize-into-page writes below touch slots owned exclusively by this
+  // sequence, so they run unlocked — and concurrently with other sequences'
+  // appends.
+  struct Dest {
+    Page* page;
+    int64_t slot;
+  };
+  std::vector<Dest> dests(static_cast<size_t>(n));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    QS_CHECK(is_live_locked(seq));
+    auto& s = seqs_[static_cast<size_t>(seq)];
+    const int64_t need = ceil_div(s.length + n, cfg_.page_size) -
+                         ceil_div(s.length, cfg_.page_size);
+    QS_CHECK_MSG(need <= free_pages(), "KV cache pool exhausted");
+    for (int64_t t = 0; t < n; ++t) {
+      if (s.length % cfg_.page_size == 0)
+        s.page_table.push_back(alloc_page_locked());
+      dests[static_cast<size_t>(t)] = {
+          &pages_[static_cast<size_t>(s.page_table.back())],
+          s.length % cfg_.page_size};
+      ++s.length;
+    }
+  }
+  const int64_t span = head_span();
+  for (int64_t t = 0; t < n; ++t) {
+    const Dest& d = dests[static_cast<size_t>(t)];
+    write_token(*d.page, d.slot, k + t * span, v + t * span);
+  }
+}
+
+void PagedKvCache::write_token(Page& page, int64_t slot, const float* k,
+                               const float* v) {
   const int64_t span = head_span();
   const int64_t off = slot * span;
 

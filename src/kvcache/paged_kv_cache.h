@@ -72,6 +72,15 @@ class PagedKvCache {
   // Quantizes per (token, head) with dynamic scales (or static, per config).
   void append(int seq, const float* k, const float* v);
 
+  // Batched scatter: append `n` consecutive tokens in one call. k/v point at
+  // row 0 of [n, n_kv_heads * head_dim] row-major matrices. Page allocation
+  // and length bookkeeping happen once under the lock; the per-token
+  // quantize-into-page writes then run unlocked (the slots belong exclusively
+  // to this sequence). Bitwise identical to n single append() calls — the
+  // batched step executor appends a whole prefill chunk (or all of a step's
+  // rows for one sequence) through this path.
+  void append_batch(int seq, const float* k, const float* v, int64_t n);
+
   int64_t seq_len(int seq) const;
   int64_t pages_in_use() const {
     return used_pages_.load(std::memory_order_relaxed);
@@ -155,6 +164,10 @@ class PagedKvCache {
   }
   bool is_live_locked(int seq) const;
   int alloc_page_locked();
+  // Quantize one token's K/V into `page` at `slot` (no locking; the slot is
+  // owned exclusively by the appending sequence). Shared by append() and
+  // append_batch() so the two paths are bitwise identical by construction.
+  void write_token(Page& page, int64_t slot, const float* k, const float* v);
   // Resolve the page holding (seq, token) under mu_, with bounds checks.
   const Page* locate(int seq, int64_t token, int head) const;
   // Dequantize one (token, head) K or V vector out of `page` (no locking;

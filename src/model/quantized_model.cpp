@@ -1,6 +1,10 @@
 #include "model/quantized_model.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "common/half.h"
+#include "common/parallel.h"
 #include "kernels/attention.h"
 #include "kernels/cpu/microkernel.h"
 #include "kernels/gemm.h"
@@ -127,6 +131,14 @@ Tensor QuantizedLinear::apply(const Tensor& x) const {
 QuantizedModel::QuantizedModel(const ModelWeights& weights,
                                const QuantSchemeConfig& cfg)
     : cfg_(weights.cfg), qcfg_(cfg) {
+  // Loud scheme validation at construction instead of downstream
+  // misbehavior (a non-positive group would divide by zero at pack time; a
+  // level-1 range outside (0, 127] is not representable in INT8).
+  QS_CHECK_MSG(cfg.group > 0, "QuantSchemeConfig.group must be >= 1");
+  QS_CHECK_MSG(cfg.level1_range >= 1 && cfg.level1_range <= 127,
+               "QuantSchemeConfig.level1_range must be in [1, 127]");
+  QS_CHECK_MSG(cfg.kv_max_pages > 0,
+               "QuantSchemeConfig.kv_max_pages must be >= 1");
   embedding_ = weights.embedding;
   layers_.reserve(weights.layers.size());
   for (const auto& lw : weights.layers) {
@@ -191,6 +203,14 @@ Tensor QuantizedModel::run_blocks(int seq, const Tensor& embedded, int pos0) {
   std::vector<int> positions(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i)
     positions[static_cast<size_t>(i)] = pos0 + static_cast<int>(i);
+  return run_blocks_batched({{seq, 0, n}}, embedded, positions);
+}
+
+Tensor QuantizedModel::run_blocks_batched(const std::vector<SeqSpan>& spans,
+                                          const Tensor& embedded,
+                                          const std::vector<int>& positions) {
+  const int64_t n = embedded.rows();
+  QS_CHECK_EQ(n, static_cast<int64_t>(positions.size()));
 
   AttentionConfig acfg;
   acfg.n_heads = cfg_.n_heads;
@@ -201,8 +221,11 @@ Tensor QuantizedModel::run_blocks(int seq, const Tensor& embedded, int pos0) {
   Tensor x = embedded;
   for (size_t li = 0; li < layers_.size(); ++li) {
     auto& layer = layers_[li];
-    // Attention block. Activation quantization is fused into RMSNorm
-    // (QuantizedLinear::apply re-runs the same deterministic quantizer).
+    // Attention block. Every projection runs ONE GEMM over the whole row
+    // stack — all sequences' decode tokens and prefill chunks together.
+    // Activation quantization is fused into RMSNorm (QuantizedLinear::apply
+    // re-runs the same deterministic per-row quantizer), so stacking rows
+    // from different sequences changes no per-row numerics.
     Tensor h = rms_norm(x, layer.ln_attn);
     Tensor q = layer.wq.apply(h);
     Tensor k = layer.wk.apply(h);
@@ -210,20 +233,47 @@ Tensor QuantizedModel::run_blocks(int seq, const Tensor& embedded, int pos0) {
     rope_inplace(q, positions, cfg_.head_dim);
     rope_inplace(k, positions, cfg_.head_dim);
 
-    // Append to the paged, quantized cache. Decode steps use the fused
-    // kernel that dequantizes page data inline (§5.3); prefill gathers the
-    // full (dequantized) K/V once — both paths share the same arithmetic.
-    const int lseq = seqs_[static_cast<size_t>(seq)].layer_seqs[li];
-    for (int64_t t = 0; t < n; ++t)
-      kv_->append(lseq, k.row(t), v.row(t));
+    // Attention is the only per-sequence fan-out: each span appends its K/V
+    // rows to its own cache sequence in one batched scatter, then attends
+    // against its paged history. Single-row spans (decode) use the fused
+    // kernel that dequantizes page data inline (§5.3); multi-row spans
+    // (prefill chunks) gather the full dequantized K/V once — both paths
+    // share the same arithmetic, and distinct sequences may run
+    // concurrently (the pool bookkeeping is internally locked).
     Tensor attn;
-    if (n == 1) {
-      attn = Tensor({1, q.cols()});
-      fused_decode_attention(*kv_, lseq, q.row(0), acfg, attn.row(0));
-    } else {
+    if (spans.size() == 1 && spans[0].n > 1) {
+      // Single multi-row span (a plain prefill chunk): q already is exactly
+      // this span's rows, so attend on it directly — no scratch copies.
+      const SeqSpan& sp = spans[0];
+      const int lseq = seqs_[static_cast<size_t>(sp.seq)].layer_seqs[li];
+      kv_->append_batch(lseq, k.row(0), v.row(0), sp.n);
       Tensor kd, vd;
       kv_->gather(lseq, kd, vd);
       attn = attention_prefill(q, kd, vd, acfg);
+    } else {
+      attn = Tensor({n, q.cols()});
+      parallel_for(
+          0, static_cast<int64_t>(spans.size()), 1,
+          [&](int64_t lo, int64_t hi) {
+            for (int64_t si = lo; si < hi; ++si) {
+              const SeqSpan& sp = spans[static_cast<size_t>(si)];
+              const int lseq =
+                  seqs_[static_cast<size_t>(sp.seq)].layer_seqs[li];
+              kv_->append_batch(lseq, k.row(sp.row0), v.row(sp.row0), sp.n);
+              if (sp.n == 1) {
+                fused_decode_attention(*kv_, lseq, q.row(sp.row0), acfg,
+                                       attn.row(sp.row0));
+              } else {
+                Tensor kd, vd;
+                kv_->gather(lseq, kd, vd);
+                Tensor qs({sp.n, q.cols()});
+                std::copy(q.row(sp.row0), q.row(sp.row0) + sp.n * q.cols(),
+                          qs.data());
+                const Tensor a = attention_prefill(qs, kd, vd, acfg);
+                std::copy(a.data(), a.data() + a.numel(), attn.row(sp.row0));
+              }
+            }
+          });
     }
     // Separate quant node before the output projection (Fig. 11).
     Tensor attn_proj = layer.wo.apply(attn);
@@ -234,11 +284,15 @@ Tensor QuantizedModel::run_blocks(int seq, const Tensor& embedded, int pos0) {
     Tensor gate = layer.w_gate.apply(h2);
     Tensor up = layer.w_up.apply(h2);
     Tensor act({n, cfg_.ffn_dim});
-    for (int64_t t = 0; t < n; ++t)
-      for (int64_t c = 0; c < cfg_.ffn_dim; ++c) {
-        const float g = gate.at2(t, c);
-        act.at2(t, c) = (g / (1.0f + std::exp(-g))) * up.at2(t, c);
-      }
+    // Row-independent like the norm/quant loops, so the stacked rows of a
+    // batched step parallelize bitwise-identically.
+    parallel_for(0, n, 4, [&](int64_t lo, int64_t hi) {
+      for (int64_t t = lo; t < hi; ++t)
+        for (int64_t c = 0; c < cfg_.ffn_dim; ++c) {
+          const float g = gate.at2(t, c);
+          act.at2(t, c) = (g / (1.0f + std::exp(-g))) * up.at2(t, c);
+        }
+    });
     Tensor down = layer.w_down.apply(act);
     add_inplace(x, down);
   }
@@ -278,6 +332,69 @@ Tensor QuantizedModel::prefill_chunk(int seq, const std::vector<int>& tokens,
     last.at2(0, c) = h.at2(n - 1, c);
   Tensor logits = logits_from_hidden(last);
   return logits.reshaped({cfg_.vocab});
+}
+
+Tensor QuantizedModel::forward_step(const BatchedStep& step) {
+  QS_CHECK(!step.chunks.empty());
+  const int64_t n = step.total_rows();
+
+  // Validate chunks and lay out the stacked rows: chunk i occupies the
+  // contiguous row range [spans[i].row0, spans[i].row0 + |tokens|).
+  std::vector<SeqSpan> spans;
+  spans.reserve(step.chunks.size());
+  std::vector<int> positions(static_cast<size_t>(n));
+  std::unordered_set<int> seen_seqs;
+  int64_t row0 = 0;
+  for (const StepSeqChunk& c : step.chunks) {
+    QS_CHECK(!c.tokens.empty());
+    QS_CHECK(c.seq >= 0 && c.seq < static_cast<int>(seqs_.size()));
+    const auto& state = seqs_[static_cast<size_t>(c.seq)];
+    QS_CHECK(state.live);
+    QS_CHECK_EQ(int64_t(c.pos0), state.next_pos);
+    QS_CHECK_MSG(seen_seqs.insert(c.seq).second,
+                 "a sequence may appear in at most one chunk per step");
+    const int64_t cn = static_cast<int64_t>(c.tokens.size());
+    for (int64_t t = 0; t < cn; ++t) {
+      QS_CHECK(c.tokens[static_cast<size_t>(t)] >= 0 &&
+               c.tokens[static_cast<size_t>(t)] < cfg_.vocab);
+      positions[static_cast<size_t>(row0 + t)] =
+          c.pos0 + static_cast<int>(t);
+    }
+    spans.push_back({c.seq, row0, cn});
+    row0 += cn;
+  }
+
+  // Row-gathered embedding lookup into one stacked activation buffer; each
+  // chunk's rows are contiguous, so the gather parallelizes over chunks
+  // without changing bits.
+  Tensor x({n, cfg_.hidden});
+  parallel_for(
+      0, static_cast<int64_t>(step.chunks.size()), 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t ci = lo; ci < hi; ++ci) {
+          const StepSeqChunk& c = step.chunks[static_cast<size_t>(ci)];
+          const SeqSpan& sp = spans[static_cast<size_t>(ci)];
+          for (int64_t t = 0; t < sp.n; ++t) {
+            const int tok = c.tokens[static_cast<size_t>(t)];
+            std::copy(embedding_.row(tok), embedding_.row(tok) + cfg_.hidden,
+                      x.row(sp.row0 + t));
+          }
+        }
+      });
+
+  Tensor h = run_blocks_batched(spans, x, positions);
+  for (const StepSeqChunk& c : step.chunks)
+    seqs_[static_cast<size_t>(c.seq)].next_pos +=
+        static_cast<int64_t>(c.tokens.size());
+
+  // One LM-head GEMM over every chunk's last row.
+  Tensor last({static_cast<int64_t>(step.chunks.size()), cfg_.hidden});
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const int64_t src = spans[i].row0 + spans[i].n - 1;
+    std::copy(h.row(src), h.row(src) + cfg_.hidden,
+              last.row(static_cast<int64_t>(i)));
+  }
+  return logits_from_hidden(last);
 }
 
 int64_t QuantizedModel::seq_pos(int seq) const {

@@ -74,6 +74,29 @@ class QuantizedLinear {
   PackedGemmB packed_;
 };
 
+// One sequence's slice of a batched engine step: `tokens` are appended to
+// sequence `seq` starting at absolute position `pos0` (which must equal
+// seq_pos(seq)). A single-token chunk of an already-prefilled sequence is a
+// decode row; a multi-token chunk is a prefill chunk.
+struct StepSeqChunk {
+  int seq = -1;
+  std::vector<int> tokens;
+  int pos0 = 0;
+};
+
+// The model-level lowering of a scheduler StepPlan: every decode token and
+// every prefill-chunk token from all scheduled requests, stacked row-wise.
+// Each row is tagged with its (seq, pos) through the chunk structure; rows of
+// one chunk are contiguous and in position order.
+struct BatchedStep {
+  std::vector<StepSeqChunk> chunks;  // distinct sequences, one chunk each
+  int64_t total_rows() const {
+    int64_t n = 0;
+    for (const auto& c : chunks) n += static_cast<int64_t>(c.tokens.size());
+    return n;
+  }
+};
+
 class QuantizedModel {
  public:
   // `weights` are the (possibly QoQ-transformed) FP32 weights to quantize.
@@ -97,6 +120,16 @@ class QuantizedModel {
   Tensor prefill_chunk(int seq, const std::vector<int>& tokens, int pos0);
   // Decode one token given the previous one; returns logits [vocab].
   Tensor decode_step(int seq, int token);
+  // Batched step executor: run every chunk's rows through the block stack in
+  // ONE stacked forward — a single GEMM call per projection per layer covers
+  // all decode tokens and prefill-chunk tokens of the step (per-token
+  // activation quantization is row-wise, so stacking changes no numerics).
+  // Only attention fans out per-sequence against the paged KV cache, and KV
+  // appends use the cache's batched scatter. Returns [chunks, vocab] logits;
+  // row i is chunk i's last position. Each row of the result, and every KV
+  // entry written, is bitwise identical to executing the chunks one at a
+  // time via prefill_chunk()/decode_step(), at any thread count and ISA.
+  Tensor forward_step(const BatchedStep& step);
   // Tokens appended to `seq` so far (next position to prefill/decode).
   int64_t seq_pos(int seq) const;
 
@@ -110,9 +143,24 @@ class QuantizedModel {
     Tensor ln_attn, ln_ffn;
   };
 
+  // Row range [row0, row0 + n) of a stacked activation matrix belonging to
+  // one sequence — the executor's internal row tag.
+  struct SeqSpan {
+    int seq;
+    int64_t row0;
+    int64_t n;
+  };
+
   // Run the block stack over a chunk of tokens starting at `pos0`; returns
-  // hidden states [n, hidden]. Appends K/V to `seq`'s cache.
+  // hidden states [n, hidden]. Appends K/V to `seq`'s cache. Thin wrapper
+  // over the batched executor with a single span.
   Tensor run_blocks(int seq, const Tensor& embedded, int pos0);
+  // The shared executor: `embedded` stacks every span's rows; positions[r]
+  // is row r's absolute position. GEMMs/norms/activations run on the whole
+  // stack; KV append + attention fan out per span.
+  Tensor run_blocks_batched(const std::vector<SeqSpan>& spans,
+                            const Tensor& embedded,
+                            const std::vector<int>& positions);
   Tensor logits_from_hidden(const Tensor& h) const;
 
   ModelConfig cfg_;

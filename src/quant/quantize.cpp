@@ -5,6 +5,7 @@
 
 #include "common/half.h"
 #include "common/math_util.h"
+#include "common/parallel.h"
 
 namespace qserve {
 
@@ -214,17 +215,23 @@ QuantizedActs quantize_acts_per_token(const Tensor& x) {
   out.q = I8Tensor({m, k});
   out.s = Tensor({m});
   out.token_sum = Tensor({m});
-  for (int64_t t = 0; t < m; ++t) {
-    const float s = fp16_scale(abs_max(x.row(t), k), 127.0f);
-    out.s[t] = s;
-    const float inv = 1.0f / s;
-    float sum = 0.0f;
-    for (int64_t c = 0; c < k; ++c) {
-      out.q.at2(t, c) = clamp_i8(round_half_away(x.at2(t, c) * inv));
-      sum += x.at2(t, c);
+  // Each token row quantizes independently (scale, codes, and token sum are
+  // all per-row), so the batched step executor's stacked activation buffer —
+  // decode tokens and prefill chunks from many requests — parallelizes here
+  // without changing a single bit.
+  parallel_for(0, m, 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t t = lo; t < hi; ++t) {
+      const float s = fp16_scale(abs_max(x.row(t), k), 127.0f);
+      out.s[t] = s;
+      const float inv = 1.0f / s;
+      float sum = 0.0f;
+      for (int64_t c = 0; c < k; ++c) {
+        out.q.at2(t, c) = clamp_i8(round_half_away(x.at2(t, c) * inv));
+        sum += x.at2(t, c);
+      }
+      out.token_sum[t] = to_half_precision(sum);
     }
-    out.token_sum[t] = to_half_precision(sum);
-  }
+  });
   return out;
 }
 

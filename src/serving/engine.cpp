@@ -16,21 +16,39 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Constructor-time validation, run before any member dereferences the model.
+const EngineConfig& validated(const QuantizedModel* model,
+                              const EngineConfig& cfg) {
+  QS_CHECK_MSG(model != nullptr, "ServingEngine needs a model");
+  QS_CHECK_GE(cfg.temperature, 0.0f);
+  return cfg;
+}
+
 }  // namespace
 
 ServingEngine::ServingEngine(QuantizedModel* model, const EngineConfig& cfg)
-    : model_(model), cfg_(cfg),
+    : model_(model), cfg_(validated(model, cfg)),
       scheduler_(cfg.scheduler, model->kv_cache().config().page_size,
                  model->config().n_layers),
       rng_(cfg.sample_seed) {}
 
 int ServingEngine::submit(std::vector<int> prompt, int max_new_tokens) {
+  RequestOptions opts;
+  opts.max_new_tokens = max_new_tokens;
+  return submit(std::move(prompt), opts, nullptr, nullptr);
+}
+
+int ServingEngine::submit(std::vector<int> prompt, const RequestOptions& opts,
+                          std::function<void(const Request&, int)> on_token,
+                          std::function<void(const Request&)> on_finish) {
   QS_CHECK(!prompt.empty());
-  QS_CHECK_GT(max_new_tokens, 0);
+  QS_CHECK_GT(opts.max_new_tokens, 0);
   auto req = std::make_unique<Request>();
   req->id = static_cast<int>(requests_.size());
   req->prompt = std::move(prompt);
-  req->max_new_tokens = max_new_tokens;
+  req->max_new_tokens = opts.max_new_tokens;
+  req->on_token = std::move(on_token);
+  req->on_finish = std::move(on_finish);
   req->submitted_step = stats_.steps;
   Request* ptr = req.get();
   requests_.push_back(std::move(req));
@@ -38,8 +56,7 @@ int ServingEngine::submit(std::vector<int> prompt, int max_new_tokens) {
   return ptr->id;
 }
 
-int ServingEngine::sample(const Tensor& logits) {
-  const int64_t vocab = logits.numel();
+int ServingEngine::sample(const float* logits, int64_t vocab) {
   if (cfg_.temperature <= 0.0f) {
     int64_t best = 0;
     for (int64_t v = 1; v < vocab; ++v)
@@ -58,11 +75,30 @@ int ServingEngine::sample(const Tensor& logits) {
   return static_cast<int>(vocab - 1);
 }
 
+void ServingEngine::deliver(Request& r, int token) {
+  r.generated.push_back(token);
+  if (r.first_token_step < 0) {
+    r.first_token_step = stats_.steps;
+    ++stats_.first_tokens;
+  } else {
+    // Decode output — or a post-preemption re-prefill completion, which
+    // continues the decode stream the request was producing before it was
+    // evicted.
+    ++stats_.decode_tokens;
+  }
+  if (r.on_token) r.on_token(r, token);
+  if (static_cast<int>(r.generated.size()) >= r.max_new_tokens) finish(r);
+}
+
 void ServingEngine::finish(Request& r) {
   r.state = RequestState::kFinished;
   r.finished_step = stats_.steps;
+  first_token_steps_sum_ += double(r.first_token_step - r.submitted_step);
+  completion_steps_sum_ += double(r.finished_step - r.submitted_step);
+  ++finished_requests_;
   model_->end_sequence(r.seq_handle);
   r.seq_handle = -1;
+  if (r.on_finish) r.on_finish(r);
 }
 
 void ServingEngine::evict(Request& r) {
@@ -107,9 +143,11 @@ bool ServingEngine::step() {
   struct ChunkJob {
     Request* req = nullptr;
     std::vector<int> tokens;
-    Tensor logits;
+    Tensor logits;             // per-request path: owned storage
+    const float* out = nullptr;  // logits of the chunk's last position
   };
   std::vector<ChunkJob> chunks(plan.prefills.size());
+  int64_t prefill_rows = 0;
   for (size_t i = 0; i < plan.prefills.size(); ++i) {
     Request* r = plan.prefills[i].req;
     chunks[i].req = r;
@@ -121,44 +159,93 @@ bool ServingEngine::step() {
           p < prompt_len ? r->prompt[static_cast<size_t>(p)]
                          : r->generated[static_cast<size_t>(p - prompt_len)]);
     }
+    prefill_rows += static_cast<int64_t>(chunks[i].tokens.size());
+  }
+  const int64_t decode_rows = static_cast<int64_t>(plan.decodes.size());
+  const int64_t step_rows = decode_rows + prefill_rows;
+
+  std::unordered_map<const Request*, const float*> decode_out;
+  std::unordered_map<const Request*, ChunkJob*> chunk_out;
+  // Logits storage must outlive the sampling loop below: the batched path
+  // points rows into step_logits, the per-request path owns decode_logits
+  // and the ChunkJobs' logits tensors.
+  std::vector<Tensor> decode_logits;
+  Tensor step_logits;
+
+  if (cfg_.batched_step) {
+    // Lower the StepPlan to one BatchedStep — decode rows first, then the
+    // prefill chunks — and execute it as a single stacked forward: one GEMM
+    // call per projection per layer covers every row of the step.
+    BatchedStep bstep;
+    bstep.chunks.reserve(plan.decodes.size() + chunks.size());
+    for (Request* r : plan.decodes)
+      bstep.chunks.push_back(
+          {r->seq_handle,
+           {r->generated.back()},
+           static_cast<int>(model_->seq_pos(r->seq_handle))});
+    for (ChunkJob& c : chunks)
+      bstep.chunks.push_back({c.req->seq_handle, c.tokens,
+                              static_cast<int>(c.req->prefill_pos)});
+    if (!bstep.chunks.empty()) {
+      const auto tf = std::chrono::steady_clock::now();
+      step_logits = model_->forward_step(bstep);
+      // One forward covers both work types; apportion its wall time by row
+      // count so the prefill/decode throughput split stays meaningful.
+      const double dt = seconds_since(tf);
+      stats_.decode_seconds += dt * double(decode_rows) / double(step_rows);
+      stats_.prefill_seconds += dt * double(prefill_rows) / double(step_rows);
+      for (size_t i = 0; i < plan.decodes.size(); ++i)
+        decode_out.emplace(plan.decodes[i],
+                           step_logits.row(static_cast<int64_t>(i)));
+      for (size_t i = 0; i < chunks.size(); ++i) {
+        chunks[i].out = step_logits.row(
+            static_cast<int64_t>(plan.decodes.size() + i));
+        chunk_out.emplace(chunks[i].req, &chunks[i]);
+      }
+    }
+  } else {
+    // Per-request reference path: forward passes fan out across requests;
+    // each touches only its own sequence (the KV pool bookkeeping is
+    // internally locked). Decode and prefill run as separate fan-outs so
+    // their wall time is split in stats.
+    decode_logits.resize(plan.decodes.size());
+    const auto td = std::chrono::steady_clock::now();
+    parallel_for(0, static_cast<int64_t>(plan.decodes.size()), 1,
+                 [&](int64_t lo, int64_t hi) {
+                   for (int64_t i = lo; i < hi; ++i) {
+                     Request* r = plan.decodes[static_cast<size_t>(i)];
+                     decode_logits[static_cast<size_t>(i)] =
+                         model_->decode_step(r->seq_handle,
+                                             r->generated.back());
+                   }
+                 });
+    if (!plan.decodes.empty()) stats_.decode_seconds += seconds_since(td);
+
+    const auto tp = std::chrono::steady_clock::now();
+    parallel_for(0, static_cast<int64_t>(chunks.size()), 1,
+                 [&](int64_t lo, int64_t hi) {
+                   for (int64_t i = lo; i < hi; ++i) {
+                     ChunkJob& c = chunks[static_cast<size_t>(i)];
+                     c.logits = model_->prefill_chunk(
+                         c.req->seq_handle, c.tokens,
+                         static_cast<int>(c.req->prefill_pos));
+                   }
+                 });
+    if (!chunks.empty()) stats_.prefill_seconds += seconds_since(tp);
+
+    for (size_t i = 0; i < plan.decodes.size(); ++i)
+      decode_out.emplace(plan.decodes[i], decode_logits[i].data());
+    for (ChunkJob& c : chunks) {
+      c.out = c.logits.data();
+      chunk_out.emplace(c.req, &c);
+    }
   }
 
-  // Forward passes fan out across requests; each touches only its own
-  // sequence (the KV pool bookkeeping is internally locked). Decode and
-  // prefill run as separate fan-outs so their wall time is split in stats.
-  std::vector<Tensor> decode_logits(plan.decodes.size());
-  const auto td = std::chrono::steady_clock::now();
-  parallel_for(0, static_cast<int64_t>(plan.decodes.size()), 1,
-               [&](int64_t lo, int64_t hi) {
-                 for (int64_t i = lo; i < hi; ++i) {
-                   Request* r = plan.decodes[static_cast<size_t>(i)];
-                   decode_logits[static_cast<size_t>(i)] =
-                       model_->decode_step(r->seq_handle,
-                                           r->generated.back());
-                 }
-               });
-  if (!plan.decodes.empty()) stats_.decode_seconds += seconds_since(td);
-
-  const auto tp = std::chrono::steady_clock::now();
-  parallel_for(0, static_cast<int64_t>(chunks.size()), 1,
-               [&](int64_t lo, int64_t hi) {
-                 for (int64_t i = lo; i < hi; ++i) {
-                   ChunkJob& c = chunks[static_cast<size_t>(i)];
-                   c.logits = model_->prefill_chunk(
-                       c.req->seq_handle, c.tokens,
-                       static_cast<int>(c.req->prefill_pos));
-                 }
-               });
-  if (!chunks.empty()) stats_.prefill_seconds += seconds_since(tp);
-
-  // Sampling and stats stay serial, in admission (running_) order, so the
-  // generated streams are identical to the single-thread engine.
-  std::unordered_map<const Request*, const Tensor*> decode_out;
-  for (size_t i = 0; i < plan.decodes.size(); ++i)
-    decode_out.emplace(plan.decodes[i], &decode_logits[i]);
-  std::unordered_map<const Request*, ChunkJob*> chunk_out;
-  for (auto& c : chunks) chunk_out.emplace(c.req, &c);
-
+  // Sampling, callbacks, and stats stay serial, in admission (running_)
+  // order, so the generated streams — and the RNG consumption order under
+  // temperature > 0 — are identical across execution modes and thread
+  // counts.
+  const int64_t vocab = model_->config().vocab;
   for (Request* r : running_) {
     if (auto it = chunk_out.find(r); it != chunk_out.end()) {
       ChunkJob& c = *it->second;
@@ -166,41 +253,27 @@ bool ServingEngine::step() {
       stats_.prefill_tokens += static_cast<int64_t>(c.tokens.size());
       if (r->prefill_pos < r->context_len()) continue;  // more chunks to go
       r->state = RequestState::kDecoding;
-      const int tok = sample(c.logits);
-      r->generated.push_back(tok);
-      if (r->first_token_step < 0) {
-        r->first_token_step = stats_.steps;
-        ++stats_.first_tokens;
-      } else {
-        // Re-prefill after preemption: this token continues the decode
-        // stream the request was producing before it was evicted.
-        ++stats_.decode_tokens;
-      }
-      if (static_cast<int>(r->generated.size()) >= r->max_new_tokens)
-        finish(*r);
+      deliver(*r, sample(c.out, vocab));
     } else if (auto dit = decode_out.find(r); dit != decode_out.end()) {
-      const int tok = sample(*dit->second);
-      r->generated.push_back(tok);
-      ++stats_.decode_tokens;
-      if (static_cast<int>(r->generated.size()) >= r->max_new_tokens)
-        finish(*r);
+      deliver(*r, sample(dit->second, vocab));
     }
   }
 
   stats_.peak_batch =
       std::max(stats_.peak_batch, static_cast<int>(running_.size()));
+  stats_.peak_batch_tokens = std::max(stats_.peak_batch_tokens, step_rows);
+  stats_.step_tokens += step_rows;
   running_.erase(std::remove_if(running_.begin(), running_.end(),
                                 [](Request* r) { return r->done(); }),
                  running_.end());
 
   ++stats_.steps;
   stats_.wall_seconds += seconds_since(t0);
+  refresh_derived_stats();
   return !scheduler_.idle(static_cast<int>(running_.size()));
 }
 
-EngineStats ServingEngine::run_to_completion() {
-  while (step()) {
-  }
+void ServingEngine::refresh_derived_stats() {
   stats_.decode_tokens_per_second =
       stats_.decode_seconds > 0
           ? double(stats_.decode_tokens) / stats_.decode_seconds
@@ -209,17 +282,19 @@ EngineStats ServingEngine::run_to_completion() {
       stats_.prefill_seconds > 0
           ? double(stats_.prefill_tokens) / stats_.prefill_seconds
           : 0;
-  double ft = 0, comp = 0;
-  int64_t n = 0;
-  for (const auto& r : requests_) {
-    if (!r->done()) continue;
-    ft += double(r->first_token_step - r->submitted_step);
-    comp += double(r->finished_step - r->submitted_step);
-    ++n;
+  stats_.mean_tokens_per_step =
+      stats_.steps > 0 ? double(stats_.step_tokens) / double(stats_.steps)
+                       : 0;
+  if (finished_requests_ > 0) {
+    stats_.mean_first_token_steps =
+        first_token_steps_sum_ / double(finished_requests_);
+    stats_.mean_completion_steps =
+        completion_steps_sum_ / double(finished_requests_);
   }
-  if (n > 0) {
-    stats_.mean_first_token_steps = ft / double(n);
-    stats_.mean_completion_steps = comp / double(n);
+}
+
+EngineStats ServingEngine::drain() {
+  while (step()) {
   }
   return stats_;
 }

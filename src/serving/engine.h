@@ -6,9 +6,20 @@
 // in-flight join/leave, chunked prefill, preemption round trips, token-order
 // preservation). Wall-clock throughput at GPU scale comes from src/simulator.
 //
-// Each step executes the Scheduler's StepPlan: all pending decodes (one token
-// each) plus at most one chunk's worth of prefill work, so a long prompt can
-// no longer stall running decodes for a whole monolithic prefill call.
+// Each step lowers the Scheduler's StepPlan into one BatchedStep — every
+// decode token plus every prefill-chunk token, stacked row-wise — and
+// executes it with a single QuantizedModel::forward_step() call, so the
+// pre-packed cache-blocked GEMMs see the whole step's rows in one call per
+// projection per layer instead of m=1 decode calls per request. The
+// per-request execution path (one forward call per request) is kept behind
+// EngineConfig::batched_step = false as the bitwise reference and benchmark
+// baseline; both paths produce identical token streams at any thread count
+// and ISA.
+//
+// Callers can stream results instead of polling run_to_completion():
+// submit(prompt, opts, on_token, on_finish) registers per-token/finish
+// callbacks, and drain() (or a caller-driven step() loop) pumps the engine
+// until idle.
 #pragma once
 
 #include <memory>
@@ -24,6 +35,10 @@ struct EngineConfig {
   // Sampling: 0 = greedy argmax.
   float temperature = 0.0f;
   uint64_t sample_seed = 7;
+  // Execute each step as one stacked forward_step (batched GEMMs across all
+  // requests' rows). false = per-request forward calls; same token streams,
+  // kept for A/B benchmarking and as the identity-test reference.
+  bool batched_step = true;
 };
 
 struct EngineStats {
@@ -39,11 +54,19 @@ struct EngineStats {
   int64_t first_tokens = 0;
   int64_t preemptions = 0;
   // Wall time split by work type (forward passes only) plus the whole-step
-  // total (includes scheduling/sampling overhead).
+  // total (includes scheduling/sampling overhead). A batched step runs one
+  // forward for both kinds of work; its time is apportioned by row count.
   double prefill_seconds = 0;
   double decode_seconds = 0;
   double wall_seconds = 0;
+  // Peak *requests* running in one step.
   int peak_batch = 0;
+  // Batched-GEMM occupancy: peak stacked rows (decode tokens + prefill-chunk
+  // tokens) executed in one step, and the mean over all steps — the m each
+  // projection GEMM actually sees.
+  int64_t peak_batch_tokens = 0;
+  int64_t step_tokens = 0;  // total rows across all steps
+  double mean_tokens_per_step = 0;
   // Throughputs over the matching wall-time split.
   double prefill_tokens_per_second = 0;
   double decode_tokens_per_second = 0;
@@ -54,27 +77,50 @@ struct EngineStats {
 
 class ServingEngine {
  public:
+  // Validates the configuration loudly (QS_CHECK): temperature >= 0 and a
+  // sane scheduler config (the Scheduler constructor checks its own fields).
   ServingEngine(QuantizedModel* model, const EngineConfig& cfg);
 
   // Submit a request; returns its id. Requests are owned by the engine.
   int submit(std::vector<int> prompt, int max_new_tokens);
 
-  // One engine iteration: plan (admit/evict), run all decodes + one prefill
-  // chunk, sample. Returns false when fully idle.
+  // Streaming submit: on_token fires once per generated token in stream
+  // order (during the step that sampled it), on_finish exactly once after
+  // the last token. Either callback may be null.
+  int submit(std::vector<int> prompt, const RequestOptions& opts,
+             std::function<void(const Request&, int)> on_token,
+             std::function<void(const Request&)> on_finish = nullptr);
+
+  // One engine iteration: plan (admit/evict), execute the step's rows (one
+  // batched forward by default), sample per finished row, fire callbacks.
+  // Returns false when fully idle.
   bool step();
 
-  // Run until all submitted requests finish.
-  EngineStats run_to_completion();
+  // Pump step() until idle. The streaming counterpart of
+  // run_to_completion(): callers consume tokens via callbacks instead of
+  // polling request state afterwards. Derived stats (throughputs, means)
+  // are refreshed at the end of every step(), so a caller-driven step()
+  // loop reads the same numbers from stats().
+  EngineStats drain();
+
+  // Run until all submitted requests finish (alias of drain(), kept for
+  // non-streaming callers).
+  EngineStats run_to_completion() { return drain(); }
 
   const Request& request(int id) const;
   const EngineStats& stats() const { return stats_; }
 
  private:
-  int sample(const Tensor& logits);
+  int sample(const float* logits, int64_t vocab);
+  // Record a sampled token: append, fire on_token, finish if complete.
+  void deliver(Request& r, int token);
   void finish(Request& r);
   // Preempt: free the KV sequence and reset prefill progress; the request is
   // already back in the scheduler queue.
   void evict(Request& r);
+  // Recompute the derived stats (throughputs, per-step/request means) from
+  // the running counters; called at the end of every step().
+  void refresh_derived_stats();
 
   QuantizedModel* model_;
   EngineConfig cfg_;
@@ -82,6 +128,11 @@ class ServingEngine {
   std::vector<std::unique_ptr<Request>> requests_;
   std::vector<Request*> running_;  // admission order; back = youngest
   EngineStats stats_;
+  // Incremental latency sums over finished requests (O(1) per-step derived
+  // stats instead of a rescan of requests_).
+  double first_token_steps_sum_ = 0;
+  double completion_steps_sum_ = 0;
+  int64_t finished_requests_ = 0;
   Rng rng_;
 };
 

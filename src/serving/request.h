@@ -8,16 +8,31 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace qserve {
 
 enum class RequestState { kQueued, kPrefilling, kDecoding, kFinished };
 
+// Per-request knobs for the streaming submit API.
+struct RequestOptions {
+  int max_new_tokens = 16;
+};
+
 struct Request {
   int id = -1;
   std::vector<int> prompt;
   int max_new_tokens = 16;
+
+  // Streaming callbacks (either may be empty). on_token fires once per
+  // generated token — the first token included — in stream order, during the
+  // engine step that sampled it; r.generated already contains the token.
+  // Preemption never re-fires delivered tokens (a re-prefill reconstructs KV
+  // state but samples no already-delivered positions). on_finish fires
+  // exactly once, after the final on_token.
+  std::function<void(const Request&, int token)> on_token;
+  std::function<void(const Request&)> on_finish;
 
   RequestState state = RequestState::kQueued;
   std::vector<int> generated;

@@ -8,10 +8,15 @@
 namespace qserve {
 
 Scheduler::Scheduler(const SchedulerConfig& cfg, int page_size, int n_layers)
-    : cfg_(cfg), page_size_(page_size), n_layers_(std::max(1, n_layers)) {
-  QS_CHECK_GT(cfg_.max_batch, 0);
-  QS_CHECK_GT(cfg_.prefill_chunk, 0);
-  QS_CHECK_GT(page_size_, 0);
+    : cfg_(cfg), page_size_(page_size), n_layers_(n_layers) {
+  // Loud construction-time validation: a zero/negative chunk or batch would
+  // otherwise plan empty steps forever, and a bad pool geometry would
+  // corrupt the page-cost arithmetic downstream.
+  QS_CHECK_MSG(cfg_.max_batch > 0, "SchedulerConfig.max_batch must be >= 1");
+  QS_CHECK_MSG(cfg_.prefill_chunk > 0,
+               "SchedulerConfig.prefill_chunk must be >= 1");
+  QS_CHECK_MSG(page_size_ > 0, "KV page_size must be >= 1");
+  QS_CHECK_MSG(n_layers_ > 0, "model must have >= 1 layer");
 }
 
 int64_t Scheduler::kv_len(const Request& r) {

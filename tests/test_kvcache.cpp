@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "quant/kv_quant.h"
 
@@ -282,6 +283,102 @@ TEST(PagedKvCache, StaticKv8MatchesStaticQuantizer) {
   cache.append(seq, big.data(), big.data());
   cache.gather(seq, k, v);
   EXPECT_NEAR(k.at2(1, 0), 12.7f, 0.1f);  // clamped at 127 * 0.1
+}
+
+TEST(PagedKvCache, AppendBatchMatchesSingleAppendsBitwise) {
+  // The batched scatter the step executor uses must store byte-identical
+  // pages to token-by-token appends, across every precision and across page
+  // boundaries (page_size=4, 13 tokens => 4 pages, last partially filled).
+  for (const KvPrecision p :
+       {KvPrecision::kFp16, KvPrecision::kInt8, KvPrecision::kInt4}) {
+    PagedKvCache one(small_cfg(p)), batch(small_cfg(p));
+    const int sa = one.alloc_sequence();
+    const int sb = batch.alloc_sequence();
+    Rng rng(7);
+    const int span = 16;  // n_kv_heads * head_dim
+    const int n = 13;
+    std::vector<float> k, v;
+    for (int t = 0; t < n; ++t) {
+      const auto kt = random_vec(rng, span, /*outlier=*/t % 3 ? 0.f : 8.f);
+      const auto vt = random_vec(rng, span);
+      k.insert(k.end(), kt.begin(), kt.end());
+      v.insert(v.end(), vt.begin(), vt.end());
+      one.append(sa, kt.data(), vt.data());
+    }
+    // Mixed batch sizes: 5 + 1 + 7 tokens.
+    batch.append_batch(sb, k.data(), v.data(), 5);
+    batch.append_batch(sb, k.data() + 5 * span, v.data() + 5 * span, 1);
+    batch.append_batch(sb, k.data() + 6 * span, v.data() + 6 * span, 7);
+    EXPECT_EQ(one.seq_len(sa), n);
+    EXPECT_EQ(batch.seq_len(sb), n);
+    EXPECT_EQ(one.pages_in_use(), batch.pages_in_use());
+    Tensor k1, v1, k2, v2;
+    one.gather(sa, k1, v1);
+    batch.gather(sb, k2, v2);
+    EXPECT_EQ(max_abs_diff(k1, k2), 0.0f);
+    EXPECT_EQ(max_abs_diff(v1, v2), 0.0f);
+  }
+}
+
+TEST(PagedKvCache, AppendBatchTooLargeThrowsWithoutMutating) {
+  // A batch the pool cannot hold must fail before any sequence state
+  // mutates: seq_len may never claim tokens whose page slots were not
+  // written (gather would dequantize unwritten bytes as valid K/V).
+  PagedKvCache cache(small_cfg(KvPrecision::kInt8, /*max_pages=*/2));
+  const int seq = cache.alloc_sequence();
+  Rng rng(3);
+  const int span = 16;
+  const auto k = random_vec(rng, 3 * span), v = random_vec(rng, 3 * span);
+  cache.append_batch(seq, k.data(), v.data(), 3);
+  // Pool holds 2 pages x 4 tokens = 8; 3 used, 6 more cannot fit.
+  std::vector<float> big_k(6 * span, 1.0f), big_v(6 * span, 1.0f);
+  EXPECT_THROW(cache.append_batch(seq, big_k.data(), big_v.data(), 6),
+               CheckError);
+  EXPECT_EQ(cache.seq_len(seq), 3);
+  Tensor kd, vd;
+  cache.gather(seq, kd, vd);
+  EXPECT_EQ(kd.rows(), 3);
+}
+
+TEST(PagedKvCache, AppendBatchConcurrentDistinctSequences) {
+  // The batched step executor scatters whole chunks into distinct sequences
+  // concurrently; contents must match a serial run exactly and the pool
+  // accounting must stay conserved.
+  const int kSeqs = 6, kTokens = 23, span = 16;
+  Rng rng(11);
+  std::vector<std::vector<float>> ks(kSeqs), vs(kSeqs);
+  for (int s = 0; s < kSeqs; ++s)
+    for (int t = 0; t < kTokens; ++t) {
+      const auto kt = random_vec(rng, span);
+      const auto vt = random_vec(rng, span);
+      ks[size_t(s)].insert(ks[size_t(s)].end(), kt.begin(), kt.end());
+      vs[size_t(s)].insert(vs[size_t(s)].end(), vt.begin(), vt.end());
+    }
+
+  PagedKvCache serial(small_cfg(KvPrecision::kInt4, 256));
+  PagedKvCache parallel_cache(small_cfg(KvPrecision::kInt4, 256));
+  std::vector<int> serial_ids(kSeqs), parallel_ids(kSeqs);
+  for (int s = 0; s < kSeqs; ++s) {
+    serial_ids[size_t(s)] = serial.alloc_sequence();
+    parallel_ids[size_t(s)] = parallel_cache.alloc_sequence();
+    serial.append_batch(serial_ids[size_t(s)], ks[size_t(s)].data(),
+                        vs[size_t(s)].data(), kTokens);
+  }
+  parallel_for(0, kSeqs, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s)
+      parallel_cache.append_batch(parallel_ids[size_t(s)],
+                                  ks[size_t(s)].data(), vs[size_t(s)].data(),
+                                  kTokens);
+  });
+
+  EXPECT_EQ(serial.pages_in_use(), parallel_cache.pages_in_use());
+  for (int s = 0; s < kSeqs; ++s) {
+    Tensor k1, v1, k2, v2;
+    serial.gather(serial_ids[size_t(s)], k1, v1);
+    parallel_cache.gather(parallel_ids[size_t(s)], k2, v2);
+    EXPECT_EQ(max_abs_diff(k1, k2), 0.0f);
+    EXPECT_EQ(max_abs_diff(v1, v2), 0.0f);
+  }
 }
 
 }  // namespace

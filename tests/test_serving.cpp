@@ -430,6 +430,15 @@ TEST(ServingEngine, StatsSplitPrefillAndDecodeTime) {
             stats.wall_seconds + 1e-9);
   EXPECT_GT(stats.decode_tokens_per_second, 0.0);
   EXPECT_GT(stats.prefill_tokens_per_second, 0.0);
+  // Occupancy stats count rows, not requests: the first step stacks a
+  // 24-token and a 3-token prefill chunk into one 27-row forward.
+  EXPECT_EQ(stats.peak_batch, 2);
+  EXPECT_EQ(stats.peak_batch_tokens, 27);
+  // Every executed row is either a prefill-chunk row or a decode row (first
+  // tokens are sampled from prefill rows, so they add no rows; this identity
+  // holds on preemption-free runs).
+  EXPECT_EQ(stats.step_tokens, stats.prefill_tokens + stats.decode_tokens);
+  EXPECT_GT(stats.mean_tokens_per_step, 0.0);
 }
 
 TEST(ServingEngine, FirstTokenLatencyOrderedByArrival) {

@@ -104,6 +104,35 @@ void PagedKvCache::free_sequence(int seq) {
   free_seq_ids_.push_back(seq);
 }
 
+void PagedKvCache::truncate_sequence(int seq, int64_t new_len) {
+  std::lock_guard<std::mutex> lk(mu_);
+  QS_CHECK(is_live_locked(seq));
+  auto& s = seqs_[static_cast<size_t>(seq)];
+  QS_CHECK_MSG(new_len >= 0 && new_len <= s.length,
+               "truncate_sequence target " << new_len
+                                           << " outside [0, " << s.length
+                                           << "]");
+  if (new_len == s.length) return;
+  const int64_t keep_pages = ceil_div(new_len, cfg_.page_size);
+  for (int64_t pi = keep_pages;
+       pi < static_cast<int64_t>(s.page_table.size()); ++pi) {
+    const int pid = s.page_table[static_cast<size_t>(pi)];
+    pages_[static_cast<size_t>(pid)].generation.fetch_add(
+        1, std::memory_order_relaxed);
+    free_page_ids_.push_back(pid);
+    used_pages_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  s.page_table.resize(static_cast<size_t>(keep_pages));
+  // The last kept page loses its tail slots (and the next append rewrites
+  // them), so pre-truncate views of it must go stale too. A new view() taken
+  // after the rollback snapshots the bumped value and reads fine.
+  if (new_len % cfg_.page_size != 0) {
+    pages_[static_cast<size_t>(s.page_table.back())].generation.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  s.length = new_len;
+}
+
 int64_t PagedKvCache::seq_len(int seq) const {
   std::lock_guard<std::mutex> lk(mu_);
   QS_CHECK(is_live_locked(seq));

@@ -81,6 +81,20 @@ class PagedKvCache {
   // rows for one sequence) through this path.
   void append_batch(int seq, const float* k, const float* v, int64_t n);
 
+  // Roll the sequence back to `new_len` tokens (0 <= new_len <= seq_len).
+  // Pages that become empty are returned to the free pool; the last kept
+  // page, if the truncation cuts into it, stays allocated and its vacated
+  // slots are rewritten by the next append. Every freed page AND the
+  // partially-truncated last page bump their generation counter, so a
+  // SeqView taken before the rollback trips QS_DCHECK on reads instead of
+  // silently returning rolled-back (or since-rewritten) data — the same
+  // stale-view contract as preemption's free_sequence(). Composes with
+  // append/append_batch: truncate-then-append stores byte-identical pages to
+  // a sequence that never held the rejected tail. This is the speculative-
+  // decoding rollback primitive: a verify step appends k+1 tokens and then
+  // truncates the rejected suffix.
+  void truncate_sequence(int seq, int64_t new_len);
+
   int64_t seq_len(int seq) const;
   int64_t pages_in_use() const {
     return used_pages_.load(std::memory_order_relaxed);

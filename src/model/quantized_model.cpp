@@ -351,6 +351,9 @@ Tensor QuantizedModel::forward_step(const BatchedStep& step) {
     const auto& state = seqs_[static_cast<size_t>(c.seq)];
     QS_CHECK(state.live);
     QS_CHECK_EQ(int64_t(c.pos0), state.next_pos);
+    QS_CHECK_MSG(c.logit_rows >= 0 &&
+                     c.logit_rows <= static_cast<int>(c.tokens.size()),
+                 "logit_rows must be in [0, |tokens|]");
     QS_CHECK_MSG(seen_seqs.insert(c.seq).second,
                  "a sequence may appear in at most one chunk per step");
     const int64_t cn = static_cast<int64_t>(c.tokens.size());
@@ -387,14 +390,32 @@ Tensor QuantizedModel::forward_step(const BatchedStep& step) {
     seqs_[static_cast<size_t>(c.seq)].next_pos +=
         static_cast<int64_t>(c.tokens.size());
 
-  // One LM-head GEMM over every chunk's last row.
-  Tensor last({static_cast<int64_t>(step.chunks.size()), cfg_.hidden});
+  // One LM-head GEMM over every row that declared it needs logits — a
+  // chunk's trailing logit_rows positions, gathered chunk by chunk. A step
+  // whose chunks all set logit_rows = 0 (e.g. only mid-prompt prefill
+  // chunks) skips the LM head entirely.
+  const int64_t n_logits = step.total_logit_rows();
+  if (n_logits == 0) return Tensor({0, cfg_.vocab});
+  Tensor last({n_logits, cfg_.hidden});
+  int64_t out = 0;
   for (size_t i = 0; i < spans.size(); ++i) {
-    const int64_t src = spans[i].row0 + spans[i].n - 1;
-    std::copy(h.row(src), h.row(src) + cfg_.hidden,
-              last.row(static_cast<int64_t>(i)));
+    const int lr = step.chunks[i].logit_rows;
+    for (int64_t j = 0; j < lr; ++j) {
+      const int64_t src = spans[i].row0 + spans[i].n - lr + j;
+      std::copy(h.row(src), h.row(src) + cfg_.hidden, last.row(out++));
+    }
   }
   return logits_from_hidden(last);
+}
+
+void QuantizedModel::truncate_sequence(int seq, int64_t new_len) {
+  auto& state = seqs_[static_cast<size_t>(seq)];
+  QS_CHECK(state.live);
+  QS_CHECK_MSG(new_len >= 0 && new_len <= state.next_pos,
+               "truncate target " << new_len << " outside [0, "
+                                  << state.next_pos << "]");
+  for (int ls : state.layer_seqs) kv_->truncate_sequence(ls, new_len);
+  state.next_pos = new_len;
 }
 
 int64_t QuantizedModel::seq_pos(int seq) const {

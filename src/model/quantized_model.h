@@ -77,11 +77,17 @@ class QuantizedLinear {
 // One sequence's slice of a batched engine step: `tokens` are appended to
 // sequence `seq` starting at absolute position `pos0` (which must equal
 // seq_pos(seq)). A single-token chunk of an already-prefilled sequence is a
-// decode row; a multi-token chunk is a prefill chunk.
+// decode row; a multi-token chunk is a prefill chunk or a speculative verify
+// span. `logit_rows` declares how many of the chunk's TRAILING rows need LM-
+// head logits: 1 (default) is the classic chunk-last sampling row, 0 skips
+// the LM head entirely (a mid-prompt prefill chunk samples nothing), and
+// tokens.size() asks for logits at every position — what a verify span needs
+// to score all k+1 speculative candidates in one forward.
 struct StepSeqChunk {
   int seq = -1;
   std::vector<int> tokens;
   int pos0 = 0;
+  int logit_rows = 1;
 };
 
 // The model-level lowering of a scheduler StepPlan: every decode token and
@@ -93,6 +99,11 @@ struct BatchedStep {
   int64_t total_rows() const {
     int64_t n = 0;
     for (const auto& c : chunks) n += static_cast<int64_t>(c.tokens.size());
+    return n;
+  }
+  int64_t total_logit_rows() const {
+    int64_t n = 0;
+    for (const auto& c : chunks) n += c.logit_rows;
     return n;
   }
 };
@@ -125,11 +136,23 @@ class QuantizedModel {
   // all decode tokens and prefill-chunk tokens of the step (per-token
   // activation quantization is row-wise, so stacking changes no numerics).
   // Only attention fans out per-sequence against the paged KV cache, and KV
-  // appends use the cache's batched scatter. Returns [chunks, vocab] logits;
-  // row i is chunk i's last position. Each row of the result, and every KV
-  // entry written, is bitwise identical to executing the chunks one at a
-  // time via prefill_chunk()/decode_step(), at any thread count and ISA.
+  // appends use the cache's batched scatter. Returns
+  // [total_logit_rows(), vocab] logits: chunks contribute their trailing
+  // `logit_rows` positions, in chunk order, positions ascending within a
+  // chunk (logit_rows = 0 chunks contribute nothing and skip the LM head).
+  // Each row of the result, and every KV entry written, is bitwise identical
+  // to executing the chunks one token at a time via prefill_chunk() /
+  // decode_step(), at any thread count and ISA — a multi-row chunk's row at
+  // position p sees exactly the cached prefix [0, p) through the causal
+  // mask, which is what makes a k+1-row speculative verify span score every
+  // candidate with the same bits as k+1 sequential decode steps.
   Tensor forward_step(const BatchedStep& step);
+  // Roll `seq` back to `new_len` tokens across every layer's KV sequence and
+  // rewind the next append position — the speculative-decoding rejection
+  // path. Freed pages return to the pool; stale SeqViews trip QS_DCHECK (see
+  // PagedKvCache::truncate_sequence). A subsequent append of the same tokens
+  // reconstructs bitwise-identical state.
+  void truncate_sequence(int seq, int64_t new_len);
   // Tokens appended to `seq` so far (next position to prefill/decode).
   int64_t seq_pos(int seq) const;
 

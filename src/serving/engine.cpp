@@ -18,17 +18,60 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 // Constructor-time validation, run before any member dereferences the model.
 const EngineConfig& validated(const QuantizedModel* model,
+                              const QuantizedModel* draft,
                               const EngineConfig& cfg) {
   QS_CHECK_MSG(model != nullptr, "ServingEngine needs a model");
   QS_CHECK_GE(cfg.temperature, 0.0f);
+  if (draft != nullptr) {
+    QS_CHECK_MSG(cfg.speculative.lookahead_k >= 1,
+                 "speculative decoding needs lookahead_k >= 1");
+    QS_CHECK_MSG(cfg.temperature == 0.0f,
+                 "speculative decoding requires greedy sampling "
+                 "(temperature == 0): the bitwise-identity guarantee rests "
+                 "on longest-prefix acceptance of the target's argmax");
+    QS_CHECK_MSG(draft->config().vocab == model->config().vocab,
+                 "draft and target models must share a vocabulary");
+  }
   return cfg;
+}
+
+// The scheduler must reserve the verify forward's full k+1-token peak per
+// decoding request, not the post-rollback footprint.
+SchedulerConfig scheduler_config(const EngineConfig& cfg, bool speculative) {
+  SchedulerConfig s = cfg.scheduler;
+  if (speculative) s.decode_tokens_per_step = cfg.speculative.lookahead_k + 1;
+  return s;
+}
+
+// Context token at absolute position p: the prompt, then the generated
+// stream (what a resumed or draft-catch-up chunk replays).
+int context_token(const Request& r, int64_t p) {
+  const int64_t prompt_len = static_cast<int64_t>(r.prompt.size());
+  return p < prompt_len ? r.prompt[static_cast<size_t>(p)]
+                        : r.generated[static_cast<size_t>(p - prompt_len)];
 }
 
 }  // namespace
 
+// One request's prefill share for this step: its materialized token slice
+// and, once the forward ran, the logits of the chunk's last position (null
+// for a mid-prompt chunk that samples nothing).
+struct ServingEngine::ChunkJob {
+  Request* req = nullptr;
+  std::vector<int> tokens;
+  bool completes_prefill = false;
+  Tensor logits;               // per-request path: owned storage
+  const float* out = nullptr;  // logits of the chunk's last position
+};
+
 ServingEngine::ServingEngine(QuantizedModel* model, const EngineConfig& cfg)
-    : model_(model), cfg_(validated(model, cfg)),
-      scheduler_(cfg.scheduler, model->kv_cache().config().page_size,
+    : ServingEngine(model, nullptr, cfg) {}
+
+ServingEngine::ServingEngine(QuantizedModel* model, QuantizedModel* draft,
+                             const EngineConfig& cfg)
+    : model_(model), draft_(draft), cfg_(validated(model, draft, cfg)),
+      scheduler_(scheduler_config(cfg, draft != nullptr),
+                 model->kv_cache().config().page_size,
                  model->config().n_layers),
       rng_(cfg.sample_seed) {}
 
@@ -98,16 +141,194 @@ void ServingEngine::finish(Request& r) {
   ++finished_requests_;
   model_->end_sequence(r.seq_handle);
   r.seq_handle = -1;
+  if (r.draft_seq_handle >= 0) {
+    draft_->end_sequence(r.draft_seq_handle);
+    r.draft_seq_handle = -1;
+  }
   if (r.on_finish) r.on_finish(r);
 }
 
 void ServingEngine::evict(Request& r) {
   model_->end_sequence(r.seq_handle);
   r.seq_handle = -1;
+  if (r.draft_seq_handle >= 0) {
+    draft_->end_sequence(r.draft_seq_handle);
+    r.draft_seq_handle = -1;
+  }
   r.prefill_pos = 0;
   r.state = RequestState::kQueued;
   ++r.preemptions;
   ++stats_.preemptions;
+}
+
+void ServingEngine::lower_prefill_chunks(
+    BatchedStep& bstep, const std::vector<ChunkJob>& chunks,
+    int64_t next_logit_row, std::vector<int64_t>& chunk_logit_row) {
+  chunk_logit_row.assign(chunks.size(), -1);
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    const ChunkJob& c = chunks[i];
+    bstep.chunks.push_back({c.req->seq_handle, c.tokens,
+                            static_cast<int>(c.req->prefill_pos),
+                            c.completes_prefill ? 1 : 0});
+    if (c.completes_prefill) chunk_logit_row[i] = next_logit_row++;
+  }
+}
+
+void ServingEngine::bind_chunk_logits(
+    std::vector<ChunkJob>& chunks, const std::vector<int64_t>& chunk_logit_row,
+    const Tensor& step_logits) {
+  for (size_t i = 0; i < chunks.size(); ++i)
+    if (chunk_logit_row[i] >= 0)
+      chunks[i].out = step_logits.row(chunk_logit_row[i]);
+}
+
+void ServingEngine::handle_prefill_result(Request& r, ChunkJob& c) {
+  r.prefill_pos += static_cast<int64_t>(c.tokens.size());
+  stats_.prefill_tokens += static_cast<int64_t>(c.tokens.size());
+  if (r.prefill_pos < r.context_len()) return;  // more chunks to go
+  r.state = RequestState::kDecoding;
+  deliver(r, sample(c.out, model_->config().vocab));
+}
+
+std::vector<std::vector<int>> ServingEngine::propose_draft_tokens(
+    const std::vector<Request*>& decodes) {
+  const int k = cfg_.speculative.lookahead_k;
+  const int64_t vocab = model_->config().vocab;
+  std::vector<std::vector<int>> proposals(decodes.size());
+  std::vector<int> prev(decodes.size(), 0);
+  // One batched draft forward per lookahead depth across every decoding
+  // request — the draft model sees the same GEMM-occupancy benefit as the
+  // target. Depth 0 feeds each draft sequence everything it has not
+  // appended yet (post-admission: the whole context; steady state: the
+  // previous step's rejected-then-re-emitted token plus the pending one),
+  // so the draft needs no separately scheduled prefill.
+  for (int depth = 0; depth < k; ++depth) {
+    BatchedStep ds;
+    ds.chunks.reserve(decodes.size());
+    for (size_t i = 0; i < decodes.size(); ++i) {
+      Request* r = decodes[i];
+      StepSeqChunk c;
+      c.seq = r->draft_seq_handle;
+      c.pos0 = static_cast<int>(draft_->seq_pos(r->draft_seq_handle));
+      if (depth == 0) {
+        const int64_t ctx = r->context_len();
+        for (int64_t p = c.pos0; p < ctx; ++p)
+          c.tokens.push_back(context_token(*r, p));
+      } else {
+        c.tokens.push_back(prev[i]);
+      }
+      ds.chunks.push_back(std::move(c));
+    }
+    const Tensor dl = draft_->forward_step(ds);
+    for (size_t i = 0; i < decodes.size(); ++i) {
+      // Greedy draft: same deterministic argmax as the engine's sampler.
+      prev[i] = sample(dl.row(static_cast<int64_t>(i)), vocab);
+      proposals[i].push_back(prev[i]);
+    }
+  }
+  return proposals;
+}
+
+void ServingEngine::run_speculative_step(const std::vector<Request*>& decodes,
+                                         std::vector<ChunkJob>& chunks) {
+  const int k = cfg_.speculative.lookahead_k;
+  const int64_t vocab = model_->config().vocab;
+
+  // 1. Draft proposals. The draft is decode work: its wall time joins the
+  // decode split so speculative decode tok/s pays for the draft honestly.
+  std::vector<std::vector<int>> proposals;
+  if (!decodes.empty()) {
+    const auto td = std::chrono::steady_clock::now();
+    proposals = propose_draft_tokens(decodes);
+    stats_.decode_seconds += seconds_since(td);
+  }
+
+  // 2. One batched target forward: every request's verify span (pending
+  // token + k draft candidates, logits at all k+1 positions) stacked with
+  // every prefill chunk (logits only where a sample will happen).
+  BatchedStep bstep;
+  bstep.chunks.reserve(decodes.size() + chunks.size());
+  int64_t prefill_rows = 0;
+  for (size_t i = 0; i < decodes.size(); ++i) {
+    Request* r = decodes[i];
+    StepSeqChunk c;
+    c.seq = r->seq_handle;
+    c.pos0 = static_cast<int>(model_->seq_pos(r->seq_handle));
+    c.tokens.reserve(static_cast<size_t>(k) + 1);
+    c.tokens.push_back(r->generated.back());
+    c.tokens.insert(c.tokens.end(), proposals[i].begin(), proposals[i].end());
+    c.logit_rows = k + 1;
+    bstep.chunks.push_back(std::move(c));
+  }
+  // Map each chunk to its row in the logits tensor: verify span i owns rows
+  // [i*(k+1), (i+1)*(k+1)); completing prefill chunks follow, one row each.
+  std::vector<int64_t> chunk_logit_row;
+  lower_prefill_chunks(bstep, chunks,
+                       static_cast<int64_t>(decodes.size()) * (k + 1),
+                       chunk_logit_row);
+  for (const ChunkJob& c : chunks)
+    prefill_rows += static_cast<int64_t>(c.tokens.size());
+  if (bstep.chunks.empty()) return;
+
+  const int64_t verify_rows = static_cast<int64_t>(decodes.size()) * (k + 1);
+  const auto tf = std::chrono::steady_clock::now();
+  const Tensor step_logits = model_->forward_step(bstep);
+  const double dt = seconds_since(tf);
+  stats_.decode_seconds +=
+      dt * double(verify_rows) / double(verify_rows + prefill_rows);
+  stats_.prefill_seconds +=
+      dt * double(prefill_rows) / double(verify_rows + prefill_rows);
+  if (!decodes.empty()) ++stats_.speculative_steps;
+  bind_chunk_logits(chunks, chunk_logit_row, step_logits);
+
+  std::unordered_map<const Request*, size_t> verify_index;
+  for (size_t i = 0; i < decodes.size(); ++i) verify_index.emplace(decodes[i], i);
+  std::unordered_map<const Request*, ChunkJob*> chunk_out;
+  for (ChunkJob& c : chunks) chunk_out.emplace(c.req, &c);
+
+  // 3. Acceptance, emission, and rollback — serial, in admission order,
+  // like every sampling loop in this engine.
+  for (Request* r : running_) {
+    if (auto it = chunk_out.find(r); it != chunk_out.end()) {
+      handle_prefill_result(*r, *it->second);
+    } else if (auto vit = verify_index.find(r); vit != verify_index.end()) {
+      const int64_t base = static_cast<int64_t>(vit->second) * (k + 1);
+      const std::vector<int>& prop = proposals[vit->second];
+      // Longest prefix of draft tokens matching the target's own greedy
+      // argmax. Row j scored position pos0+j, i.e. the logits the baseline
+      // engine would have decoded after consuming prop[0..j-1].
+      int accepted = 0;
+      while (accepted < k &&
+             sample(step_logits.row(base + accepted), vocab) ==
+                 prop[static_cast<size_t>(accepted)]) {
+        ++accepted;
+      }
+      r->draft_proposed += k;
+      r->draft_accepted += accepted;
+      stats_.proposed_tokens += k;
+      stats_.accepted_tokens += accepted;
+      ++stats_.verify_forwards;
+      const int64_t ctx_before = r->context_len();
+      // Emit the accepted prefix plus the target's correction/bonus token.
+      // Emission may hit max_new_tokens mid-prefix; finish() then frees both
+      // sequences and the rollback below is skipped.
+      for (int j = 0; j < accepted && !r->done(); ++j)
+        deliver(*r, prop[static_cast<size_t>(j)]);
+      if (!r->done())
+        deliver(*r, sample(step_logits.row(base + accepted), vocab));
+      if (!r->done()) {
+        // Truncate the rejected tail on both models. The target rolls back
+        // to context_len - 1 — exactly the baseline invariant (the newest
+        // emitted token is appended by the NEXT verify span). The draft
+        // rolls back to its provably-context-matching prefix; depth-0 of the
+        // next proposal replays whatever it is still missing.
+        model_->truncate_sequence(r->seq_handle, r->context_len() - 1);
+        const int64_t draft_len = draft_->seq_pos(r->draft_seq_handle);
+        draft_->truncate_sequence(
+            r->draft_seq_handle, std::min(draft_len, ctx_before + accepted));
+      }
+    }
+  }
 }
 
 bool ServingEngine::step() {
@@ -135,127 +356,123 @@ bool ServingEngine::step() {
   for (Request* r : plan.admitted) {
     r->state = RequestState::kPrefilling;
     r->seq_handle = model_->begin_sequence();
+    if (speculative()) r->draft_seq_handle = draft_->begin_sequence();
     running_.push_back(r);
   }
 
   // Materialize each prefill share's token slice (prompt, then generated
   // tokens for a request resuming after preemption).
-  struct ChunkJob {
-    Request* req = nullptr;
-    std::vector<int> tokens;
-    Tensor logits;             // per-request path: owned storage
-    const float* out = nullptr;  // logits of the chunk's last position
-  };
   std::vector<ChunkJob> chunks(plan.prefills.size());
   int64_t prefill_rows = 0;
   for (size_t i = 0; i < plan.prefills.size(); ++i) {
     Request* r = plan.prefills[i].req;
     chunks[i].req = r;
     chunks[i].tokens.reserve(static_cast<size_t>(plan.prefills[i].tokens));
-    const int64_t prompt_len = static_cast<int64_t>(r->prompt.size());
     for (int64_t p = r->prefill_pos;
-         p < r->prefill_pos + plan.prefills[i].tokens; ++p) {
-      chunks[i].tokens.push_back(
-          p < prompt_len ? r->prompt[static_cast<size_t>(p)]
-                         : r->generated[static_cast<size_t>(p - prompt_len)]);
-    }
+         p < r->prefill_pos + plan.prefills[i].tokens; ++p)
+      chunks[i].tokens.push_back(context_token(*r, p));
+    chunks[i].completes_prefill =
+        r->prefill_pos + plan.prefills[i].tokens >= r->context_len();
     prefill_rows += static_cast<int64_t>(chunks[i].tokens.size());
   }
-  const int64_t decode_rows = static_cast<int64_t>(plan.decodes.size());
+  const int64_t decode_rows =
+      static_cast<int64_t>(plan.decodes.size()) *
+      (speculative() ? cfg_.speculative.lookahead_k + 1 : 1);
   const int64_t step_rows = decode_rows + prefill_rows;
 
-  std::unordered_map<const Request*, const float*> decode_out;
-  std::unordered_map<const Request*, ChunkJob*> chunk_out;
-  // Logits storage must outlive the sampling loop below: the batched path
-  // points rows into step_logits, the per-request path owns decode_logits
-  // and the ChunkJobs' logits tensors.
-  std::vector<Tensor> decode_logits;
-  Tensor step_logits;
+  if (speculative()) {
+    run_speculative_step(plan.decodes, chunks);
+  } else {
+    std::unordered_map<const Request*, const float*> decode_out;
+    std::unordered_map<const Request*, ChunkJob*> chunk_out;
+    // Logits storage must outlive the sampling loop below: the batched path
+    // points rows into step_logits, the per-request path owns decode_logits
+    // and the ChunkJobs' logits tensors.
+    std::vector<Tensor> decode_logits;
+    Tensor step_logits;
 
-  if (cfg_.batched_step) {
-    // Lower the StepPlan to one BatchedStep — decode rows first, then the
-    // prefill chunks — and execute it as a single stacked forward: one GEMM
-    // call per projection per layer covers every row of the step.
-    BatchedStep bstep;
-    bstep.chunks.reserve(plan.decodes.size() + chunks.size());
-    for (Request* r : plan.decodes)
-      bstep.chunks.push_back(
-          {r->seq_handle,
-           {r->generated.back()},
-           static_cast<int>(model_->seq_pos(r->seq_handle))});
-    for (ChunkJob& c : chunks)
-      bstep.chunks.push_back({c.req->seq_handle, c.tokens,
-                              static_cast<int>(c.req->prefill_pos)});
-    if (!bstep.chunks.empty()) {
-      const auto tf = std::chrono::steady_clock::now();
-      step_logits = model_->forward_step(bstep);
-      // One forward covers both work types; apportion its wall time by row
-      // count so the prefill/decode throughput split stays meaningful.
-      const double dt = seconds_since(tf);
-      stats_.decode_seconds += dt * double(decode_rows) / double(step_rows);
-      stats_.prefill_seconds += dt * double(prefill_rows) / double(step_rows);
+    if (cfg_.batched_step) {
+      // Lower the StepPlan to one BatchedStep — decode rows first, then the
+      // prefill chunks — and execute it as a single stacked forward: one GEMM
+      // call per projection per layer covers every row of the step.
+      // Per-row logit selection: decode rows and completing prefill chunks
+      // sample, mid-prompt chunks skip the LM head entirely.
+      BatchedStep bstep;
+      bstep.chunks.reserve(plan.decodes.size() + chunks.size());
+      for (Request* r : plan.decodes)
+        bstep.chunks.push_back(
+            {r->seq_handle,
+             {r->generated.back()},
+             static_cast<int>(model_->seq_pos(r->seq_handle)),
+             /*logit_rows=*/1});
+      std::vector<int64_t> chunk_logit_row;
+      lower_prefill_chunks(bstep, chunks,
+                           static_cast<int64_t>(plan.decodes.size()),
+                           chunk_logit_row);
+      if (!bstep.chunks.empty()) {
+        const auto tf = std::chrono::steady_clock::now();
+        step_logits = model_->forward_step(bstep);
+        // One forward covers both work types; apportion its wall time by row
+        // count so the prefill/decode throughput split stays meaningful.
+        const double dt = seconds_since(tf);
+        stats_.decode_seconds += dt * double(decode_rows) / double(step_rows);
+        stats_.prefill_seconds +=
+            dt * double(prefill_rows) / double(step_rows);
+        for (size_t i = 0; i < plan.decodes.size(); ++i)
+          decode_out.emplace(plan.decodes[i],
+                             step_logits.row(static_cast<int64_t>(i)));
+        bind_chunk_logits(chunks, chunk_logit_row, step_logits);
+        for (ChunkJob& c : chunks) chunk_out.emplace(c.req, &c);
+      }
+    } else {
+      // Per-request reference path: forward passes fan out across requests;
+      // each touches only its own sequence (the KV pool bookkeeping is
+      // internally locked). Decode and prefill run as separate fan-outs so
+      // their wall time is split in stats.
+      decode_logits.resize(plan.decodes.size());
+      const auto td = std::chrono::steady_clock::now();
+      parallel_for(0, static_cast<int64_t>(plan.decodes.size()), 1,
+                   [&](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) {
+                       Request* r = plan.decodes[static_cast<size_t>(i)];
+                       decode_logits[static_cast<size_t>(i)] =
+                           model_->decode_step(r->seq_handle,
+                                               r->generated.back());
+                     }
+                   });
+      if (!plan.decodes.empty()) stats_.decode_seconds += seconds_since(td);
+
+      const auto tp = std::chrono::steady_clock::now();
+      parallel_for(0, static_cast<int64_t>(chunks.size()), 1,
+                   [&](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) {
+                       ChunkJob& c = chunks[static_cast<size_t>(i)];
+                       c.logits = model_->prefill_chunk(
+                           c.req->seq_handle, c.tokens,
+                           static_cast<int>(c.req->prefill_pos));
+                     }
+                   });
+      if (!chunks.empty()) stats_.prefill_seconds += seconds_since(tp);
+
       for (size_t i = 0; i < plan.decodes.size(); ++i)
-        decode_out.emplace(plan.decodes[i],
-                           step_logits.row(static_cast<int64_t>(i)));
-      for (size_t i = 0; i < chunks.size(); ++i) {
-        chunks[i].out = step_logits.row(
-            static_cast<int64_t>(plan.decodes.size() + i));
-        chunk_out.emplace(chunks[i].req, &chunks[i]);
+        decode_out.emplace(plan.decodes[i], decode_logits[i].data());
+      for (ChunkJob& c : chunks) {
+        c.out = c.logits.data();
+        chunk_out.emplace(c.req, &c);
       }
     }
-  } else {
-    // Per-request reference path: forward passes fan out across requests;
-    // each touches only its own sequence (the KV pool bookkeeping is
-    // internally locked). Decode and prefill run as separate fan-outs so
-    // their wall time is split in stats.
-    decode_logits.resize(plan.decodes.size());
-    const auto td = std::chrono::steady_clock::now();
-    parallel_for(0, static_cast<int64_t>(plan.decodes.size()), 1,
-                 [&](int64_t lo, int64_t hi) {
-                   for (int64_t i = lo; i < hi; ++i) {
-                     Request* r = plan.decodes[static_cast<size_t>(i)];
-                     decode_logits[static_cast<size_t>(i)] =
-                         model_->decode_step(r->seq_handle,
-                                             r->generated.back());
-                   }
-                 });
-    if (!plan.decodes.empty()) stats_.decode_seconds += seconds_since(td);
 
-    const auto tp = std::chrono::steady_clock::now();
-    parallel_for(0, static_cast<int64_t>(chunks.size()), 1,
-                 [&](int64_t lo, int64_t hi) {
-                   for (int64_t i = lo; i < hi; ++i) {
-                     ChunkJob& c = chunks[static_cast<size_t>(i)];
-                     c.logits = model_->prefill_chunk(
-                         c.req->seq_handle, c.tokens,
-                         static_cast<int>(c.req->prefill_pos));
-                   }
-                 });
-    if (!chunks.empty()) stats_.prefill_seconds += seconds_since(tp);
-
-    for (size_t i = 0; i < plan.decodes.size(); ++i)
-      decode_out.emplace(plan.decodes[i], decode_logits[i].data());
-    for (ChunkJob& c : chunks) {
-      c.out = c.logits.data();
-      chunk_out.emplace(c.req, &c);
-    }
-  }
-
-  // Sampling, callbacks, and stats stay serial, in admission (running_)
-  // order, so the generated streams — and the RNG consumption order under
-  // temperature > 0 — are identical across execution modes and thread
-  // counts.
-  const int64_t vocab = model_->config().vocab;
-  for (Request* r : running_) {
-    if (auto it = chunk_out.find(r); it != chunk_out.end()) {
-      ChunkJob& c = *it->second;
-      r->prefill_pos += static_cast<int64_t>(c.tokens.size());
-      stats_.prefill_tokens += static_cast<int64_t>(c.tokens.size());
-      if (r->prefill_pos < r->context_len()) continue;  // more chunks to go
-      r->state = RequestState::kDecoding;
-      deliver(*r, sample(c.out, vocab));
-    } else if (auto dit = decode_out.find(r); dit != decode_out.end()) {
-      deliver(*r, sample(dit->second, vocab));
+    // Sampling, callbacks, and stats stay serial, in admission (running_)
+    // order, so the generated streams — and the RNG consumption order under
+    // temperature > 0 — are identical across execution modes and thread
+    // counts.
+    const int64_t vocab = model_->config().vocab;
+    for (Request* r : running_) {
+      if (auto it = chunk_out.find(r); it != chunk_out.end()) {
+        handle_prefill_result(*r, *it->second);
+      } else if (auto dit = decode_out.find(r); dit != decode_out.end()) {
+        deliver(*r, sample(dit->second, vocab));
+      }
     }
   }
 
@@ -285,6 +502,16 @@ void ServingEngine::refresh_derived_stats() {
   stats_.mean_tokens_per_step =
       stats_.steps > 0 ? double(stats_.step_tokens) / double(stats_.steps)
                        : 0;
+  stats_.acceptance_rate =
+      stats_.proposed_tokens > 0
+          ? double(stats_.accepted_tokens) / double(stats_.proposed_tokens)
+          : 0;
+  // Only meaningful for a speculative engine (0 otherwise): the baseline
+  // spends exactly 1.0 target forwards per decode token by construction.
+  stats_.target_forwards_per_decode_token =
+      stats_.decode_tokens > 0
+          ? double(stats_.verify_forwards) / double(stats_.decode_tokens)
+          : 0;
   if (finished_requests_ > 0) {
     stats_.mean_first_token_steps =
         first_token_steps_sum_ / double(finished_requests_);

@@ -30,6 +30,22 @@
 
 namespace qserve {
 
+// Draft/verify speculative decoding, active when the engine is constructed
+// with a draft model. Each decode step proposes `lookahead_k` tokens with the
+// draft (a small quantized model with its own KV cache), scores all k+1
+// positions with ONE batched target verify forward, accepts the longest
+// prefix of draft tokens that match the target's greedy argmax, and
+// truncates the rejected tail from both caches. Greedy acceptance makes the
+// output streams bitwise identical to the non-speculative engine — every
+// emitted token is the target's own argmax over logits computed against
+// exactly the KV state the baseline would hold. Requires temperature == 0.
+struct SpeculativeConfig {
+  // Draft tokens proposed per verify step; the target scores k+1 positions
+  // per request per step and the scheduler reserves k+1 tokens' pages per
+  // decoding request.
+  int lookahead_k = 4;
+};
+
 struct EngineConfig {
   SchedulerConfig scheduler;
   // Sampling: 0 = greedy argmax.
@@ -37,8 +53,11 @@ struct EngineConfig {
   uint64_t sample_seed = 7;
   // Execute each step as one stacked forward_step (batched GEMMs across all
   // requests' rows). false = per-request forward calls; same token streams,
-  // kept for A/B benchmarking and as the identity-test reference.
+  // kept for A/B benchmarking and as the identity-test reference. A
+  // speculative engine always uses the batched executor (the verify span IS
+  // a batched multi-row chunk); the flag is ignored there.
   bool batched_step = true;
+  SpeculativeConfig speculative;
 };
 
 struct EngineStats {
@@ -73,6 +92,23 @@ struct EngineStats {
   // Per-request latency in engine steps.
   double mean_first_token_steps = 0;
   double mean_completion_steps = 0;
+  // --- speculative decoding ---------------------------------------------
+  // Engine steps that ran a target verify forward (>= 1 decoding request).
+  // Their draft + verify wall time lands in decode_seconds and every token
+  // they emit counts once in decode_tokens, so a step that lands 1 + a
+  // accepted tokens raises decode tok/s honestly instead of inflating it —
+  // the same discipline that keeps first tokens out of the decode split.
+  int64_t speculative_steps = 0;
+  // Per-request verify executions: how many times a request's k+1-token span
+  // went through a target forward. The baseline spends exactly one target
+  // forward per decode token; speculation spends verify_forwards for
+  // (accepted + verify_forwards) tokens, so the ratio below dropping under
+  // 1.0 is the "fewer target forwards than tokens" win.
+  int64_t verify_forwards = 0;
+  int64_t proposed_tokens = 0;  // lookahead_k per request per verify step
+  int64_t accepted_tokens = 0;  // accepted draft prefix lengths, summed
+  double acceptance_rate = 0;   // accepted_tokens / proposed_tokens
+  double target_forwards_per_decode_token = 0;
 };
 
 class ServingEngine {
@@ -80,6 +116,19 @@ class ServingEngine {
   // Validates the configuration loudly (QS_CHECK): temperature >= 0 and a
   // sane scheduler config (the Scheduler constructor checks its own fields).
   ServingEngine(QuantizedModel* model, const EngineConfig& cfg);
+
+  // Speculative engine: `draft` is a distinct (typically much smaller)
+  // quantized model sharing the target's vocabulary, with its own KV cache
+  // and pool. Decode steps run draft-k / verify / rollback (see
+  // SpeculativeConfig); prefill is unchanged and runs only on the target.
+  // Requires cfg.temperature == 0 and cfg.speculative.lookahead_k >= 1; the
+  // scheduler's decode reservation is widened to k+1 tokens per step. Size
+  // the draft's kv_max_pages like the target's — the draft mirrors every
+  // decoding request's context (its pages free on preemption and finish just
+  // like the target's), but its pool is not scheduler-managed, so exhaustion
+  // there fails loudly instead of triggering eviction.
+  ServingEngine(QuantizedModel* model, QuantizedModel* draft,
+                const EngineConfig& cfg);
 
   // Submit a request; returns its id. Requests are owned by the engine.
   int submit(std::vector<int> prompt, int max_new_tokens);
@@ -111,18 +160,51 @@ class ServingEngine {
   const EngineStats& stats() const { return stats_; }
 
  private:
+  struct ChunkJob;  // one prefill share's materialized tokens (engine.cpp)
+
   int sample(const float* logits, int64_t vocab);
+  // Shared between the speculative and non-speculative batched paths, so
+  // the prefill bookkeeping cannot drift between them:
+  // Append the step's prefill chunks to `bstep` (a completing chunk asks
+  // for one logit row, a mid-prompt chunk for none) and record each chunk's
+  // logits-row index (-1 for mid-prompt), numbering from next_logit_row.
+  void lower_prefill_chunks(BatchedStep& bstep,
+                            const std::vector<ChunkJob>& chunks,
+                            int64_t next_logit_row,
+                            std::vector<int64_t>& chunk_logit_row);
+  // Point every completing chunk's `out` at its row of the step's logits.
+  static void bind_chunk_logits(std::vector<ChunkJob>& chunks,
+                                const std::vector<int64_t>& chunk_logit_row,
+                                const Tensor& step_logits);
+  // The prefill half of the sampling loop: advance chunk bookkeeping and,
+  // when the chunk completes the request's prefill, transition it to
+  // decoding and sample its first token from c.out.
+  void handle_prefill_result(Request& r, ChunkJob& c);
   // Record a sampled token: append, fire on_token, finish if complete.
   void deliver(Request& r, int token);
   void finish(Request& r);
-  // Preempt: free the KV sequence and reset prefill progress; the request is
-  // already back in the scheduler queue.
+  // Preempt: free the KV sequence(s) and reset prefill progress; the request
+  // is already back in the scheduler queue.
   void evict(Request& r);
+  bool speculative() const { return draft_ != nullptr; }
+  // Draft-k proposals for every decoding request of the plan, one batched
+  // draft forward per lookahead depth (depth 0 also catches the draft up on
+  // context it has not seen). Returns proposals[i] for plan.decodes[i].
+  std::vector<std::vector<int>> propose_draft_tokens(
+      const std::vector<Request*>& decodes);
+  // Speculative execution of one planned step: draft proposals, one batched
+  // target verify forward (verify spans + the step's prefill chunks),
+  // greedy longest-prefix acceptance in admission order, KV rollback on both
+  // models. Fills the same per-request sampling bookkeeping as the normal
+  // paths.
+  void run_speculative_step(const std::vector<Request*>& decodes,
+                            std::vector<ChunkJob>& chunks);
   // Recompute the derived stats (throughputs, per-step/request means) from
   // the running counters; called at the end of every step().
   void refresh_derived_stats();
 
   QuantizedModel* model_;
+  QuantizedModel* draft_ = nullptr;  // speculative decoding draft model
   EngineConfig cfg_;
   Scheduler scheduler_;
   std::vector<std::unique_ptr<Request>> requests_;

@@ -38,6 +38,17 @@ struct Request {
   std::vector<int> generated;
   int seq_handle = -1;  // QuantizedModel sequence id while running
 
+  // Speculative decoding (engine has a draft model): the draft's own KV
+  // sequence for this request, holding a prefix of prompt + generated. The
+  // draft catches up lazily (its first proposal forward prefills whatever
+  // context it has not seen), so admission and preemption cost nothing
+  // extra on the draft side beyond freeing the sequence.
+  int draft_seq_handle = -1;
+  // Per-request speculation outcome (sums of the per-step k and accepted-
+  // prefix lengths) for stats and tests.
+  int64_t draft_proposed = 0;
+  int64_t draft_accepted = 0;
+
   // Chunked prefill progress: context tokens (prompt + generated, for a
   // resumed request) already appended to the KV cache. Reset on preemption.
   int64_t prefill_pos = 0;

@@ -15,6 +15,8 @@ Scheduler::Scheduler(const SchedulerConfig& cfg, int page_size, int n_layers)
   QS_CHECK_MSG(cfg_.max_batch > 0, "SchedulerConfig.max_batch must be >= 1");
   QS_CHECK_MSG(cfg_.prefill_chunk > 0,
                "SchedulerConfig.prefill_chunk must be >= 1");
+  QS_CHECK_MSG(cfg_.decode_tokens_per_step > 0,
+               "SchedulerConfig.decode_tokens_per_step must be >= 1");
   QS_CHECK_MSG(page_size_ > 0, "KV page_size must be >= 1");
   QS_CHECK_MSG(n_layers_ > 0, "model must have >= 1 layer");
 }
@@ -49,18 +51,20 @@ StepPlan Scheduler::plan(const std::vector<Request*>& running,
   std::vector<Request*> live = running;
 
   // 1. Decode-priority page reservation. Evict the youngest running request
-  // (prefilling or decoding) until every decode's next token fits.
+  // (prefilling or decoding) until every decode's step fits — a step appends
+  // decode_tokens_per_step tokens at peak (1 classic, k+1 for a speculative
+  // verify forward before its rollback).
   const auto decode_need = [&live, this]() {
     int64_t need = 0;
     for (Request* r : live)
       if (r->state == RequestState::kDecoding)
-        need += grow_pages(kv_len(*r), 1);
+        need += grow_pages(kv_len(*r), cfg_.decode_tokens_per_step);
     return need;
   };
   int64_t need = decode_need();
   while (need > free) {
     QS_CHECK_MSG(live.size() > 1,
-                 "KV pool cannot hold a single request's next token");
+                 "KV pool cannot hold a single request's next decode step");
     Request* victim = live.back();
     live.pop_back();
     free += held_pages(*victim);

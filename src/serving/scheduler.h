@@ -33,6 +33,13 @@ struct SchedulerConfig {
   int max_batch = 8;
   // Maximum prompt tokens prefilled per engine step, shared across requests.
   int prefill_chunk = 128;
+  // KV tokens one decode step may append per decoding request before its
+  // rollback (if any). 1 for classic decode; a speculative engine sets this
+  // to lookahead_k + 1, because a verify forward appends the pending token
+  // plus k draft candidates before truncating the rejected tail. plan()
+  // reserves pages for the full peak, so admission and preemption stay sound
+  // even though the post-rollback footprint is usually smaller.
+  int decode_tokens_per_step = 1;
 };
 
 // One request's slice of this step's prefill chunk budget.

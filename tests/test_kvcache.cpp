@@ -381,5 +381,191 @@ TEST(PagedKvCache, AppendBatchConcurrentDistinctSequences) {
   }
 }
 
+// --- truncate_sequence (speculative-decoding rollback) -----------------------
+
+TEST(PagedKvCache, TruncateFreesPagesAndComposesWithAppend) {
+  // page_size = 4: 13 tokens span 4 pages. Truncating to 9 keeps 3 pages,
+  // to 8 keeps 2 (exact boundary), and re-appending after a rollback stores
+  // byte-identical state to a cache that never held the rejected tail.
+  PagedKvCache cache(small_cfg(KvPrecision::kInt4));
+  PagedKvCache replay(small_cfg(KvPrecision::kInt4));
+  const int seq = cache.alloc_sequence();
+  const int rep = replay.alloc_sequence();
+  Rng rng(21);
+  const int span = 16;  // n_kv_heads * head_dim
+  std::vector<std::vector<float>> ks, vs;
+  for (int t = 0; t < 13; ++t) {
+    ks.push_back(random_vec(rng, span, t % 4 ? 0.f : 6.f));
+    vs.push_back(random_vec(rng, span));
+    cache.append(seq, ks.back().data(), vs.back().data());
+  }
+  EXPECT_EQ(cache.seq_len(seq), 13);
+  EXPECT_EQ(cache.pages_in_use(), 4);
+
+  cache.truncate_sequence(seq, 9);
+  EXPECT_EQ(cache.seq_len(seq), 9);
+  EXPECT_EQ(cache.pages_in_use(), 3);
+  cache.truncate_sequence(seq, 8);
+  EXPECT_EQ(cache.seq_len(seq), 8);
+  EXPECT_EQ(cache.pages_in_use(), 2);
+  cache.truncate_sequence(seq, 8);  // no-op at the same length
+  EXPECT_EQ(cache.pages_in_use(), 2);
+
+  // Roll forward again with DIFFERENT tokens (the accepted continuation).
+  std::vector<float> k2, v2;
+  for (int t = 0; t < 5; ++t) {
+    const auto kt = random_vec(rng, span);
+    const auto vt = random_vec(rng, span);
+    k2.insert(k2.end(), kt.begin(), kt.end());
+    v2.insert(v2.end(), vt.begin(), vt.end());
+  }
+  cache.append_batch(seq, k2.data(), v2.data(), 5);
+  EXPECT_EQ(cache.seq_len(seq), 13);
+
+  for (int t = 0; t < 8; ++t)
+    replay.append(rep, ks[size_t(t)].data(), vs[size_t(t)].data());
+  replay.append_batch(rep, k2.data(), v2.data(), 5);
+  Tensor ka, va, kb, vb;
+  cache.gather(seq, ka, va);
+  replay.gather(rep, kb, vb);
+  EXPECT_EQ(max_abs_diff(ka, kb), 0.0f);
+  EXPECT_EQ(max_abs_diff(va, vb), 0.0f);
+
+  cache.free_sequence(seq);
+  EXPECT_EQ(cache.pages_in_use(), 0);
+  EXPECT_THROW(cache.truncate_sequence(seq, 0), CheckError);  // not live
+}
+
+TEST(PagedKvCache, TruncateValidatesLength) {
+  PagedKvCache cache(small_cfg(KvPrecision::kInt8));
+  const int seq = cache.alloc_sequence();
+  Rng rng(3);
+  const auto k = random_vec(rng, 16);
+  cache.append(seq, k.data(), k.data());
+  EXPECT_THROW(cache.truncate_sequence(seq, 2), CheckError);   // > length
+  EXPECT_THROW(cache.truncate_sequence(seq, -1), CheckError);  // negative
+  cache.truncate_sequence(seq, 0);  // to empty is legal
+  EXPECT_EQ(cache.seq_len(seq), 0);
+  EXPECT_EQ(cache.pages_in_use(), 0);
+}
+
+TEST(PagedKvCache, TruncateFuzzInterleavedInvariants) {
+  // Randomized interleaving of append_batch / truncate_sequence /
+  // free+realloc across 4 sequences, with a float mirror of every live
+  // sequence. After each op: seq_len, used_pages (sum of per-sequence page
+  // needs), and byte accounting must hold; periodically a live sequence's
+  // gather must equal a fresh cache replaying the mirror — rollback plus
+  // re-append must be indistinguishable from never having appended the tail.
+  for (const KvPrecision p : {KvPrecision::kInt4, KvPrecision::kInt8}) {
+    PagedKvCache cache(small_cfg(p, /*max_pages=*/256));
+    Rng rng(static_cast<uint64_t>(77 + static_cast<int>(p)));
+    const int span = 16;
+    const int64_t page = cache.config().page_size;
+    struct Mirror {
+      int id = -1;
+      std::vector<float> k, v;  // span floats per token
+      int64_t len() const { return static_cast<int64_t>(k.size()) / 16; }
+    };
+    std::vector<Mirror> seqs(4);
+    for (auto& s : seqs) s.id = cache.alloc_sequence();
+
+    const auto check_accounting = [&]() {
+      int64_t pages = 0;
+      for (const auto& s : seqs) {
+        ASSERT_EQ(cache.seq_len(s.id), s.len());
+        pages += (s.len() + page - 1) / page;
+      }
+      ASSERT_EQ(cache.pages_in_use(), pages);
+      ASSERT_EQ(cache.bytes_in_use(),
+                pages * kv_page_bytes(cache.config()));
+    };
+
+    for (int op = 0; op < 240; ++op) {
+      Mirror& s = seqs[static_cast<size_t>(rng.uniform_int(0, 3))];
+      const int action = rng.uniform_int(0, 9);
+      if (action <= 4) {  // append_batch of 1..6 tokens
+        const int n = rng.uniform_int(1, 6);
+        std::vector<float> k, v;
+        for (int t = 0; t < n; ++t) {
+          const auto kt = random_vec(rng, span, t % 3 ? 0.f : 7.f);
+          const auto vt = random_vec(rng, span);
+          k.insert(k.end(), kt.begin(), kt.end());
+          v.insert(v.end(), vt.begin(), vt.end());
+        }
+        cache.append_batch(s.id, k.data(), v.data(), n);
+        s.k.insert(s.k.end(), k.begin(), k.end());
+        s.v.insert(s.v.end(), v.begin(), v.end());
+      } else if (action <= 8) {  // truncate to a random shorter length
+        const int64_t new_len =
+            rng.uniform_int(0, static_cast<int>(s.len()));
+        cache.truncate_sequence(s.id, new_len);
+        s.k.resize(static_cast<size_t>(new_len * span));
+        s.v.resize(static_cast<size_t>(new_len * span));
+      } else {  // free and immediately re-alloc (page recycling churn)
+        cache.free_sequence(s.id);
+        s.id = cache.alloc_sequence();
+        s.k.clear();
+        s.v.clear();
+      }
+      check_accounting();
+
+      if (op % 16 == 15) {
+        const Mirror& probe = seqs[static_cast<size_t>(rng.uniform_int(0, 3))];
+        if (probe.len() == 0) continue;
+        PagedKvCache fresh(small_cfg(p, /*max_pages=*/256));
+        const int f = fresh.alloc_sequence();
+        fresh.append_batch(f, probe.k.data(), probe.v.data(), probe.len());
+        Tensor ka, va, kb, vb;
+        cache.gather(probe.id, ka, va);
+        fresh.gather(f, kb, vb);
+        ASSERT_EQ(max_abs_diff(ka, kb), 0.0f);
+        ASSERT_EQ(max_abs_diff(va, vb), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(PagedKvCache, StaleSeqViewDetectedAfterTruncate) {
+  // Rollback recycles the freed tail pages and rewrites the truncated slots
+  // of the kept boundary page, so a SeqView taken before truncate_sequence
+  // must trip the generation QS_DCHECK exactly like preemption's
+  // free_sequence — on the freed pages AND on the partially-truncated one.
+  PagedKvCache cache(small_cfg(KvPrecision::kInt4));
+  Rng rng(31);
+  const int seq = cache.alloc_sequence();
+  std::vector<float> kv;
+  for (int t = 0; t < 7; ++t) {  // 2 pages: 4 + 3 tokens
+    const auto x = random_vec(rng, 16);
+    kv.insert(kv.end(), x.begin(), x.end());
+  }
+  cache.append_batch(seq, kv.data(), kv.data(), 7);
+  const PagedKvCache::SeqView before = cache.view(seq);
+  std::vector<float> out(8);
+  before.read_k(6, 0, out.data());  // live view reads fine
+
+  cache.truncate_sequence(seq, 2);  // frees page 1, cuts into page 0
+#ifndef NDEBUG
+  EXPECT_THROW(before.read_k(5, 0, out.data()), CheckError);  // freed page
+  EXPECT_THROW(before.read_k(1, 0, out.data()), CheckError);  // cut page
+  // A view taken AFTER the rollback snapshots the bumped generation and
+  // reads the surviving prefix fine.
+  const PagedKvCache::SeqView after = cache.view(seq);
+  after.read_k(1, 0, out.data());
+  EXPECT_EQ(after.length(), 2);
+
+  // Boundary-exact truncation leaves kept pages untouched: the old view
+  // still reads them, only the freed tail trips.
+  PagedKvCache c2(small_cfg(KvPrecision::kInt8));
+  const int s2 = c2.alloc_sequence();
+  c2.append_batch(s2, kv.data(), kv.data(), 7);
+  const PagedKvCache::SeqView v2 = c2.view(s2);
+  c2.truncate_sequence(s2, 4);  // exact page boundary
+  v2.read_k(3, 0, out.data());                               // kept page: ok
+  EXPECT_THROW(v2.read_k(4, 0, out.data()), CheckError);     // freed page
+#else
+  GTEST_SKIP() << "generation checks are QS_DCHECK (compiled out in NDEBUG)";
+#endif
+}
+
 }  // namespace
 }  // namespace qserve

@@ -3,52 +3,84 @@
 #include <cmath>
 #include <vector>
 
+#include "common/check.h"
 #include "common/half.h"
 #include "common/math_util.h"
 #include "common/parallel.h"
+#include "kernels/cpu/attention_kernel.h"
+#include "kernels/cpu/isa.h"
 
 namespace qserve {
 
+void AttentionConfig::validate(bool int4_kv) const {
+  QS_CHECK_MSG(n_heads > 0, "AttentionConfig: n_heads must be positive, got "
+                                << n_heads);
+  QS_CHECK_MSG(n_kv_heads > 0,
+               "AttentionConfig: n_kv_heads must be positive, got "
+                   << n_kv_heads);
+  QS_CHECK_MSG(head_dim > 0, "AttentionConfig: head_dim must be positive, got "
+                                 << head_dim);
+  QS_CHECK_MSG(n_heads % n_kv_heads == 0,
+               "AttentionConfig: n_heads (" << n_heads
+                                            << ") must be a multiple of "
+                                               "n_kv_heads ("
+                                            << n_kv_heads << ")");
+  QS_CHECK_MSG(!int4_kv || head_dim % 2 == 0,
+               "AttentionConfig: INT4 KV packs two codes per byte, so "
+               "head_dim must be even, got "
+                   << head_dim);
+}
+
 namespace {
+
+// Float K/V rows viewed as a single kF32 "run" for the shared attention
+// microkernels — the gather/prefill path goes through the exact same QK/SV
+// code as the fused paged path, which is what keeps the two bitwise equal
+// (tests/test_fused_attention.cpp pins this).
+cpu::KvHeadRun f32_run(const Tensor& m, int64_t kv_head, int head_dim,
+                       int64_t n_tokens) {
+  cpu::KvHeadRun run;
+  run.kind = cpu::KvRunKind::kF32;
+  run.n_tokens = n_tokens;
+  run.f32 = m.row(0) + kv_head * head_dim;
+  run.stride = m.cols();
+  return run;
+}
 
 // One head, one query vector, keys rows [0, s_visible). Scores buffer must
 // hold s_visible floats.
-void head_attention(const float* qh, const Tensor& k, const Tensor& v,
-                    int64_t kv_head, int head_dim, int64_t s_visible,
-                    bool fp16_accum, float* scores, float* out) {
+void head_attention(const cpu::AttentionKernels& ker, const float* qh,
+                    const Tensor& k, const Tensor& v, int64_t kv_head,
+                    int head_dim, int64_t s_visible, bool fp16_accum,
+                    float* scores, float* out) {
   const float scale = 1.0f / std::sqrt(float(head_dim));
-  const int64_t kv_stride = k.cols();
+  ker.qk_dot(qh, f32_run(k, kv_head, head_dim, s_visible), head_dim, scores);
   for (int64_t t = 0; t < s_visible; ++t) {
-    const float* kt = k.row(t) + kv_head * head_dim;
-    float dot = 0.0f;
-    for (int d = 0; d < head_dim; ++d) dot += qh[d] * kt[d];
     // QServe converts the QK product to FP16 (§5.3); the baseline keeps FP32.
-    scores[t] = fp16_accum ? to_half_precision(dot * scale) : dot * scale;
+    const float dot = scores[t] * scale;
+    scores[t] = fp16_accum ? to_half_precision(dot) : dot;
   }
   softmax_inplace(scores, static_cast<int>(s_visible));
   for (int d = 0; d < head_dim; ++d) out[d] = 0.0f;
-  for (int64_t t = 0; t < s_visible; ++t) {
-    const float* vt = v.row(t) + kv_head * head_dim;
-    const float p = scores[t];
-    for (int d = 0; d < head_dim; ++d) out[d] += p * vt[d];
-  }
+  ker.sv_accum(scores, f32_run(v, kv_head, head_dim, s_visible), head_dim,
+               out);
   if (fp16_accum) {
     for (int d = 0; d < head_dim; ++d) out[d] = to_half_precision(out[d]);
   }
-  (void)kv_stride;
 }
 
 }  // namespace
 
 Tensor attention_prefill(const Tensor& q, const Tensor& k, const Tensor& v,
                          const AttentionConfig& cfg) {
+  cfg.validate();
   QS_CHECK_EQ(q.cols(), int64_t(cfg.n_heads) * cfg.head_dim);
   QS_CHECK_EQ(k.cols(), int64_t(cfg.n_kv_heads) * cfg.head_dim);
   QS_CHECK(k.same_shape(v));
-  QS_CHECK_EQ(cfg.n_heads % cfg.n_kv_heads, 0);
   const int64_t n = q.rows(), s = k.rows();
   QS_CHECK_LE(n, s);
   const int group = cfg.n_heads / cfg.n_kv_heads;
+  const cpu::AttentionKernels& ker = cpu::attention_kernel_for(cpu::active_isa());
 
   Tensor out({n, q.cols()});
   // Parallel over query positions; every (position, head) pair is
@@ -62,7 +94,7 @@ Tensor attention_prefill(const Tensor& q, const Tensor& k, const Tensor& v,
       for (int h = 0; h < cfg.n_heads; ++h) {
         const float* qh = q.row(i) + int64_t(h) * cfg.head_dim;
         float* oh = out.row(i) + int64_t(h) * cfg.head_dim;
-        head_attention(qh, k, v, h / group, cfg.head_dim, visible,
+        head_attention(ker, qh, k, v, h / group, cfg.head_dim, visible,
                        cfg.fp16_accum, scores.data(), oh);
       }
     }
@@ -72,18 +104,20 @@ Tensor attention_prefill(const Tensor& q, const Tensor& k, const Tensor& v,
 
 void attention_decode_token(const float* q, const Tensor& k, const Tensor& v,
                             const AttentionConfig& cfg, float* out) {
+  cfg.validate();
   QS_CHECK_EQ(k.cols(), int64_t(cfg.n_kv_heads) * cfg.head_dim);
   QS_CHECK(k.same_shape(v));
   const int64_t s = k.rows();
   const int group = cfg.n_heads / cfg.n_kv_heads;
+  const cpu::AttentionKernels& ker = cpu::attention_kernel_for(cpu::active_isa());
   parallel_for(0, cfg.n_heads, 1, [&](int64_t h0, int64_t h1) {
     // Reused per pool thread to keep per-head heap traffic off the hot path.
     thread_local std::vector<float> scores;
     scores.resize(static_cast<size_t>(s));
     for (int64_t h = h0; h < h1; ++h) {
-      head_attention(q + h * cfg.head_dim, k, v, static_cast<int>(h) / group,
-                     cfg.head_dim, s, cfg.fp16_accum, scores.data(),
-                     out + h * cfg.head_dim);
+      head_attention(ker, q + h * cfg.head_dim, k, v,
+                     static_cast<int>(h) / group, cfg.head_dim, s,
+                     cfg.fp16_accum, scores.data(), out + h * cfg.head_dim);
     }
   });
 }

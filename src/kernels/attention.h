@@ -18,6 +18,13 @@ struct AttentionConfig {
   int n_kv_heads = 8;   // GQA when < n_heads
   int head_dim = 64;
   bool fp16_accum = false;
+
+  // Loud construction-time validation (same pattern as BatchedStep in PR 4):
+  // throws CheckError unless n_heads/n_kv_heads/head_dim are positive,
+  // n_heads is a multiple of n_kv_heads, and — when the KV cache stores
+  // nibble-packed INT4 codes — head_dim is even. Call once where the config
+  // is built; the kernels then only re-check shapes against their inputs.
+  void validate(bool int4_kv = false) const;
 };
 
 // Causal self-attention for a chunk of `n` new tokens whose keys/values have

@@ -1,0 +1,188 @@
+// AVX2 attention kernels: 16 dequantized KV elements per step held in two
+// __m256 accumulators — exactly the 16 virtual lanes of the canonical QK
+// reduction order (attention_kernel.h), so the vector code IS the reference
+// order. All float math is mul_ps/add_ps (never fmadd), matching the
+// contraction-free scalar kernel rounding for rounding.
+//
+// Compiled via function-level target attributes so the TU builds regardless
+// of -march; dispatch guarantees these run only on AVX2+F16C hosts.
+#include "kernels/cpu/attention_kernel.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+#include <immintrin.h>
+
+#include "kernels/cpu/attention_kernel_inline.h"
+
+namespace qserve::cpu {
+
+namespace {
+
+using attn_inline::run_element;
+using attn_inline::token_params;
+
+#define QS_AVX2_TARGET __attribute__((target("avx2,f16c")))
+
+// 16 dequantized elements [d, d+16) of one token: lanes 0-7 in `lo`,
+// lanes 8-15 in `hi`.
+struct Dequant16 {
+  __m256 lo, hi;
+};
+
+template <KvRunKind K>
+QS_AVX2_TARGET inline Dequant16 load16(const uint8_t* ct, const uint16_t* ht,
+                                       const float* ft, int d, __m256 vs,
+                                       __m256 vz) {
+  if constexpr (K == KvRunKind::kF32) {
+    return {_mm256_loadu_ps(ft + d), _mm256_loadu_ps(ft + d + 8)};
+  } else if constexpr (K == KvRunKind::kFp16) {
+    // Half -> float is exact, and the stored halves are never signalling
+    // NaNs (float_to_half_bits quiets them), so vcvtph2ps reproduces
+    // detail::half_bits_to_float bit for bit.
+    const __m128i h0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ht + d));
+    const __m128i h1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ht + d + 8));
+    return {_mm256_cvtph_ps(h0), _mm256_cvtph_ps(h1)};
+  } else if constexpr (K == KvRunKind::kInt8Dyn) {
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ct + d));
+    const __m256 f0 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(b));
+    const __m256 f1 =
+        _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_srli_si128(b, 8)));
+    return {_mm256_add_ps(_mm256_mul_ps(f0, vs), vz),
+            _mm256_add_ps(_mm256_mul_ps(f1, vs), vz)};
+  } else if constexpr (K == KvRunKind::kInt8Static) {
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ct + d));
+    const __m256 f0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+    const __m256 f1 =
+        _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128(b, 8)));
+    return {_mm256_mul_ps(f0, vs), _mm256_mul_ps(f1, vs)};
+  } else {  // kInt4Dyn: 8 bytes hold the 16 nibble-packed codes
+    const __m128i b = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(ct + (d >> 1)));
+    const __m128i mask = _mm_set1_epi8(0x0F);
+    const __m128i even = _mm_and_si128(b, mask);                     // low nibbles
+    const __m128i odd = _mm_and_si128(_mm_srli_epi16(b, 4), mask);   // high
+    const __m128i codes = _mm_unpacklo_epi8(even, odd);  // element order
+    const __m256 f0 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(codes));
+    const __m256 f1 =
+        _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_srli_si128(codes, 8)));
+    return {_mm256_add_ps(_mm256_mul_ps(f0, vs), vz),
+            _mm256_add_ps(_mm256_mul_ps(f1, vs), vz)};
+  }
+}
+
+template <KvRunKind K>
+QS_AVX2_TARGET void qk_dot_avx2_t(const float* q, const KvHeadRun& run,
+                                  int head_dim, float* dots) {
+  const int blocks = head_dim & ~(kQkLanes - 1);
+  for (int64_t t = 0; t < run.n_tokens; ++t) {
+    const uint8_t* ct = run.codes ? run.codes + t * run.stride : nullptr;
+    const uint16_t* ht =
+        run.half_bits ? run.half_bits + t * run.stride : nullptr;
+    const float* ft = run.f32 ? run.f32 + t * run.stride : nullptr;
+    const auto p = token_params<K>(run, t);
+    const __m256 vs = _mm256_set1_ps(p.scale);
+    const __m256 vz = _mm256_set1_ps(p.zero);
+    __m256 acc_lo = _mm256_setzero_ps();
+    __m256 acc_hi = _mm256_setzero_ps();
+    for (int d = 0; d < blocks; d += kQkLanes) {
+      const Dequant16 kv = load16<K>(ct, ht, ft, d, vs, vz);
+      acc_lo =
+          _mm256_add_ps(acc_lo, _mm256_mul_ps(_mm256_loadu_ps(q + d), kv.lo));
+      acc_hi = _mm256_add_ps(acc_hi,
+                             _mm256_mul_ps(_mm256_loadu_ps(q + d + 8), kv.hi));
+    }
+    float lanes[kQkLanes];
+    _mm256_storeu_ps(lanes, acc_lo);
+    _mm256_storeu_ps(lanes + 8, acc_hi);
+    // Tail elements continue the same lane walk the scalar kernel performs.
+    for (int d = blocks; d < head_dim; ++d)
+      lanes[d & (kQkLanes - 1)] +=
+          q[d] * run_element<K>(ct, ht, ft, d, p.scale, p.zero);
+    dots[t] = fold_qk_lanes(lanes);
+  }
+}
+
+template <KvRunKind K>
+QS_AVX2_TARGET void sv_accum_avx2_t(const float* p, const KvHeadRun& run,
+                                    int head_dim, float* out) {
+  const int blocks = head_dim & ~(kQkLanes - 1);
+  for (int64_t t = 0; t < run.n_tokens; ++t) {
+    const uint8_t* ct = run.codes ? run.codes + t * run.stride : nullptr;
+    const uint16_t* ht =
+        run.half_bits ? run.half_bits + t * run.stride : nullptr;
+    const float* ft = run.f32 ? run.f32 + t * run.stride : nullptr;
+    const auto tp = token_params<K>(run, t);
+    const __m256 vs = _mm256_set1_ps(tp.scale);
+    const __m256 vz = _mm256_set1_ps(tp.zero);
+    const __m256 vp = _mm256_set1_ps(p[t]);
+    for (int d = 0; d < blocks; d += kQkLanes) {
+      const Dequant16 v = load16<K>(ct, ht, ft, d, vs, vz);
+      const __m256 o0 = _mm256_loadu_ps(out + d);
+      const __m256 o1 = _mm256_loadu_ps(out + d + 8);
+      _mm256_storeu_ps(out + d,
+                       _mm256_add_ps(o0, _mm256_mul_ps(vp, v.lo)));
+      _mm256_storeu_ps(out + d + 8,
+                       _mm256_add_ps(o1, _mm256_mul_ps(vp, v.hi)));
+    }
+    for (int d = blocks; d < head_dim; ++d)
+      out[d] += p[t] * run_element<K>(ct, ht, ft, d, tp.scale, tp.zero);
+  }
+}
+
+void qk_dot_avx2(const float* q, const KvHeadRun& run, int head_dim,
+                 float* dots) {
+  switch (run.kind) {
+    case KvRunKind::kF32:
+      return qk_dot_avx2_t<KvRunKind::kF32>(q, run, head_dim, dots);
+    case KvRunKind::kFp16:
+      return qk_dot_avx2_t<KvRunKind::kFp16>(q, run, head_dim, dots);
+    case KvRunKind::kInt8Dyn:
+      return qk_dot_avx2_t<KvRunKind::kInt8Dyn>(q, run, head_dim, dots);
+    case KvRunKind::kInt8Static:
+      return qk_dot_avx2_t<KvRunKind::kInt8Static>(q, run, head_dim, dots);
+    case KvRunKind::kInt4Dyn:
+      return qk_dot_avx2_t<KvRunKind::kInt4Dyn>(q, run, head_dim, dots);
+  }
+}
+
+void sv_accum_avx2(const float* p, const KvHeadRun& run, int head_dim,
+                   float* out) {
+  switch (run.kind) {
+    case KvRunKind::kF32:
+      return sv_accum_avx2_t<KvRunKind::kF32>(p, run, head_dim, out);
+    case KvRunKind::kFp16:
+      return sv_accum_avx2_t<KvRunKind::kFp16>(p, run, head_dim, out);
+    case KvRunKind::kInt8Dyn:
+      return sv_accum_avx2_t<KvRunKind::kInt8Dyn>(p, run, head_dim, out);
+    case KvRunKind::kInt8Static:
+      return sv_accum_avx2_t<KvRunKind::kInt8Static>(p, run, head_dim, out);
+    case KvRunKind::kInt4Dyn:
+      return sv_accum_avx2_t<KvRunKind::kInt4Dyn>(p, run, head_dim, out);
+  }
+}
+
+#undef QS_AVX2_TARGET
+
+constexpr AttentionKernels kAvx2AttentionKernels = {
+    Isa::kAvx2,
+    qk_dot_avx2,
+    sv_accum_avx2,
+};
+
+}  // namespace
+
+const AttentionKernels* avx2_attention_kernel() {
+  return &kAvx2AttentionKernels;
+}
+
+}  // namespace qserve::cpu
+
+#else  // non-x86 or non-GNU toolchain: AVX2 path compiled out.
+
+namespace qserve::cpu {
+const AttentionKernels* avx2_attention_kernel() { return nullptr; }
+}  // namespace qserve::cpu
+
+#endif

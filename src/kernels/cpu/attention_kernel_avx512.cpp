@@ -1,0 +1,163 @@
+// AVX-512 attention kernels: one __m512 accumulator holds the 16 virtual
+// lanes of the canonical QK reduction order (attention_kernel.h) directly, so
+// a single storeu + fold_qk_lanes reproduces the scalar reference bit for
+// bit. Float math is mul_ps/add_ps only — never fmadd — to keep roundings
+// identical to the contraction-free scalar TU.
+//
+// Compiled via function-level target attributes so the TU builds regardless
+// of -march; dispatch guarantees these run only on AVX-512F hosts.
+#include "kernels/cpu/attention_kernel.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+#include <immintrin.h>
+
+#include "kernels/cpu/attention_kernel_inline.h"
+
+namespace qserve::cpu {
+
+namespace {
+
+using attn_inline::run_element;
+using attn_inline::token_params;
+
+#define QS_AVX512_TARGET __attribute__((target("avx512f")))
+
+// 16 dequantized elements [d, d+16) of one token, one per lane.
+template <KvRunKind K>
+QS_AVX512_TARGET inline __m512 load16(const uint8_t* ct, const uint16_t* ht,
+                                      const float* ft, int d, __m512 vs,
+                                      __m512 vz) {
+  if constexpr (K == KvRunKind::kF32) {
+    return _mm512_loadu_ps(ft + d);
+  } else if constexpr (K == KvRunKind::kFp16) {
+    // Exact conversion; stored halves are never signalling NaNs
+    // (float_to_half_bits quiets them), so vcvtph2ps matches
+    // detail::half_bits_to_float bit for bit.
+    return _mm512_cvtph_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ht + d)));
+  } else if constexpr (K == KvRunKind::kInt8Dyn) {
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ct + d));
+    const __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(b));
+    return _mm512_add_ps(_mm512_mul_ps(f, vs), vz);
+  } else if constexpr (K == KvRunKind::kInt8Static) {
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ct + d));
+    const __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(b));
+    return _mm512_mul_ps(f, vs);
+  } else {  // kInt4Dyn: 8 bytes hold the 16 nibble-packed codes
+    const __m128i b =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ct + (d >> 1)));
+    const __m128i mask = _mm_set1_epi8(0x0F);
+    const __m128i even = _mm_and_si128(b, mask);                    // low nibbles
+    const __m128i odd = _mm_and_si128(_mm_srli_epi16(b, 4), mask);  // high
+    const __m128i codes = _mm_unpacklo_epi8(even, odd);  // element order
+    const __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(codes));
+    return _mm512_add_ps(_mm512_mul_ps(f, vs), vz);
+  }
+}
+
+template <KvRunKind K>
+QS_AVX512_TARGET void qk_dot_avx512_t(const float* q, const KvHeadRun& run,
+                                      int head_dim, float* dots) {
+  const int blocks = head_dim & ~(kQkLanes - 1);
+  for (int64_t t = 0; t < run.n_tokens; ++t) {
+    const uint8_t* ct = run.codes ? run.codes + t * run.stride : nullptr;
+    const uint16_t* ht =
+        run.half_bits ? run.half_bits + t * run.stride : nullptr;
+    const float* ft = run.f32 ? run.f32 + t * run.stride : nullptr;
+    const auto p = token_params<K>(run, t);
+    const __m512 vs = _mm512_set1_ps(p.scale);
+    const __m512 vz = _mm512_set1_ps(p.zero);
+    __m512 acc = _mm512_setzero_ps();
+    for (int d = 0; d < blocks; d += kQkLanes) {
+      const __m512 kv = load16<K>(ct, ht, ft, d, vs, vz);
+      acc = _mm512_add_ps(acc, _mm512_mul_ps(_mm512_loadu_ps(q + d), kv));
+    }
+    float lanes[kQkLanes];
+    _mm512_storeu_ps(lanes, acc);
+    // Tail elements continue the same lane walk the scalar kernel performs.
+    for (int d = blocks; d < head_dim; ++d)
+      lanes[d & (kQkLanes - 1)] +=
+          q[d] * run_element<K>(ct, ht, ft, d, p.scale, p.zero);
+    dots[t] = fold_qk_lanes(lanes);
+  }
+}
+
+template <KvRunKind K>
+QS_AVX512_TARGET void sv_accum_avx512_t(const float* p, const KvHeadRun& run,
+                                        int head_dim, float* out) {
+  const int blocks = head_dim & ~(kQkLanes - 1);
+  for (int64_t t = 0; t < run.n_tokens; ++t) {
+    const uint8_t* ct = run.codes ? run.codes + t * run.stride : nullptr;
+    const uint16_t* ht =
+        run.half_bits ? run.half_bits + t * run.stride : nullptr;
+    const float* ft = run.f32 ? run.f32 + t * run.stride : nullptr;
+    const auto tp = token_params<K>(run, t);
+    const __m512 vs = _mm512_set1_ps(tp.scale);
+    const __m512 vz = _mm512_set1_ps(tp.zero);
+    const __m512 vp = _mm512_set1_ps(p[t]);
+    for (int d = 0; d < blocks; d += kQkLanes) {
+      const __m512 v = load16<K>(ct, ht, ft, d, vs, vz);
+      const __m512 o = _mm512_loadu_ps(out + d);
+      _mm512_storeu_ps(out + d, _mm512_add_ps(o, _mm512_mul_ps(vp, v)));
+    }
+    for (int d = blocks; d < head_dim; ++d)
+      out[d] += p[t] * run_element<K>(ct, ht, ft, d, tp.scale, tp.zero);
+  }
+}
+
+void qk_dot_avx512(const float* q, const KvHeadRun& run, int head_dim,
+                   float* dots) {
+  switch (run.kind) {
+    case KvRunKind::kF32:
+      return qk_dot_avx512_t<KvRunKind::kF32>(q, run, head_dim, dots);
+    case KvRunKind::kFp16:
+      return qk_dot_avx512_t<KvRunKind::kFp16>(q, run, head_dim, dots);
+    case KvRunKind::kInt8Dyn:
+      return qk_dot_avx512_t<KvRunKind::kInt8Dyn>(q, run, head_dim, dots);
+    case KvRunKind::kInt8Static:
+      return qk_dot_avx512_t<KvRunKind::kInt8Static>(q, run, head_dim, dots);
+    case KvRunKind::kInt4Dyn:
+      return qk_dot_avx512_t<KvRunKind::kInt4Dyn>(q, run, head_dim, dots);
+  }
+}
+
+void sv_accum_avx512(const float* p, const KvHeadRun& run, int head_dim,
+                     float* out) {
+  switch (run.kind) {
+    case KvRunKind::kF32:
+      return sv_accum_avx512_t<KvRunKind::kF32>(p, run, head_dim, out);
+    case KvRunKind::kFp16:
+      return sv_accum_avx512_t<KvRunKind::kFp16>(p, run, head_dim, out);
+    case KvRunKind::kInt8Dyn:
+      return sv_accum_avx512_t<KvRunKind::kInt8Dyn>(p, run, head_dim, out);
+    case KvRunKind::kInt8Static:
+      return sv_accum_avx512_t<KvRunKind::kInt8Static>(p, run, head_dim, out);
+    case KvRunKind::kInt4Dyn:
+      return sv_accum_avx512_t<KvRunKind::kInt4Dyn>(p, run, head_dim, out);
+  }
+}
+
+#undef QS_AVX512_TARGET
+
+constexpr AttentionKernels kAvx512AttentionKernels = {
+    Isa::kAvx512,
+    qk_dot_avx512,
+    sv_accum_avx512,
+};
+
+}  // namespace
+
+const AttentionKernels* avx512_attention_kernel() {
+  return &kAvx512AttentionKernels;
+}
+
+}  // namespace qserve::cpu
+
+#else  // non-x86 or non-GNU toolchain: AVX-512 path compiled out.
+
+namespace qserve::cpu {
+const AttentionKernels* avx512_attention_kernel() { return nullptr; }
+}  // namespace qserve::cpu
+
+#endif

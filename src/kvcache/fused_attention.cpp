@@ -6,57 +6,118 @@
 #include "common/half.h"
 #include "common/math_util.h"
 #include "common/parallel.h"
+#include "kernels/cpu/attention_kernel.h"
+#include "kernels/cpu/isa.h"
 
 namespace qserve {
+
+namespace {
+
+// One head of one sequence's decode attention, driven by the page-run API:
+// QK scores and SV accumulation chain across the sequence's page runs with
+// inline dequantization inside the microkernels — no per-(token, head)
+// scratch copies. The scale/softmax/rounding sequence between the two kernel
+// calls is written exactly like attention.cpp's head_attention so the fused
+// and gather paths stay bitwise identical.
+void view_head_attention(const PagedKvCache::SeqView& kv,
+                         const cpu::AttentionKernels& ker,
+                         const AttentionConfig& cfg, int kv_head,
+                         const float* qh, float* scores, float* oh) {
+  const float scale = 1.0f / std::sqrt(float(cfg.head_dim));
+  const int64_t s_len = kv.length();
+  const int n_runs = kv.num_page_runs();
+
+  // Pass 1: QK scores with inline K dequantization, page run by page run.
+  for (int r = 0; r < n_runs; ++r)
+    ker.qk_dot(qh, kv.k_run(r, kv_head), cfg.head_dim,
+               scores + kv.run_token0(r));
+  for (int64_t t = 0; t < s_len; ++t) {
+    // QServe converts the QK product to FP16 (§5.3); the baseline keeps FP32.
+    const float dot = scores[t] * scale;
+    scores[t] = cfg.fp16_accum ? to_half_precision(dot) : dot;
+  }
+  softmax_inplace(scores, static_cast<int>(s_len));
+
+  // Pass 2: SV accumulation with inline V dequantization.
+  for (int d = 0; d < cfg.head_dim; ++d) oh[d] = 0.0f;
+  for (int r = 0; r < n_runs; ++r)
+    ker.sv_accum(scores + kv.run_token0(r), kv.v_run(r, kv_head),
+                 cfg.head_dim, oh);
+  if (cfg.fp16_accum) {
+    for (int d = 0; d < cfg.head_dim; ++d) oh[d] = to_half_precision(oh[d]);
+  }
+}
+
+void check_against_cache(const PagedKvCache& cache,
+                         const AttentionConfig& cfg) {
+  cfg.validate(cache.config().precision == KvPrecision::kInt4);
+  QS_CHECK_EQ(cfg.n_kv_heads, cache.config().n_kv_heads);
+  QS_CHECK_EQ(cfg.head_dim, cache.config().head_dim);
+}
+
+}  // namespace
 
 void fused_decode_attention(const PagedKvCache& cache, int seq,
                             const float* q, const AttentionConfig& cfg,
                             float* out) {
-  QS_CHECK_EQ(cfg.n_kv_heads, cache.config().n_kv_heads);
-  QS_CHECK_EQ(cfg.head_dim, cache.config().head_dim);
-  QS_CHECK_EQ(cfg.n_heads % cfg.n_kv_heads, 0);
-  // One locked page-table resolution for the whole kernel; the per-(token,
-  // head) reads below are lock-free, as a fused kernel's gathers must be.
+  check_against_cache(cache, cfg);
+  // One locked page-table resolution for the whole kernel; the page-run
+  // walks below are lock-free, as a fused kernel's gathers must be.
   const PagedKvCache::SeqView kv = cache.view(seq);
   const int64_t s_len = kv.length();
   QS_CHECK_GT(s_len, 0);
   const int group = cfg.n_heads / cfg.n_kv_heads;
-  const float scale = 1.0f / std::sqrt(float(cfg.head_dim));
+  const cpu::AttentionKernels& ker =
+      cpu::attention_kernel_for(cpu::active_isa());
 
   // Parallel over heads; each head reads its own KV slices and writes its
   // own slice of `out`, so the result matches the serial loop bitwise.
   parallel_for(0, cfg.n_heads, 1, [&](int64_t h0, int64_t h1) {
-  // Reused per pool thread to keep per-head heap traffic off the hot path.
-  thread_local std::vector<float> scores, head_vec;
-  scores.resize(static_cast<size_t>(s_len));
-  head_vec.resize(static_cast<size_t>(cfg.head_dim));
-
-  for (int64_t h = h0; h < h1; ++h) {
-    const int kv_head = static_cast<int>(h) / group;
-    const float* qh = q + h * cfg.head_dim;
-    float* oh = out + h * cfg.head_dim;
-
-    // Pass 1: QK scores with inline K dequantization, page by page.
-    for (int64_t t = 0; t < s_len; ++t) {
-      kv.read_k(t, kv_head, head_vec.data());
-      float dot = 0.0f;
-      for (int d = 0; d < cfg.head_dim; ++d) dot += qh[d] * head_vec[size_t(d)];
-      scores[size_t(t)] =
-          cfg.fp16_accum ? to_half_precision(dot * scale) : dot * scale;
+    // Reused per pool thread to keep per-head heap traffic off the hot path.
+    thread_local std::vector<float> scores;
+    scores.resize(static_cast<size_t>(s_len));
+    for (int64_t h = h0; h < h1; ++h) {
+      view_head_attention(kv, ker, cfg, static_cast<int>(h) / group,
+                          q + h * cfg.head_dim, scores.data(),
+                          out + h * cfg.head_dim);
     }
-    softmax_inplace(scores.data(), static_cast<int>(s_len));
+  });
+}
 
-    // Pass 2: SV accumulation with inline V dequantization.
-    for (int d = 0; d < cfg.head_dim; ++d) oh[d] = 0.0f;
-    for (int64_t t = 0; t < s_len; ++t) {
-      kv.read_v(t, kv_head, head_vec.data());
-      const float p = scores[size_t(t)];
-      for (int d = 0; d < cfg.head_dim; ++d) oh[d] += p * head_vec[size_t(d)];
-    }
-    if (cfg.fp16_accum) {
-      for (int d = 0; d < cfg.head_dim; ++d) oh[d] = to_half_precision(oh[d]);
-    }
+void batched_fused_decode_attention(
+    const PagedKvCache& cache, const std::vector<DecodeAttentionItem>& items,
+    const AttentionConfig& cfg) {
+  if (items.empty()) return;
+  check_against_cache(cache, cfg);
+  const int group = cfg.n_heads / cfg.n_kv_heads;
+  const cpu::AttentionKernels& ker =
+      cpu::attention_kernel_for(cpu::active_isa());
+
+  // One locked page-table snapshot per sequence, resolved up front so the
+  // big parallel region below never touches the cache mutex.
+  std::vector<PagedKvCache::SeqView> views;
+  views.reserve(items.size());
+  for (const DecodeAttentionItem& it : items) {
+    views.push_back(cache.view(it.seq));
+    QS_CHECK_GT(views.back().length(), 0);
   }
+
+  // One flat work list over all sequences × heads for the whole engine step.
+  // Each (item, head) pair owns its output slice exclusively, so scheduling
+  // order and thread count cannot change the result.
+  const int64_t n_work = int64_t(items.size()) * cfg.n_heads;
+  parallel_for(0, n_work, 1, [&](int64_t w0, int64_t w1) {
+    thread_local std::vector<float> scores;
+    for (int64_t w = w0; w < w1; ++w) {
+      const size_t i = static_cast<size_t>(w / cfg.n_heads);
+      const int h = static_cast<int>(w % cfg.n_heads);
+      const PagedKvCache::SeqView& kv = views[i];
+      scores.resize(static_cast<size_t>(kv.length()));
+      view_head_attention(kv, ker, cfg, h / group,
+                          items[i].q + int64_t(h) * cfg.head_dim,
+                          scores.data(),
+                          items[i].out + int64_t(h) * cfg.head_dim);
+    }
   });
 }
 

@@ -3,12 +3,15 @@
 // The QServe CUDA kernel never materializes a dequantized K/V matrix: it
 // walks the pages, dequantizes each head-vector inline (2-op bit tricks),
 // and accumulates QK / SV products in FP16. This is the CPU counterpart:
-// it reads the PagedKvCache's pages directly (per-head codes + in-page
-// scales/zeros), dequantizes per head-vector on the fly, and accumulates at
-// the configured precision. Numerically it must match the gather-then-attend
-// reference path exactly — a property the tests pin down — while avoiding
-// the O(S * kv_dim) temporary.
+// the ISA-dispatched attention microkernels (kernels/cpu/attention_kernel.h)
+// walk the PagedKvCache's pages directly via the SeqView page-run API —
+// per-head codes + in-page scales/zeros, dequantized inline in SIMD
+// registers — and accumulate at the configured precision. Numerically it
+// must match the gather-then-attend reference path exactly — a property the
+// tests pin down — while avoiding the O(S * kv_dim) temporary.
 #pragma once
+
+#include <vector>
 
 #include "kernels/attention.h"
 #include "kvcache/paged_kv_cache.h"
@@ -21,5 +24,23 @@ namespace qserve {
 void fused_decode_attention(const PagedKvCache& cache, int seq,
                             const float* q, const AttentionConfig& cfg,
                             float* out);
+
+// One engine step's worth of single-row decode attention: every sequence
+// that decodes (or verifies token-by-token) this step contributes one item.
+struct DecodeAttentionItem {
+  int seq = -1;            // PagedKvCache sequence handle
+  const float* q = nullptr;  // [n_heads * head_dim], post-RoPE
+  float* out = nullptr;      // [n_heads * head_dim]
+};
+
+// Batched executor: resolves each sequence's page table once (one lock
+// round per sequence), then walks all items × heads in a single
+// parallel_for — one kernel dispatch per engine step instead of a
+// per-sequence fan-out. Each (item, head) writes only its own output slice,
+// so the result is bitwise identical to calling fused_decode_attention on
+// each item in any order, at any thread count, on any ISA.
+void batched_fused_decode_attention(const PagedKvCache& cache,
+                                    const std::vector<DecodeAttentionItem>& items,
+                                    const AttentionConfig& cfg);
 
 }  // namespace qserve

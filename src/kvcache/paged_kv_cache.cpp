@@ -1,5 +1,7 @@
 #include "kvcache/paged_kv_cache.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/half.h"
 #include "common/math_util.h"
@@ -369,6 +371,60 @@ void PagedKvCache::SeqView::read_v(int64_t token, int head,
   QS_DCHECK(pages_[pi]->generation.load(std::memory_order_relaxed) ==
             generations_[pi]);
   cache_->read_head(*pages_[pi], token, head, /*is_k=*/false, out);
+}
+
+int64_t PagedKvCache::SeqView::run_token0(int run) const {
+  QS_CHECK(run >= 0 && run < num_page_runs());
+  return int64_t(run) * cache_->cfg_.page_size;
+}
+
+cpu::KvHeadRun PagedKvCache::SeqView::head_run(int run, int head,
+                                               bool is_k) const {
+  QS_CHECK(run >= 0 && run < num_page_runs());
+  QS_CHECK(head >= 0 && head < cache_->cfg_.n_kv_heads);
+  const KvCacheConfig& cfg = cache_->cfg_;
+  const size_t pi = static_cast<size_t>(run);
+  // Stale view: the sequence was freed (e.g. preempted) after view().
+  QS_DCHECK(pages_[pi]->generation.load(std::memory_order_relaxed) ==
+            generations_[pi]);
+  const Page& page = *pages_[pi];
+
+  cpu::KvHeadRun r;
+  r.n_tokens = std::min<int64_t>(
+      cfg.page_size, length_ - int64_t(run) * cfg.page_size);
+  const int64_t span = cache_->head_span();
+  if (cfg.precision == KvPrecision::kFp16) {
+    r.kind = cpu::KvRunKind::kFp16;
+    const auto& half = is_k ? page.k_half : page.v_half;
+    r.half_bits = half.data() + int64_t(head) * cfg.head_dim;
+    r.stride = span;  // elements
+  } else if (cfg.static_scales) {
+    r.kind = cpu::KvRunKind::kInt8Static;
+    const auto& codes = is_k ? page.k_codes : page.v_codes;
+    r.codes = codes.data() + cache_->code_offset(0, head);
+    r.stride = span;  // bytes (one INT8 code per element)
+    r.static_scale = is_k ? cfg.static_scale_k : cfg.static_scale_v;
+  } else {
+    r.kind = cfg.precision == KvPrecision::kInt4 ? cpu::KvRunKind::kInt4Dyn
+                                                 : cpu::KvRunKind::kInt8Dyn;
+    const auto& codes = is_k ? page.k_codes : page.v_codes;
+    const auto& params = is_k ? page.k_params : page.v_params;
+    r.codes = codes.data() + cache_->code_offset(0, head);
+    r.stride = span * static_cast<int>(cfg.precision) / 8;  // bytes
+    // Token t's {scale_bits, zero_bits} pair sits at params[t*HKV + head];
+    // PackedKvParams is exactly two uint16s, so expose it as a uint16 view.
+    r.params = reinterpret_cast<const uint16_t*>(params.data() + head);
+    r.param_stride = 2 * cfg.n_kv_heads;
+  }
+  return r;
+}
+
+cpu::KvHeadRun PagedKvCache::SeqView::k_run(int run, int head) const {
+  return head_run(run, head, /*is_k=*/true);
+}
+
+cpu::KvHeadRun PagedKvCache::SeqView::v_run(int run, int head) const {
+  return head_run(run, head, /*is_k=*/false);
 }
 
 void PagedKvCache::gather(int seq, Tensor& k_out, Tensor& v_out) const {

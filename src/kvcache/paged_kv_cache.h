@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "kernels/cpu/attention_kernel.h"
 #include "quant/kv_quant.h"
 #include "tensor/tensor.h"
 
@@ -134,7 +135,20 @@ class PagedKvCache {
     void read_k(int64_t token, int head, float* out) const;
     void read_v(int64_t token, int head, float* out) const;
 
+    // Page-run API: the sequence's tokens as contiguous per-page spans the
+    // attention microkernels walk directly — raw code/param pointers into the
+    // page, no per-(token, head) dequant copies. Run r covers tokens
+    // [run_token0(r), run_token0(r) + k_run(r, h).n_tokens). The returned
+    // KvHeadRun's kind reflects the cache precision (kFp16 / kInt8Dyn /
+    // kInt8Static / kInt4Dyn); pointers stay valid under the same
+    // snapshot/staleness contract as read_k/read_v (generation-checked).
+    int num_page_runs() const { return static_cast<int>(pages_.size()); }
+    int64_t run_token0(int run) const;
+    cpu::KvHeadRun k_run(int run, int head) const;
+    cpu::KvHeadRun v_run(int run, int head) const;
+
    private:
+    cpu::KvHeadRun head_run(int run, int head, bool is_k) const;
     friend class PagedKvCache;
     const PagedKvCache* cache_ = nullptr;
     std::vector<const Page*> pages_;

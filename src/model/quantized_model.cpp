@@ -1,6 +1,7 @@
 #include "model/quantized_model.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
 #include "common/half.h"
@@ -168,6 +169,15 @@ QuantizedModel::QuantizedModel(const ModelWeights& weights,
   kcfg.page_size = 16;
   kcfg.max_pages = cfg.kv_max_pages;
   kv_ = std::make_unique<PagedKvCache>(kcfg);
+
+  // Loud construction-time validation: a head layout the attention kernels
+  // cannot serve (e.g. odd head_dim with nibble-packed INT4 KV) throws here,
+  // not deep inside the first forward.
+  attn_cfg_.n_heads = cfg_.n_heads;
+  attn_cfg_.n_kv_heads = cfg_.n_kv_heads;
+  attn_cfg_.head_dim = cfg_.head_dim;
+  attn_cfg_.fp16_accum = qcfg_.fp16_attention;
+  attn_cfg_.validate(/*int4_kv=*/qcfg_.kv == KvPrecision::kInt4);
 }
 
 int QuantizedModel::begin_sequence() {
@@ -211,12 +221,7 @@ Tensor QuantizedModel::run_blocks_batched(const std::vector<SeqSpan>& spans,
                                           const std::vector<int>& positions) {
   const int64_t n = embedded.rows();
   QS_CHECK_EQ(n, static_cast<int64_t>(positions.size()));
-
-  AttentionConfig acfg;
-  acfg.n_heads = cfg_.n_heads;
-  acfg.n_kv_heads = cfg_.n_kv_heads;
-  acfg.head_dim = cfg_.head_dim;
-  acfg.fp16_accum = qcfg_.fp16_attention;
+  const AttentionConfig& acfg = attn_cfg_;
 
   Tensor x = embedded;
   for (size_t li = 0; li < layers_.size(); ++li) {
@@ -233,13 +238,16 @@ Tensor QuantizedModel::run_blocks_batched(const std::vector<SeqSpan>& spans,
     rope_inplace(q, positions, cfg_.head_dim);
     rope_inplace(k, positions, cfg_.head_dim);
 
-    // Attention is the only per-sequence fan-out: each span appends its K/V
-    // rows to its own cache sequence in one batched scatter, then attends
-    // against its paged history. Single-row spans (decode) use the fused
-    // kernel that dequantizes page data inline (§5.3); multi-row spans
-    // (prefill chunks) gather the full dequantized K/V once — both paths
-    // share the same arithmetic, and distinct sequences may run
-    // concurrently (the pool bookkeeping is internally locked).
+    // Attention section, timed separately (attention_seconds_): KV append +
+    // attend. Every span first appends its K/V rows to its own cache
+    // sequence in one batched scatter; then all single-row spans (decode and
+    // token-wise verify rows) run through ONE batched executor call that
+    // walks all sequences × heads in a single parallel_for, dequantizing
+    // page data inline in the ISA-dispatched microkernels (§5.3). Multi-row
+    // spans (prefill chunks) gather the full dequantized K/V once — both
+    // paths share the same kernel arithmetic, so the step is bitwise
+    // identical to a per-sequence fan-out at any thread count and ISA.
+    const auto attn_t0 = std::chrono::steady_clock::now();
     Tensor attn;
     if (spans.size() == 1 && spans[0].n > 1) {
       // Single multi-row span (a plain prefill chunk): q already is exactly
@@ -252,6 +260,9 @@ Tensor QuantizedModel::run_blocks_batched(const std::vector<SeqSpan>& spans,
       attn = attention_prefill(q, kd, vd, acfg);
     } else {
       attn = Tensor({n, q.cols()});
+      // Pass 1: appends. Distinct sequences may scatter concurrently (the
+      // pool bookkeeping is internally locked), and every span's KV must be
+      // in its pages before that span attends.
       parallel_for(
           0, static_cast<int64_t>(spans.size()), 1,
           [&](int64_t lo, int64_t hi) {
@@ -260,10 +271,38 @@ Tensor QuantizedModel::run_blocks_batched(const std::vector<SeqSpan>& spans,
               const int lseq =
                   seqs_[static_cast<size_t>(sp.seq)].layer_seqs[li];
               kv_->append_batch(lseq, k.row(sp.row0), v.row(sp.row0), sp.n);
-              if (sp.n == 1) {
-                fused_decode_attention(*kv_, lseq, q.row(sp.row0), acfg,
-                                       attn.row(sp.row0));
-              } else {
+            }
+          });
+      // Pass 2: one batched decode-attention dispatch for every single-row
+      // span of the step...
+      std::vector<DecodeAttentionItem> items;
+      std::vector<size_t> multi;
+      items.reserve(spans.size());
+      for (size_t si = 0; si < spans.size(); ++si) {
+        const SeqSpan& sp = spans[si];
+        if (sp.n == 1) {
+          items.push_back(
+              {seqs_[static_cast<size_t>(sp.seq)].layer_seqs[li],
+               q.row(sp.row0), attn.row(sp.row0)});
+        } else {
+          multi.push_back(si);
+        }
+      }
+      if (!items.empty()) {
+        batched_fused_decode_attention(*kv_, items, acfg);
+        ++batched_attention_calls_;
+        decode_attention_items_ += static_cast<int64_t>(items.size());
+      }
+      // ...and the gather path for the (rare) multi-row spans sharing the
+      // step with decodes.
+      if (!multi.empty()) {
+        parallel_for(
+            0, static_cast<int64_t>(multi.size()), 1,
+            [&](int64_t lo, int64_t hi) {
+              for (int64_t mi = lo; mi < hi; ++mi) {
+                const SeqSpan& sp = spans[multi[static_cast<size_t>(mi)]];
+                const int lseq =
+                    seqs_[static_cast<size_t>(sp.seq)].layer_seqs[li];
                 Tensor kd, vd;
                 kv_->gather(lseq, kd, vd);
                 Tensor qs({sp.n, q.cols()});
@@ -272,9 +311,13 @@ Tensor QuantizedModel::run_blocks_batched(const std::vector<SeqSpan>& spans,
                 const Tensor a = attention_prefill(qs, kd, vd, acfg);
                 std::copy(a.data(), a.data() + a.numel(), attn.row(sp.row0));
               }
-            }
-          });
+            });
+      }
     }
+    attention_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      attn_t0)
+            .count();
     // Separate quant node before the output projection (Fig. 11).
     Tensor attn_proj = layer.wo.apply(attn);
     add_inplace(x, attn_proj);

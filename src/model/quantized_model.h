@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "kernels/attention.h"
 #include "kernels/weight_layout.h"
 #include "kvcache/paged_kv_cache.h"
 #include "model/weights.h"
@@ -160,6 +161,18 @@ class QuantizedModel {
   const QuantSchemeConfig& scheme() const { return qcfg_; }
   PagedKvCache& kv_cache() { return *kv_; }
 
+  // Observability for the attention executor (EngineStats reads these):
+  // cumulative wall time spent in the per-layer attention sections of the
+  // block stack (KV append + QK/softmax/SV, both the batched decode executor
+  // and the prefill gather path).
+  double attention_seconds() const { return attention_seconds_; }
+  // How many batched_fused_decode_attention dispatches ran (one per layer
+  // per step that carries at least one single-row span) and how many
+  // sequence-items they covered in total — a step with d decode rows adds
+  // n_layers calls and d * n_layers items, never a per-sequence fan-out.
+  int64_t batched_attention_calls() const { return batched_attention_calls_; }
+  int64_t decode_attention_items() const { return decode_attention_items_; }
+
  private:
   struct QLayer {
     QuantizedLinear wq, wk, wv, wo, w_gate, w_up, w_down;
@@ -188,6 +201,12 @@ class QuantizedModel {
 
   ModelConfig cfg_;
   QuantSchemeConfig qcfg_;
+  // Built and validated once at construction (INT4 KV implies even
+  // head_dim); every forward reuses it instead of re-deriving per call.
+  AttentionConfig attn_cfg_;
+  double attention_seconds_ = 0.0;
+  int64_t batched_attention_calls_ = 0;
+  int64_t decode_attention_items_ = 0;
   Tensor embedding_;
   std::vector<QLayer> layers_;
   Tensor ln_final_;

@@ -333,6 +333,11 @@ void ServingEngine::run_speculative_step(const std::vector<Request*>& decodes,
 
 bool ServingEngine::step() {
   const auto t0 = std::chrono::steady_clock::now();
+  // Attention time is accumulated inside the model(s); the step's share is
+  // the delta across this call (target + draft forwards alike).
+  const double attn0 =
+      model_->attention_seconds() +
+      (draft_ ? draft_->attention_seconds() : 0.0);
 
   StepPlan plan = scheduler_.plan(running_, model_->kv_cache().free_pages());
   // An all-empty plan with work outstanding means the pool can never serve
@@ -486,6 +491,9 @@ bool ServingEngine::step() {
 
   ++stats_.steps;
   stats_.wall_seconds += seconds_since(t0);
+  stats_.attention_seconds +=
+      model_->attention_seconds() +
+      (draft_ ? draft_->attention_seconds() : 0.0) - attn0;
   refresh_derived_stats();
   return !scheduler_.idle(static_cast<int>(running_.size()));
 }
@@ -502,6 +510,10 @@ void ServingEngine::refresh_derived_stats() {
   stats_.mean_tokens_per_step =
       stats_.steps > 0 ? double(stats_.step_tokens) / double(stats_.steps)
                        : 0;
+  stats_.attention_share =
+      stats_.wall_seconds > 0
+          ? stats_.attention_seconds / stats_.wall_seconds
+          : 0;
   stats_.acceptance_rate =
       stats_.proposed_tokens > 0
           ? double(stats_.accepted_tokens) / double(stats_.proposed_tokens)

@@ -78,6 +78,12 @@ struct EngineStats {
   double prefill_seconds = 0;
   double decode_seconds = 0;
   double wall_seconds = 0;
+  // Wall time the forwards spent inside the per-layer attention sections
+  // (KV append + QK/softmax/SV; batched decode executor and prefill gather
+  // alike), summed over target and draft models, and its share of
+  // wall_seconds — the observable this PR's SIMD attention kernels move.
+  double attention_seconds = 0;
+  double attention_share = 0;
   // Peak *requests* running in one step.
   int peak_batch = 0;
   // Batched-GEMM occupancy: peak stacked rows (decode tokens + prefill-chunk

@@ -1,0 +1,91 @@
+// Overload behaviour of the serving engine: a burst of submissions far past
+// the pool's capacity, served with (a) an unbounded queue, (b) bounded
+// admission (max_queued_requests), and (c) bounded admission plus TTFT
+// deadlines. Reports goodput, shed/expired counts, queue-depth high-water,
+// and mean first-token latency of the requests that were actually served —
+// the classic load-shedding story: refusing work at the door keeps latency
+// flat for the traffic you accept.
+//
+// Plain main() reproduction binary (not part of the regression gate).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "serving/engine.h"
+
+namespace qserve {
+namespace {
+
+constexpr int kBurst = 64;      // requests submitted at once
+constexpr int kPromptLen = 24;  // two KV pages each (page = 16 tokens)
+constexpr int kMaxNew = 16;
+
+struct OverloadResult {
+  EngineStats stats;
+  int64_t served = 0;
+  int64_t refused = 0;  // shed + expired
+};
+
+OverloadResult run(const ModelWeights& weights, int64_t max_queued,
+                   int64_t ttft_deadline) {
+  QuantSchemeConfig scheme = QuantSchemeConfig::qserve_w4a8kv4_g128();
+  scheme.kv_max_pages = 64;  // far smaller than the burst's total footprint
+  QuantizedModel model(weights, scheme);
+  EngineConfig cfg;
+  cfg.scheduler.max_batch = 8;
+  cfg.max_queued_requests = max_queued;
+  ServingEngine engine(&model, cfg);
+
+  for (int i = 0; i < kBurst; ++i) {
+    std::vector<int> prompt;
+    for (int t = 0; t < kPromptLen; ++t) prompt.push_back((37 * t + i) % 512);
+    RequestOptions opts;
+    opts.max_new_tokens = kMaxNew;
+    opts.ttft_deadline_steps = ttft_deadline;
+    engine.submit(prompt, opts, nullptr, nullptr);
+  }
+  OverloadResult r;
+  r.stats = engine.run_to_completion();
+  r.served = r.stats.completed;
+  r.refused = r.stats.shed + r.stats.deadline_expired;
+  return r;
+}
+
+int run_suite() {
+  const ModelWeights weights = make_synthetic_weights(toy_config(2));
+  benchutil::header("serving under overload: " + std::to_string(kBurst) +
+                    "-request burst, 64-page pool");
+  std::printf("%-28s %8s %8s %8s %10s %12s %14s\n", "policy", "served",
+              "shed", "expired", "steps", "queue hwm", "mean TTFT stp");
+  struct Case {
+    const char* name;
+    int64_t max_queued;
+    int64_t ttft_deadline;
+  };
+  const Case cases[] = {
+      {"unbounded queue", 0, 0},
+      {"bounded (16 queued)", 16, 0},
+      {"unbounded + ttft<=24 steps", 0, 24},
+  };
+  for (const Case& c : cases) {
+    const OverloadResult r = run(weights, c.max_queued, c.ttft_deadline);
+    std::printf("%-28s %8lld %8lld %8lld %10lld %12lld %14s\n", c.name,
+                static_cast<long long>(r.served),
+                static_cast<long long>(r.stats.shed),
+                static_cast<long long>(r.stats.deadline_expired),
+                static_cast<long long>(r.stats.steps),
+                static_cast<long long>(r.stats.queue_depth_high_water),
+                benchutil::fmt(r.stats.mean_first_token_steps).c_str());
+  }
+  std::printf(
+      "\nEvery request finished exactly once with a definite FinishReason;\n"
+      "sheds happen at submit() time, expiries at plan time — neither\n"
+      "perturbs the streams of the requests that are served.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace qserve
+
+int main() { return qserve::run_suite(); }

@@ -1,0 +1,174 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qserve {
+namespace fault {
+namespace {
+
+struct Site {
+  double rate = 0.0;
+  uint64_t seed = 0;
+  std::atomic<int64_t> draws{0};
+  std::atomic<int64_t> injected{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  // unique_ptr keeps Site addresses stable (atomics are not movable).
+  std::unordered_map<std::string, std::unique_ptr<Site>> sites;
+  // Fast path: skip the mutex entirely when nothing is armed.
+  std::atomic<bool> armed{false};
+  // Set once the env has been consulted OR a programmatic call took over;
+  // afterwards QSERVE_FAULT is never re-read.
+  std::atomic<bool> ready{false};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Parse "<site>:<rate>[:<seed>]" into the registry (caller holds mu).
+void parse_entry_locked(Registry& reg, const std::string& entry) {
+  const size_t c1 = entry.find(':');
+  QS_CHECK_MSG(c1 != std::string::npos && c1 > 0,
+               "QSERVE_FAULT entry '" << entry
+                                      << "' is not <site>:<rate>[:<seed>]");
+  const size_t c2 = entry.find(':', c1 + 1);
+  const std::string site = entry.substr(0, c1);
+  const std::string rate_s = entry.substr(
+      c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+  double rate = 0.0;
+  uint64_t seed = 0;
+  try {
+    rate = std::stod(rate_s);
+    if (c2 != std::string::npos)
+      seed = std::stoull(entry.substr(c2 + 1));
+  } catch (const std::exception&) {
+    QS_CHECK_MSG(false, "QSERVE_FAULT entry '" << entry
+                                               << "' has a malformed number");
+  }
+  QS_CHECK_MSG(rate >= 0.0 && rate <= 1.0,
+               "QSERVE_FAULT rate " << rate << " outside [0, 1]");
+  auto s = std::make_unique<Site>();
+  s->rate = rate;
+  s->seed = seed;
+  reg.sites[site] = std::move(s);
+}
+
+void configure_locked(Registry& reg, const std::string& spec) {
+  reg.sites.clear();
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    // Trim surrounding whitespace so "a:0.1, b:0.2" parses.
+    size_t lo = pos, hi = comma;
+    while (lo < hi && std::isspace(static_cast<unsigned char>(spec[lo])))
+      ++lo;
+    while (hi > lo && std::isspace(static_cast<unsigned char>(spec[hi - 1])))
+      --hi;
+    if (hi > lo) parse_entry_locked(reg, spec.substr(lo, hi - lo));
+    pos = comma + 1;
+  }
+  reg.armed.store(!reg.sites.empty(), std::memory_order_release);
+  reg.ready.store(true, std::memory_order_release);
+}
+
+void ensure_env_loaded(Registry& reg) {
+  if (reg.ready.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lk(reg.mu);
+  if (reg.ready.load(std::memory_order_acquire)) return;
+  const char* env = std::getenv("QSERVE_FAULT");
+  configure_locked(reg, env != nullptr ? std::string(env) : std::string());
+}
+
+}  // namespace
+
+bool should_fail(const char* site) {
+  Registry& reg = registry();
+  ensure_env_loaded(reg);
+  if (!reg.armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lk(reg.mu);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return false;
+  Site& s = *it->second;
+  const int64_t n = s.draws.fetch_add(1, std::memory_order_relaxed);
+  if (s.rate <= 0.0) return false;
+  // Deterministic per-draw hash: draw n of (site, seed) always lands on the
+  // same side of rate. 53 mantissa bits give an unbiased uniform in [0, 1).
+  const uint64_t x =
+      splitmix64(s.seed ^ (0xD1B54A32D192ED03ull * static_cast<uint64_t>(n)));
+  const bool hit =
+      static_cast<double>(x >> 11) * 0x1.0p-53 < s.rate;
+  if (hit) s.injected.fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+void maybe_fail(const char* site) {
+  if (should_fail(site)) throw FaultInjectedError(site);
+}
+
+void configure(const std::string& spec) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  configure_locked(reg, spec);
+}
+
+void set_site(const std::string& site, double rate, uint64_t seed) {
+  QS_CHECK_MSG(rate >= 0.0 && rate <= 1.0,
+               "fault rate " << rate << " outside [0, 1]");
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  auto s = std::make_unique<Site>();
+  s->rate = rate;
+  s->seed = seed;
+  reg.sites[site] = std::move(s);
+  reg.armed.store(true, std::memory_order_release);
+  reg.ready.store(true, std::memory_order_release);
+}
+
+void clear() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  reg.sites.clear();
+  reg.armed.store(false, std::memory_order_release);
+  reg.ready.store(true, std::memory_order_release);
+}
+
+bool enabled() {
+  Registry& reg = registry();
+  ensure_env_loaded(reg);
+  return reg.armed.load(std::memory_order_acquire);
+}
+
+SiteCounters counters(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  auto it = reg.sites.find(site);
+  SiteCounters c;
+  if (it != reg.sites.end()) {
+    c.draws = it->second->draws.load(std::memory_order_relaxed);
+    c.injected = it->second->injected.load(std::memory_order_relaxed);
+  }
+  return c;
+}
+
+}  // namespace fault
+}  // namespace qserve

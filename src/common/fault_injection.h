@@ -1,0 +1,74 @@
+// Deterministic, site-keyed fault injection for robustness testing.
+//
+// A fault *site* is a named point in the code (e.g. KV page allocation) that
+// asks should_fail() before doing its work. Sites are armed either from the
+// environment — QSERVE_FAULT=<site>:<rate>[:<seed>][,<site>:<rate>[:<seed>]...]
+// — or programmatically via configure()/set_site() (which override the env;
+// tests use this to pin exact fault schedules). Each site keeps its own draw
+// counter; draw n fails iff hash(seed, n) < rate, so a given (site, rate,
+// seed) triple produces the same injected-fault indices on every run. Under
+// concurrency each call still receives a unique draw index atomically, so the
+// *set* of injected indices over N calls is deterministic; which thread's
+// call lands on a given index follows the interleaving.
+//
+// Armed sites throw FaultInjectedError — a type distinct from CheckError so
+// recovery code (the serving engine converts injected KV-allocation failures
+// into preemption) can catch injected faults without masking genuine
+// invariant violations.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace qserve {
+
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& site)
+      : std::runtime_error("injected fault at site '" + site + "'"),
+        site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+namespace fault {
+
+// Well-known site names (callers may also mint their own).
+inline constexpr const char* kKvAlloc = "kv_alloc";     // page allocation
+inline constexpr const char* kKvAppend = "kv_append";   // token append entry
+inline constexpr const char* kEngineStep = "engine_step";  // step execution
+
+// True iff this draw of `site` should fail. Cheap no-op (one relaxed atomic
+// load) when no site is armed. The first query lazily arms sites from
+// QSERVE_FAULT unless configure()/set_site()/clear() ran first.
+bool should_fail(const char* site);
+
+// should_fail() + throw FaultInjectedError(site) on a hit.
+void maybe_fail(const char* site);
+
+// Replace the armed sites with `spec` (same syntax as QSERVE_FAULT; "" or
+// whitespace disarms everything). Throws CheckError on a malformed spec.
+void configure(const std::string& spec);
+
+// Arm (or re-arm, resetting counters) one site. rate in [0, 1].
+void set_site(const std::string& site, double rate, uint64_t seed);
+
+// Disarm every site. The environment is NOT re-read afterwards — tests that
+// clear() own the configuration for the rest of the process.
+void clear();
+
+// Any site armed?
+bool enabled();
+
+// Per-site observability (zeros for unknown sites).
+struct SiteCounters {
+  int64_t draws = 0;
+  int64_t injected = 0;
+};
+SiteCounters counters(const std::string& site);
+
+}  // namespace fault
+}  // namespace qserve

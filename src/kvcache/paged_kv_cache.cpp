@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/half.h"
 #include "common/math_util.h"
 
@@ -152,6 +153,13 @@ bool PagedKvCache::is_live_locked(int seq) const {
 }
 
 int PagedKvCache::alloc_page_locked() {
+  // Injected allocation failure, thrown before any bookkeeping mutates. The
+  // lock_guard in the caller unwinds cleanly; a batch append may have
+  // claimed earlier tokens' slots already, which is consistent state — the
+  // pages belong to the sequence and free_sequence() reclaims them all (the
+  // serving engine converts this fault to preemption, which does exactly
+  // that).
+  fault::maybe_fail(fault::kKvAlloc);
   QS_CHECK_MSG(pages_in_use() < cfg_.max_pages, "KV cache pool exhausted");
   int pid;
   if (!free_page_ids_.empty()) {
@@ -198,6 +206,10 @@ void PagedKvCache::append(int seq, const float* k, const float* v) {
 void PagedKvCache::append_batch(int seq, const float* k, const float* v,
                                 int64_t n) {
   QS_CHECK_GT(n, 0);
+  // Fault site at the batch-append entry: every engine-driven append (decode
+  // rows and prefill chunks alike go through append_batch) draws here, before
+  // any state mutates.
+  fault::maybe_fail(fault::kKvAppend);
   if (n == 1) return append(seq, k, v);
   // Bookkeeping under the lock: allocate every page the n tokens need and
   // resolve each token's (page, slot) destination. Capacity is checked up

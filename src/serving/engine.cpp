@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "common/math_util.h"
 #include "common/parallel.h"
 
@@ -84,19 +86,110 @@ int ServingEngine::submit(std::vector<int> prompt, int max_new_tokens) {
 int ServingEngine::submit(std::vector<int> prompt, const RequestOptions& opts,
                           std::function<void(const Request&, int)> on_token,
                           std::function<void(const Request&)> on_finish) {
-  QS_CHECK(!prompt.empty());
-  QS_CHECK_GT(opts.max_new_tokens, 0);
+  return submit_impl(std::move(prompt), opts, std::move(on_token),
+                     std::move(on_finish), /*create_on_shed=*/true);
+}
+
+int ServingEngine::try_submit(std::vector<int> prompt,
+                              const RequestOptions& opts,
+                              std::function<void(const Request&, int)> on_token,
+                              std::function<void(const Request&)> on_finish) {
+  return submit_impl(std::move(prompt), opts, std::move(on_token),
+                     std::move(on_finish), /*create_on_shed=*/false);
+}
+
+int ServingEngine::submit_impl(std::vector<int> prompt,
+                               const RequestOptions& opts,
+                               std::function<void(const Request&, int)> on_token,
+                               std::function<void(const Request&)> on_finish,
+                               bool create_on_shed) {
+  // Rejection: conditions retrying can never fix. Checked before the queue
+  // caps so an unservable request is reported as kRejected, not shed.
+  const char* reject = nullptr;
+  if (prompt.empty()) {
+    reject = "empty prompt";
+  } else if (opts.max_new_tokens <= 0) {
+    reject = "max_new_tokens must be >= 1";
+  } else {
+    // Larger than the whole KV pool: prefill plus the first decode token can
+    // never fit, even with every other request evicted.
+    const KvCacheConfig& kv = model_->kv_cache().config();
+    const int64_t need =
+        ceil_div(static_cast<int64_t>(prompt.size()) + 1,
+                 static_cast<int64_t>(kv.page_size)) *
+        model_->config().n_layers;
+    if (need > kv.max_pages) reject = "request KV footprint exceeds the pool";
+  }
+  const bool shed =
+      reject == nullptr &&
+      ((cfg_.max_queued_requests > 0 &&
+        scheduler_.queued() >= cfg_.max_queued_requests) ||
+       (cfg_.max_queued_prompt_tokens > 0 &&
+        scheduler_.queued_prompt_tokens() +
+                static_cast<int64_t>(prompt.size()) >
+            cfg_.max_queued_prompt_tokens));
+  if (shed && !create_on_shed) return -1;
+
   auto req = std::make_unique<Request>();
   req->id = static_cast<int>(requests_.size());
   req->prompt = std::move(prompt);
   req->max_new_tokens = opts.max_new_tokens;
+  req->deadline_steps = opts.deadline_steps;
+  req->ttft_deadline_steps = opts.ttft_deadline_steps;
   req->on_token = std::move(on_token);
   req->on_finish = std::move(on_finish);
   req->submitted_step = stats_.steps;
   Request* ptr = req.get();
   requests_.push_back(std::move(req));
-  scheduler_.enqueue(ptr);
+  if (reject != nullptr) {
+    finish_with(*ptr, FinishReason::kRejected, reject);
+  } else if (shed) {
+    finish_with(*ptr, FinishReason::kShedOverload, "admission queue full");
+  } else {
+    scheduler_.enqueue(ptr);
+    stats_.queue_depth_high_water =
+        std::max(stats_.queue_depth_high_water, scheduler_.queued());
+  }
   return ptr->id;
+}
+
+bool ServingEngine::cancel(int id) {
+  QS_CHECK(id >= 0 && id < static_cast<int>(requests_.size()));
+  Request& r = *requests_[static_cast<size_t>(id)];
+  if (r.done() || r.cancel_requested) return false;
+  r.cancel_requested = true;
+  pending_cancels_.push_back(id);
+  // Inside a step (a callback cancelling a request) the cancellation is
+  // deferred to the step's next safe point; outside it applies immediately.
+  if (!in_step_ && !applying_cancels_) apply_pending_cancellations();
+  return true;
+}
+
+void ServingEngine::apply_pending_cancellations() {
+  if (pending_cancels_.empty()) return;
+  applying_cancels_ = true;
+  // on_finish of a cancelled request may cancel further requests; loop until
+  // the pending list stays empty.
+  while (!pending_cancels_.empty()) {
+    std::vector<int> ids;
+    ids.swap(pending_cancels_);
+    for (int id : ids) {
+      Request& r = *requests_[static_cast<size_t>(id)];
+      // The request may have finished (e.g. kLength) after the cancellation
+      // was requested — the earlier finish stands.
+      if (r.done()) continue;
+      scheduler_.remove_queued(&r);  // no-op if running
+      finish_with(r, FinishReason::kCancelled);
+    }
+  }
+  applying_cancels_ = false;
+  prune_finished();
+}
+
+void ServingEngine::prune_finished() {
+  running_.erase(std::remove_if(running_.begin(), running_.end(),
+                                [](Request* r) { return r->done(); }),
+                 running_.end());
 }
 
 int ServingEngine::sample(const float* logits, int64_t vocab) {
@@ -129,23 +222,63 @@ void ServingEngine::deliver(Request& r, int token) {
     // evicted.
     ++stats_.decode_tokens;
   }
-  if (r.on_token) r.on_token(r, token);
-  if (static_cast<int>(r.generated.size()) >= r.max_new_tokens) finish(r);
+  if (r.on_token) {
+    try {
+      r.on_token(r, token);
+    } catch (...) {
+      // A throwing user callback fails its own request, not the engine: the
+      // engine's state is fully consistent here (the token is recorded), so
+      // finish this request with kError and keep serving everyone else.
+      ++stats_.callback_exceptions;
+      finish_with(r, FinishReason::kError, "on_token callback threw");
+      return;
+    }
+  }
+  if (static_cast<int>(r.generated.size()) >= r.max_new_tokens)
+    finish_with(r, FinishReason::kLength);
 }
 
-void ServingEngine::finish(Request& r) {
+void ServingEngine::finish_with(Request& r, FinishReason reason,
+                                const char* error) {
+  QS_CHECK_MSG(!r.done(), "request finished twice");
   r.state = RequestState::kFinished;
+  r.finish_reason = reason;
+  if (error != nullptr) r.error = error;
   r.finished_step = stats_.steps;
-  first_token_steps_sum_ += double(r.first_token_step - r.submitted_step);
-  completion_steps_sum_ += double(r.finished_step - r.submitted_step);
-  ++finished_requests_;
-  model_->end_sequence(r.seq_handle);
-  r.seq_handle = -1;
+  // Latency means describe served traffic only: a request that never
+  // produced a token (shed, rejected, expired/cancelled while queued) has no
+  // first-token or completion latency to report.
+  if (r.first_token_step >= 0) {
+    first_token_steps_sum_ += double(r.first_token_step - r.submitted_step);
+    completion_steps_sum_ += double(r.finished_step - r.submitted_step);
+    ++served_finished_;
+  }
+  if (r.seq_handle >= 0) {
+    model_->end_sequence(r.seq_handle);
+    r.seq_handle = -1;
+  }
   if (r.draft_seq_handle >= 0) {
     draft_->end_sequence(r.draft_seq_handle);
     r.draft_seq_handle = -1;
   }
-  if (r.on_finish) r.on_finish(r);
+  switch (reason) {
+    case FinishReason::kLength: ++stats_.completed; break;
+    case FinishReason::kCancelled: ++stats_.cancelled; break;
+    case FinishReason::kDeadline: ++stats_.deadline_expired; break;
+    case FinishReason::kShedOverload: ++stats_.shed; break;
+    case FinishReason::kRejected: ++stats_.rejected; break;
+    case FinishReason::kError: ++stats_.errored; break;
+    case FinishReason::kNone: QS_CHECK_MSG(false, "finish without a reason");
+  }
+  if (r.on_finish) {
+    try {
+      r.on_finish(r);
+    } catch (...) {
+      // The request is already finished; a throwing on_finish is counted and
+      // contained (there is nothing left to fail).
+      ++stats_.callback_exceptions;
+    }
+  }
 }
 
 void ServingEngine::evict(Request& r) {
@@ -159,6 +292,34 @@ void ServingEngine::evict(Request& r) {
   r.state = RequestState::kQueued;
   ++r.preemptions;
   ++stats_.preemptions;
+}
+
+void ServingEngine::fault_preempt(const std::vector<Request*>& decodes,
+                                  const std::vector<PrefillWork>& prefills) {
+  ++stats_.faulted_steps;
+  // The aborted forward may have appended a partial chunk for any step
+  // participant, but it delivered no tokens (sampling runs strictly after
+  // the forwards), so preemption is sufficient AND stream-preserving:
+  // end_sequence() discards whatever partial KV state exists, and the
+  // recompute-on-resume re-prefill rebuilds it exactly. Non-participants
+  // (e.g. admitted this step with a zero-token chunk share) hold no state
+  // the fault could have touched and keep running.
+  std::unordered_set<Request*> participants;
+  for (Request* r : decodes) participants.insert(r);
+  for (const PrefillWork& w : prefills) participants.insert(w.req);
+  // Reverse admission order: requeue_front()ing youngest-first leaves the
+  // queue in FCFS order, same as the scheduler's own eviction policy.
+  for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
+    Request* r = *it;
+    if (participants.count(r) == 0) continue;
+    evict(*r);
+    scheduler_.requeue_front(r);
+  }
+  running_.erase(std::remove_if(running_.begin(), running_.end(),
+                                [](Request* r) {
+                                  return r->state == RequestState::kQueued;
+                                }),
+                 running_.end());
 }
 
 void ServingEngine::lower_prefill_chunks(
@@ -339,14 +500,45 @@ bool ServingEngine::step() {
       model_->attention_seconds() +
       (draft_ ? draft_->attention_seconds() : 0.0);
 
-  StepPlan plan = scheduler_.plan(running_, model_->kv_cache().free_pages());
-  // An all-empty plan with work outstanding means the pool can never serve
-  // it (e.g. a single request larger than the whole pool): nothing running
-  // will free pages and nothing queued can be admitted. Fail loudly rather
-  // than spinning.
-  QS_CHECK_MSG(!(plan.empty() &&
-                 !scheduler_.idle(static_cast<int>(running_.size()))),
-               "serving stalled: KV pool too small for the submitted work");
+  // Mark the step in progress so cancel() from inside a callback defers to
+  // this step's safe points instead of mutating mid-flight state.
+  struct StepGuard {
+    bool& flag;
+    explicit StepGuard(bool& f) : flag(f) { flag = true; }
+    ~StepGuard() { flag = false; }
+  } step_guard(in_step_);
+  apply_pending_cancellations();
+
+  StepPlan plan = scheduler_.plan(running_, model_->kv_cache().free_pages(),
+                                  stats_.steps);
+  stats_.queue_depth_high_water =
+      std::max(stats_.queue_depth_high_water, scheduler_.queued());
+
+  // Retire the requests the scheduler removed this step, BEFORE executing:
+  // the plan's page budget assumes their sequences are freed.
+  if (!plan.expired.empty() || !plan.stalled.empty()) {
+    for (Request* r : plan.expired) finish_with(*r, FinishReason::kDeadline);
+    for (Request* r : plan.stalled)
+      finish_with(*r, FinishReason::kError,
+                  "KV pool cannot serve this request's next step");
+    prune_finished();
+  }
+
+  // Livelock backstop. The scheduler converts every stuck *running* request
+  // to `stalled`, and submit-time validation rejects requests larger than
+  // the pool, so an all-empty plan with work outstanding should be
+  // unreachable. If it ever happens anyway (a queued request the idle pool
+  // still cannot admit), fail that request, not the process.
+  if (plan.empty() && plan.expired.empty() && plan.stalled.empty() &&
+      !scheduler_.idle(static_cast<int>(running_.size()))) {
+    Request* head = scheduler_.queued_front();
+    QS_CHECK_MSG(running_.empty() && head != nullptr,
+                 "serving stalled: scheduler planned no work and retired "
+                 "none");
+    scheduler_.remove_queued(head);
+    finish_with(*head, FinishReason::kError,
+                "KV pool cannot admit this request");
+  }
 
   // Apply evictions (the scheduler already re-queued the victims).
   if (!plan.evicted.empty()) {
@@ -385,109 +577,34 @@ bool ServingEngine::step() {
       (speculative() ? cfg_.speculative.lookahead_k + 1 : 1);
   const int64_t step_rows = decode_rows + prefill_rows;
 
-  if (speculative()) {
-    run_speculative_step(plan.decodes, chunks);
-  } else {
-    std::unordered_map<const Request*, const float*> decode_out;
-    std::unordered_map<const Request*, ChunkJob*> chunk_out;
-    // Logits storage must outlive the sampling loop below: the batched path
-    // points rows into step_logits, the per-request path owns decode_logits
-    // and the ChunkJobs' logits tensors.
-    std::vector<Tensor> decode_logits;
-    Tensor step_logits;
-
-    if (cfg_.batched_step) {
-      // Lower the StepPlan to one BatchedStep — decode rows first, then the
-      // prefill chunks — and execute it as a single stacked forward: one GEMM
-      // call per projection per layer covers every row of the step.
-      // Per-row logit selection: decode rows and completing prefill chunks
-      // sample, mid-prompt chunks skip the LM head entirely.
-      BatchedStep bstep;
-      bstep.chunks.reserve(plan.decodes.size() + chunks.size());
-      for (Request* r : plan.decodes)
-        bstep.chunks.push_back(
-            {r->seq_handle,
-             {r->generated.back()},
-             static_cast<int>(model_->seq_pos(r->seq_handle)),
-             /*logit_rows=*/1});
-      std::vector<int64_t> chunk_logit_row;
-      lower_prefill_chunks(bstep, chunks,
-                           static_cast<int64_t>(plan.decodes.size()),
-                           chunk_logit_row);
-      if (!bstep.chunks.empty()) {
-        const auto tf = std::chrono::steady_clock::now();
-        step_logits = model_->forward_step(bstep);
-        // One forward covers both work types; apportion its wall time by row
-        // count so the prefill/decode throughput split stays meaningful.
-        const double dt = seconds_since(tf);
-        stats_.decode_seconds += dt * double(decode_rows) / double(step_rows);
-        stats_.prefill_seconds +=
-            dt * double(prefill_rows) / double(step_rows);
-        for (size_t i = 0; i < plan.decodes.size(); ++i)
-          decode_out.emplace(plan.decodes[i],
-                             step_logits.row(static_cast<int64_t>(i)));
-        bind_chunk_logits(chunks, chunk_logit_row, step_logits);
-        for (ChunkJob& c : chunks) chunk_out.emplace(c.req, &c);
-      }
+  // Execute. Injected faults (fault::kEngineStep here; kv_alloc / kv_append
+  // inside the forwards) abort execution strictly before any sampling, so
+  // converting them to preemption of the step's participants loses no
+  // delivered token and recompute-on-resume keeps every stream bitwise
+  // intact. Only FaultInjectedError is caught — a genuine CheckError still
+  // means a broken invariant and must abort.
+  bool faulted = false;
+  try {
+    if (step_rows > 0) fault::maybe_fail(fault::kEngineStep);
+    if (speculative()) {
+      run_speculative_step(plan.decodes, chunks);
     } else {
-      // Per-request reference path: forward passes fan out across requests;
-      // each touches only its own sequence (the KV pool bookkeeping is
-      // internally locked). Decode and prefill run as separate fan-outs so
-      // their wall time is split in stats.
-      decode_logits.resize(plan.decodes.size());
-      const auto td = std::chrono::steady_clock::now();
-      parallel_for(0, static_cast<int64_t>(plan.decodes.size()), 1,
-                   [&](int64_t lo, int64_t hi) {
-                     for (int64_t i = lo; i < hi; ++i) {
-                       Request* r = plan.decodes[static_cast<size_t>(i)];
-                       decode_logits[static_cast<size_t>(i)] =
-                           model_->decode_step(r->seq_handle,
-                                               r->generated.back());
-                     }
-                   });
-      if (!plan.decodes.empty()) stats_.decode_seconds += seconds_since(td);
-
-      const auto tp = std::chrono::steady_clock::now();
-      parallel_for(0, static_cast<int64_t>(chunks.size()), 1,
-                   [&](int64_t lo, int64_t hi) {
-                     for (int64_t i = lo; i < hi; ++i) {
-                       ChunkJob& c = chunks[static_cast<size_t>(i)];
-                       c.logits = model_->prefill_chunk(
-                           c.req->seq_handle, c.tokens,
-                           static_cast<int>(c.req->prefill_pos));
-                     }
-                   });
-      if (!chunks.empty()) stats_.prefill_seconds += seconds_since(tp);
-
-      for (size_t i = 0; i < plan.decodes.size(); ++i)
-        decode_out.emplace(plan.decodes[i], decode_logits[i].data());
-      for (ChunkJob& c : chunks) {
-        c.out = c.logits.data();
-        chunk_out.emplace(c.req, &c);
-      }
+      run_normal_step(plan.decodes, chunks, decode_rows, prefill_rows);
     }
-
-    // Sampling, callbacks, and stats stay serial, in admission (running_)
-    // order, so the generated streams — and the RNG consumption order under
-    // temperature > 0 — are identical across execution modes and thread
-    // counts.
-    const int64_t vocab = model_->config().vocab;
-    for (Request* r : running_) {
-      if (auto it = chunk_out.find(r); it != chunk_out.end()) {
-        handle_prefill_result(*r, *it->second);
-      } else if (auto dit = decode_out.find(r); dit != decode_out.end()) {
-        deliver(*r, sample(dit->second, vocab));
-      }
-    }
+  } catch (const FaultInjectedError&) {
+    faulted = true;
   }
+  if (faulted) fault_preempt(plan.decodes, plan.prefills);
+  // Cancellations requested by this step's callbacks.
+  apply_pending_cancellations();
 
-  stats_.peak_batch =
-      std::max(stats_.peak_batch, static_cast<int>(running_.size()));
-  stats_.peak_batch_tokens = std::max(stats_.peak_batch_tokens, step_rows);
-  stats_.step_tokens += step_rows;
-  running_.erase(std::remove_if(running_.begin(), running_.end(),
-                                [](Request* r) { return r->done(); }),
-                 running_.end());
+  if (!faulted) {
+    stats_.peak_batch =
+        std::max(stats_.peak_batch, static_cast<int>(running_.size()));
+    stats_.peak_batch_tokens = std::max(stats_.peak_batch_tokens, step_rows);
+    stats_.step_tokens += step_rows;
+  }
+  prune_finished();
 
   ++stats_.steps;
   stats_.wall_seconds += seconds_since(t0);
@@ -496,6 +613,103 @@ bool ServingEngine::step() {
       (draft_ ? draft_->attention_seconds() : 0.0) - attn0;
   refresh_derived_stats();
   return !scheduler_.idle(static_cast<int>(running_.size()));
+}
+
+void ServingEngine::run_normal_step(const std::vector<Request*>& decodes,
+                                    std::vector<ChunkJob>& chunks,
+                                    int64_t decode_rows,
+                                    int64_t prefill_rows) {
+  const int64_t step_rows = decode_rows + prefill_rows;
+  std::unordered_map<const Request*, const float*> decode_out;
+  std::unordered_map<const Request*, ChunkJob*> chunk_out;
+  // Logits storage must outlive the sampling loop below: the batched path
+  // points rows into step_logits, the per-request path owns decode_logits
+  // and the ChunkJobs' logits tensors.
+  std::vector<Tensor> decode_logits;
+  Tensor step_logits;
+
+  if (cfg_.batched_step) {
+    // Lower the StepPlan to one BatchedStep — decode rows first, then the
+    // prefill chunks — and execute it as a single stacked forward: one GEMM
+    // call per projection per layer covers every row of the step.
+    // Per-row logit selection: decode rows and completing prefill chunks
+    // sample, mid-prompt chunks skip the LM head entirely.
+    BatchedStep bstep;
+    bstep.chunks.reserve(decodes.size() + chunks.size());
+    for (Request* r : decodes)
+      bstep.chunks.push_back(
+          {r->seq_handle,
+           {r->generated.back()},
+           static_cast<int>(model_->seq_pos(r->seq_handle)),
+           /*logit_rows=*/1});
+    std::vector<int64_t> chunk_logit_row;
+    lower_prefill_chunks(bstep, chunks,
+                         static_cast<int64_t>(decodes.size()),
+                         chunk_logit_row);
+    if (!bstep.chunks.empty()) {
+      const auto tf = std::chrono::steady_clock::now();
+      step_logits = model_->forward_step(bstep);
+      // One forward covers both work types; apportion its wall time by row
+      // count so the prefill/decode throughput split stays meaningful.
+      const double dt = seconds_since(tf);
+      stats_.decode_seconds += dt * double(decode_rows) / double(step_rows);
+      stats_.prefill_seconds += dt * double(prefill_rows) / double(step_rows);
+      for (size_t i = 0; i < decodes.size(); ++i)
+        decode_out.emplace(decodes[i],
+                           step_logits.row(static_cast<int64_t>(i)));
+      bind_chunk_logits(chunks, chunk_logit_row, step_logits);
+      for (ChunkJob& c : chunks) chunk_out.emplace(c.req, &c);
+    }
+  } else {
+    // Per-request reference path: forward passes fan out across requests;
+    // each touches only its own sequence (the KV pool bookkeeping is
+    // internally locked). Decode and prefill run as separate fan-outs so
+    // their wall time is split in stats.
+    decode_logits.resize(decodes.size());
+    const auto td = std::chrono::steady_clock::now();
+    parallel_for(0, static_cast<int64_t>(decodes.size()), 1,
+                 [&](int64_t lo, int64_t hi) {
+                   for (int64_t i = lo; i < hi; ++i) {
+                     Request* r = decodes[static_cast<size_t>(i)];
+                     decode_logits[static_cast<size_t>(i)] =
+                         model_->decode_step(r->seq_handle,
+                                             r->generated.back());
+                   }
+                 });
+    if (!decodes.empty()) stats_.decode_seconds += seconds_since(td);
+
+    const auto tp = std::chrono::steady_clock::now();
+    parallel_for(0, static_cast<int64_t>(chunks.size()), 1,
+                 [&](int64_t lo, int64_t hi) {
+                   for (int64_t i = lo; i < hi; ++i) {
+                     ChunkJob& c = chunks[static_cast<size_t>(i)];
+                     c.logits = model_->prefill_chunk(
+                         c.req->seq_handle, c.tokens,
+                         static_cast<int>(c.req->prefill_pos));
+                   }
+                 });
+    if (!chunks.empty()) stats_.prefill_seconds += seconds_since(tp);
+
+    for (size_t i = 0; i < decodes.size(); ++i)
+      decode_out.emplace(decodes[i], decode_logits[i].data());
+    for (ChunkJob& c : chunks) {
+      c.out = c.logits.data();
+      chunk_out.emplace(c.req, &c);
+    }
+  }
+
+  // Sampling, callbacks, and stats stay serial, in admission (running_)
+  // order, so the generated streams — and the RNG consumption order under
+  // temperature > 0 — are identical across execution modes and thread
+  // counts.
+  const int64_t vocab = model_->config().vocab;
+  for (Request* r : running_) {
+    if (auto it = chunk_out.find(r); it != chunk_out.end()) {
+      handle_prefill_result(*r, *it->second);
+    } else if (auto dit = decode_out.find(r); dit != decode_out.end()) {
+      deliver(*r, sample(dit->second, vocab));
+    }
+  }
 }
 
 void ServingEngine::refresh_derived_stats() {
@@ -524,11 +738,11 @@ void ServingEngine::refresh_derived_stats() {
       stats_.decode_tokens > 0
           ? double(stats_.verify_forwards) / double(stats_.decode_tokens)
           : 0;
-  if (finished_requests_ > 0) {
+  if (served_finished_ > 0) {
     stats_.mean_first_token_steps =
-        first_token_steps_sum_ / double(finished_requests_);
+        first_token_steps_sum_ / double(served_finished_);
     stats_.mean_completion_steps =
-        completion_steps_sum_ / double(finished_requests_);
+        completion_steps_sum_ / double(served_finished_);
   }
 }
 

@@ -20,6 +20,14 @@
 // submit(prompt, opts, on_token, on_finish) registers per-token/finish
 // callbacks, and drain() (or a caller-driven step() loop) pumps the engine
 // until idle.
+//
+// Failure semantics: every request finishes exactly once with a definite
+// FinishReason (see request.h). Per-request conditions — bad input, a
+// deadline, cancellation, bounded-queue overload, a throwing user callback,
+// an injected fault — never abort the process and never perturb other
+// requests' token streams: an injected KV-allocation or step fault converts
+// to recompute-on-resume preemption of the step's participants, which is
+// bitwise stream-preserving by construction.
 #pragma once
 
 #include <memory>
@@ -58,6 +66,13 @@ struct EngineConfig {
   // a batched multi-row chunk); the flag is ignored there.
   bool batched_step = true;
   SpeculativeConfig speculative;
+  // Bounded admission (0 = unlimited). When a new submission would push the
+  // scheduler queue past either cap, submit() finishes it immediately with
+  // FinishReason::kShedOverload and try_submit() returns -1 without creating
+  // a request — load sheds at the door instead of building unbounded queues.
+  // Running requests do not count; the caps bound *waiting* work.
+  int64_t max_queued_requests = 0;
+  int64_t max_queued_prompt_tokens = 0;
 };
 
 struct EngineStats {
@@ -115,6 +130,23 @@ struct EngineStats {
   int64_t accepted_tokens = 0;  // accepted draft prefix lengths, summed
   double acceptance_rate = 0;   // accepted_tokens / proposed_tokens
   double target_forwards_per_decode_token = 0;
+  // --- request lifecycle --------------------------------------------------
+  // Finished-request counts by FinishReason; their sum is the number of
+  // on_finish callbacks fired. Maintained identically by the plain and
+  // speculative engines.
+  int64_t completed = 0;         // kLength
+  int64_t cancelled = 0;         // kCancelled
+  int64_t deadline_expired = 0;  // kDeadline
+  int64_t shed = 0;              // kShedOverload
+  int64_t rejected = 0;          // kRejected
+  int64_t errored = 0;           // kError
+  // Deepest the admission queue ever got (sampled at submit and per step).
+  int64_t queue_depth_high_water = 0;
+  // Steps whose execution was aborted by an injected fault and converted to
+  // preemption of the step's participants.
+  int64_t faulted_steps = 0;
+  // User on_token/on_finish callbacks that threw (caught at the boundary).
+  int64_t callback_exceptions = 0;
 };
 
 class ServingEngine {
@@ -141,10 +173,31 @@ class ServingEngine {
 
   // Streaming submit: on_token fires once per generated token in stream
   // order (during the step that sampled it), on_finish exactly once after
-  // the last token. Either callback may be null.
+  // the last token. Either callback may be null. Never throws for
+  // per-request conditions: unservable input finishes immediately with
+  // kRejected, a full queue with kShedOverload — in both cases on_finish has
+  // already fired by the time submit() returns.
   int submit(std::vector<int> prompt, const RequestOptions& opts,
              std::function<void(const Request&, int)> on_token,
              std::function<void(const Request&)> on_finish = nullptr);
+
+  // Backpressure-reporting submit: returns -1 WITHOUT creating a request
+  // when the queue caps would shed it, so callers can retry later or
+  // propagate the pushback upstream. Unservable input still creates the
+  // request and finishes it kRejected (retrying would never help), exactly
+  // like submit().
+  int try_submit(std::vector<int> prompt, const RequestOptions& opts,
+                 std::function<void(const Request&, int)> on_token = nullptr,
+                 std::function<void(const Request&)> on_finish = nullptr);
+
+  // Cancel a request. Returns true if the cancellation was accepted (the
+  // request will finish with FinishReason::kCancelled), false if it already
+  // finished or was already cancelled. Safe to call from inside on_token /
+  // on_finish: mid-step cancellations are applied at the next safe point
+  // (already-delivered tokens stand; no further tokens are delivered after
+  // the step in which the cancellation is applied). Frees the target and
+  // draft KV sequences and fires on_finish exactly once.
+  bool cancel(int id);
 
   // One engine iteration: plan (admit/evict), execute the step's rows (one
   // batched forward by default), sample per finished row, fire callbacks.
@@ -188,7 +241,25 @@ class ServingEngine {
   void handle_prefill_result(Request& r, ChunkJob& c);
   // Record a sampled token: append, fire on_token, finish if complete.
   void deliver(Request& r, int token);
-  void finish(Request& r);
+  // The single finish path: set the reason, free both KV sequences, bump the
+  // per-reason counter, fire on_finish exactly once (exceptions caught).
+  void finish_with(Request& r, FinishReason reason,
+                   const char* error = nullptr);
+  // Shared body of submit()/try_submit(): validate (kRejected), apply queue
+  // caps (kShedOverload, or -1 when !create_on_shed), else enqueue.
+  int submit_impl(std::vector<int> prompt, const RequestOptions& opts,
+                  std::function<void(const Request&, int)> on_token,
+                  std::function<void(const Request&)> on_finish,
+                  bool create_on_shed);
+  // Finish every pending cancellation (deferred while a step is executing)
+  // and drop the finished requests from running_.
+  void apply_pending_cancellations();
+  // Convert an injected fault that aborted this step's execution into
+  // recompute-on-resume preemption of every step participant.
+  void fault_preempt(const std::vector<Request*>& decodes,
+                     const std::vector<PrefillWork>& prefills);
+  // Drop finished requests from running_ (admission order is preserved).
+  void prune_finished();
   // Preempt: free the KV sequence(s) and reset prefill progress; the request
   // is already back in the scheduler queue.
   void evict(Request& r);
@@ -205,6 +276,11 @@ class ServingEngine {
   // paths.
   void run_speculative_step(const std::vector<Request*>& decodes,
                             std::vector<ChunkJob>& chunks);
+  // Non-speculative execution of one planned step (batched or per-request
+  // forwards per cfg_.batched_step) plus the serial sampling loop.
+  void run_normal_step(const std::vector<Request*>& decodes,
+                       std::vector<ChunkJob>& chunks, int64_t decode_rows,
+                       int64_t prefill_rows);
   // Recompute the derived stats (throughputs, per-step/request means) from
   // the running counters; called at the end of every step().
   void refresh_derived_stats();
@@ -216,11 +292,18 @@ class ServingEngine {
   std::vector<std::unique_ptr<Request>> requests_;
   std::vector<Request*> running_;  // admission order; back = youngest
   EngineStats stats_;
-  // Incremental latency sums over finished requests (O(1) per-step derived
-  // stats instead of a rescan of requests_).
+  // Incremental latency sums over finished requests that produced at least
+  // one token (O(1) per-step derived stats instead of a rescan of
+  // requests_). Shed/rejected/never-served requests are excluded so the
+  // latency means describe served traffic.
   double first_token_steps_sum_ = 0;
   double completion_steps_sum_ = 0;
-  int64_t finished_requests_ = 0;
+  int64_t served_finished_ = 0;
+  // Cancellations requested while a step was executing; applied at the next
+  // safe point (step boundaries and after the sampling loop).
+  std::vector<int> pending_cancels_;
+  bool in_step_ = false;
+  bool applying_cancels_ = false;
   Rng rng_;
 };
 

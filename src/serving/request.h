@@ -5,36 +5,88 @@
 // freed and prefill_pos resets). On re-admission it re-prefills its whole
 // context — prompt plus every token generated so far — which rebuilds the
 // identical KV state, so the continued token stream is bitwise unchanged.
+//
+// Every request finishes exactly once, with a definite FinishReason: the
+// engine never aborts the process for a per-request condition (bad input,
+// pool too small for that request, expired deadline, cancellation, a
+// throwing user callback, an injected fault) — the affected request fails
+// alone and every other stream is bitwise unchanged.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace qserve {
 
 enum class RequestState { kQueued, kPrefilling, kDecoding, kFinished };
 
+// Why a request reached kFinished. Exactly one reason per request; on_finish
+// fires exactly once after it is set.
+enum class FinishReason {
+  kNone = 0,      // not finished yet
+  kLength,        // produced max_new_tokens — the only "success" terminal
+  kCancelled,     // ServingEngine::cancel()
+  kDeadline,      // deadline_steps / ttft_deadline_steps expired
+  kShedOverload,  // bounded admission queue was full at submit()
+  kRejected,      // unservable as submitted (empty prompt, bad limits,
+                  // larger than the whole KV pool)
+  kError,         // runtime failure (user callback threw, pool can never
+                  // fit the request's next step mid-flight)
+};
+
+inline const char* to_string(FinishReason reason) {
+  switch (reason) {
+    case FinishReason::kNone: return "none";
+    case FinishReason::kLength: return "length";
+    case FinishReason::kCancelled: return "cancelled";
+    case FinishReason::kDeadline: return "deadline";
+    case FinishReason::kShedOverload: return "shed_overload";
+    case FinishReason::kRejected: return "rejected";
+    case FinishReason::kError: return "error";
+  }
+  return "unknown";
+}
+
 // Per-request knobs for the streaming submit API.
 struct RequestOptions {
   int max_new_tokens = 16;
+  // Deadlines in engine steps, measured from submission; 0 disables. The
+  // scheduler expires them at plan time: a request that has not finished
+  // within deadline_steps (or produced its first token within
+  // ttft_deadline_steps) finishes with FinishReason::kDeadline and its KV
+  // pages are freed before any new work is admitted that step.
+  int64_t deadline_steps = 0;
+  int64_t ttft_deadline_steps = 0;
 };
 
 struct Request {
   int id = -1;
   std::vector<int> prompt;
   int max_new_tokens = 16;
+  int64_t deadline_steps = 0;       // see RequestOptions
+  int64_t ttft_deadline_steps = 0;  // see RequestOptions
 
   // Streaming callbacks (either may be empty). on_token fires once per
   // generated token — the first token included — in stream order, during the
   // engine step that sampled it; r.generated already contains the token.
   // Preemption never re-fires delivered tokens (a re-prefill reconstructs KV
   // state but samples no already-delivered positions). on_finish fires
-  // exactly once, after the final on_token.
+  // exactly once, after the final on_token. A callback that throws is caught
+  // at the boundary: the engine stays consistent, and a throwing on_token
+  // finishes its request with FinishReason::kError.
   std::function<void(const Request&, int token)> on_token;
   std::function<void(const Request&)> on_finish;
 
   RequestState state = RequestState::kQueued;
+  FinishReason finish_reason = FinishReason::kNone;
+  // Human-readable detail for kRejected / kError finishes.
+  std::string error;
+  // Set by ServingEngine::cancel(); applied at the next safe point (engine-
+  // internal — callers should treat it as opaque).
+  bool cancel_requested = false;
+
   std::vector<int> generated;
   int seq_handle = -1;  // QuantizedModel sequence id while running
 

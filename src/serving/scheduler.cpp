@@ -44,16 +44,57 @@ int64_t Scheduler::token_capacity(int64_t len, int64_t free) const {
   return slack + std::max<int64_t>(free, 0) / n_layers_ * page_size_;
 }
 
+bool Scheduler::past_deadline(const Request& r, int64_t current_step) {
+  const int64_t age = current_step - r.submitted_step;
+  if (r.deadline_steps > 0 && age >= r.deadline_steps) return true;
+  if (r.ttft_deadline_steps > 0 && r.first_token_step < 0 &&
+      age >= r.ttft_deadline_steps)
+    return true;
+  return false;
+}
+
+bool Scheduler::remove_queued(Request* r) {
+  auto it = std::find(queue_.begin(), queue_.end(), r);
+  if (it == queue_.end()) return false;
+  queued_prompt_tokens_ -= r->context_len();
+  queue_.erase(it);
+  return true;
+}
+
 StepPlan Scheduler::plan(const std::vector<Request*>& running,
-                         int64_t free_pages) {
+                         int64_t free_pages, int64_t current_step) {
   StepPlan plan;
   int64_t free = free_pages;
-  std::vector<Request*> live = running;
+
+  // 0. Deadline expiry, before any reservation: expired requests leave the
+  // batch and the queue now, and a running expiree's pages are credited to
+  // this step's budget (the engine frees its sequences before executing).
+  std::vector<Request*> live;
+  live.reserve(running.size());
+  for (Request* r : running) {
+    if (past_deadline(*r, current_step)) {
+      free += held_pages(*r);
+      plan.expired.push_back(r);
+    } else {
+      live.push_back(r);
+    }
+  }
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (past_deadline(**it, current_step)) {
+      queued_prompt_tokens_ -= (*it)->context_len();
+      plan.expired.push_back(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 
   // 1. Decode-priority page reservation. Evict the youngest running request
   // (prefilling or decoding) until every decode's step fits — a step appends
   // decode_tokens_per_step tokens at peak (1 classic, k+1 for a speculative
-  // verify forward before its rollback).
+  // verify forward before its rollback). If a *lone* decode still cannot
+  // fit, the pool can never serve it: move it to `stalled` instead of
+  // spinning (the engine finishes it with kError).
   const auto decode_need = [&live, this]() {
     int64_t need = 0;
     for (Request* r : live)
@@ -62,17 +103,23 @@ StepPlan Scheduler::plan(const std::vector<Request*>& running,
     return need;
   };
   int64_t need = decode_need();
-  while (need > free) {
-    QS_CHECK_MSG(live.size() > 1,
-                 "KV pool cannot hold a single request's next decode step");
+  while (need > free && live.size() > 1) {
     Request* victim = live.back();
     live.pop_back();
     free += held_pages(*victim);
     plan.evicted.push_back(victim);
     // Front of the queue: an evictee outranks never-admitted requests, and
     // evicting youngest-first then pushing front keeps older evictees ahead.
-    queue_.push_front(victim);
+    requeue_front(victim);
     need = decode_need();
+  }
+  if (need > free) {
+    Request* lone = live.back();
+    live.pop_back();
+    free += held_pages(*lone);
+    plan.stalled.push_back(lone);
+    need = decode_need();
+    QS_CHECK_MSG(need == 0, "stalled-decode conversion left residual need");
   }
   free -= need;
   for (Request* r : live)
@@ -89,6 +136,7 @@ StepPlan Scheduler::plan(const std::vector<Request*>& running,
            free - admit_hold >= n_layers_) {
       Request* r = queue_.front();
       queue_.pop_front();
+      queued_prompt_tokens_ -= r->context_len();
       plan.admitted.push_back(r);
       live.push_back(r);
       admit_hold += n_layers_;
@@ -132,19 +180,36 @@ StepPlan Scheduler::plan(const std::vector<Request*>& running,
   // 4. Prefill-deadlock relief. With no decodes to drive eviction, several
   // mid-prefill requests can jointly exhaust the pool and all stall even
   // though each would complete alone. Evict the youngest (freeing its
-  // pages) until the oldest can progress; if one lone request still cannot,
-  // the pool is genuinely too small and the engine fails loudly. Admission
-  // cannot have happened on such a step (no pages -> no admission), so the
-  // victims are always previously-running prefills. `plan.prefills` is
-  // empty on entry (nothing was assigned), so re-running the distribution
-  // after freeing pages starts from a clean slate.
+  // pages) until the oldest can progress. Admission cannot have happened on
+  // such a step (no pages -> no admission), so the victims are always
+  // previously-running prefills. `plan.prefills` is empty on entry (nothing
+  // was assigned), so re-running the distribution after freeing pages
+  // starts from a clean slate.
   while (plan.decodes.empty() && plan.prefills.empty() && live.size() > 1) {
     Request* victim = live.back();
     live.pop_back();
     free += held_pages(*victim);
     plan.evicted.push_back(victim);
-    queue_.push_front(victim);
+    requeue_front(victim);
     distribute();
+  }
+
+  // 5. Livelock conversion: a lone mid-prefill request that cannot place a
+  // single token even with the rest of the pool free can never progress —
+  // fail *that request* (kError via `stalled`) instead of the whole engine.
+  // The guards are deliberately conservative: any eviction, expiry, or
+  // prior stall this step may free pages, so the next plan() call gets a
+  // fresh chance before anything is declared stuck. (An empty batch with a
+  // non-empty queue and no pages is NOT converted here: with nothing
+  // running, the pool's pages are simply not free *yet* from this planner's
+  // point of view — the engine, which knows the pool is fully idle in that
+  // state, handles the genuinely-unadmittable case.)
+  if (plan.empty() && plan.expired.empty() && plan.stalled.empty() &&
+      live.size() == 1 && remaining(live[0]) > 0) {
+    Request* lone = live[0];
+    live.pop_back();
+    free += held_pages(*lone);
+    plan.stalled.push_back(lone);
   }
   return plan;
 }

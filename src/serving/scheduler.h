@@ -4,22 +4,29 @@
 // vLLM's recompute-on-resume).
 //
 // Each engine step asks the scheduler for a StepPlan:
-//   1. Every decoding request decodes one token. Their page needs are
+//   1. Requests past their deadline (deadline_steps / ttft_deadline_steps)
+//      are expired first — running or queued — so their pages are free
+//      before any reservation or admission decision this step.
+//   2. Every decoding request decodes one token. Their page needs are
 //      reserved *first*; if the pool cannot serve them, the youngest running
 //      request is evicted back to the *front* of the queue (its pages free
 //      immediately, it re-prefills prompt + generated-so-far on re-admission)
 //      — queued prefill work can never starve a running decode.
-//   2. Admission is FCFS and incremental: a queued request joins as soon as
+//   3. Admission is FCFS and incremental: a queued request joins as soon as
 //      the batch has room and at least one token's worth of pages is left
 //      after the decode reservations. No max-final-length reservation — the
 //      pool is allowed to over-commit, and preemption resolves the pressure.
-//   3. At most `prefill_chunk` prompt tokens are prefilled per step, shared
+//   4. At most `prefill_chunk` prompt tokens are prefilled per step, shared
 //      across the batch shortest-remaining-first (so a short prompt's TTFT
 //      is never stuck behind a long prompt's prefill), with the oldest
 //      prefilling request guaranteed at least half the chunk (so a stream
 //      of short arrivals cannot starve a long prompt). Every share is
 //      clamped to the pages actually free, so a planned step can never
 //      exhaust the pool mid-forward.
+//   5. A request that cannot make progress even with the whole pool to
+//      itself is moved to `stalled` instead of livelocking the loop — the
+//      engine finishes it with FinishReason::kError and every other request
+//      keeps running.
 #pragma once
 
 #include <deque>
@@ -54,6 +61,14 @@ struct StepPlan {
   std::vector<PrefillWork> prefills; // chunk shares, includes newly admitted
   std::vector<Request*> admitted;    // FCFS order
   std::vector<Request*> evicted;     // youngest first; already re-queued
+  // Requests the scheduler removed from service this step. The engine must
+  // finish them (kDeadline / kError) and free their KV sequences *before*
+  // executing the step: their pages were credited to this plan's budget.
+  std::vector<Request*> expired;     // past a deadline; no longer queued/live
+  std::vector<Request*> stalled;     // cannot progress even alone in the pool
+  // "No execution work" — expired/stalled are excluded on purpose: a step
+  // that only retires requests still counts as progress for the engine's
+  // livelock check but runs no forward.
   bool empty() const {
     return decodes.empty() && prefills.empty() && admitted.empty() &&
            evicted.empty();
@@ -67,17 +82,37 @@ class Scheduler {
   // page boundary.
   Scheduler(const SchedulerConfig& cfg, int page_size, int n_layers);
 
-  void enqueue(Request* r) { queue_.push_back(r); }
+  void enqueue(Request* r) {
+    queue_.push_back(r);
+    queued_prompt_tokens_ += r->context_len();
+  }
+  // Push an evicted/fault-recovered request back to the queue front so it
+  // outranks never-admitted requests on re-admission.
+  void requeue_front(Request* r) {
+    queue_.push_front(r);
+    queued_prompt_tokens_ += r->context_len();
+  }
+  // Remove `r` from the queue if it is queued (cancellation of a not-yet-
+  // admitted request). Returns false if `r` was not in the queue.
+  bool remove_queued(Request* r);
 
   // Plan one step. `running` is the engine's batch in admission order (the
   // eviction victim is its back); `free_pages` is the pool's current free
-  // page count. Evicted requests are pushed to the queue front (oldest
-  // evictee first); admitted requests are popped. The engine applies the
+  // page count; `current_step` is the engine step index used for deadline
+  // expiry. Evicted requests are pushed to the queue front (oldest evictee
+  // first); admitted requests are popped. The engine applies the
   // corresponding model-side state changes.
-  StepPlan plan(const std::vector<Request*>& running, int64_t free_pages);
+  StepPlan plan(const std::vector<Request*>& running, int64_t free_pages,
+                int64_t current_step = 0);
 
   bool idle(int running) const { return queue_.empty() && running == 0; }
+  Request* queued_front() const {
+    return queue_.empty() ? nullptr : queue_.front();
+  }
   int64_t queued() const { return static_cast<int64_t>(queue_.size()); }
+  // Context tokens (prompt + any pre-eviction generation) across the queue,
+  // maintained incrementally for O(1) admission-cap checks.
+  int64_t queued_prompt_tokens() const { return queued_prompt_tokens_; }
 
   // KV tokens `r` has appended so far (used for page-cost arithmetic; also
   // handy for tests). During prefill this is the chunk progress; during
@@ -89,11 +124,13 @@ class Scheduler {
   int64_t held_pages(const Request& r) const;
   // Tokens that fit in the last partially-filled page plus `free` new pages.
   int64_t token_capacity(int64_t len, int64_t free) const;
+  static bool past_deadline(const Request& r, int64_t current_step);
 
   SchedulerConfig cfg_;
   int page_size_;
   int n_layers_;
   std::deque<Request*> queue_;
+  int64_t queued_prompt_tokens_ = 0;
 };
 
 }  // namespace qserve

@@ -53,6 +53,15 @@ int64_t PagedKvCache::Page::payload_bytes() const {
              static_cast<int64_t>(k_params.size() + v_params.size());
 }
 
+void PagedKvCache::Page::copy_payload_from(const Page& src) {
+  k_codes = src.k_codes;
+  v_codes = src.v_codes;
+  k_half = src.k_half;
+  v_half = src.v_half;
+  k_params = src.k_params;
+  v_params = src.v_params;
+}
+
 int64_t PagedKvCache::measured_page_bytes() const {
   Page p;
   p.resize(cfg_);
@@ -90,21 +99,106 @@ int PagedKvCache::alloc_sequence() {
   return id;
 }
 
+void PagedKvCache::release_page_locked(int pid) {
+  Page& p = pages_[static_cast<size_t>(pid)];
+  QS_CHECK_GT(p.refcount, 0);
+  if (--p.refcount > 0) {
+    // Other sequences still own the page; it stays allocated, its bytes and
+    // generation untouched (their SeqViews remain valid).
+    if (p.refcount == 1) shared_pages_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  // Last reference: invalidate outstanding SeqViews before the page can be
+  // recycled.
+  p.generation.fetch_add(1, std::memory_order_relaxed);
+  free_page_ids_.push_back(pid);
+  used_pages_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+PagedKvCache::Page& PagedKvCache::ensure_private_locked(Sequence& s,
+                                                        int64_t page_index) {
+  const int pid = s.page_table[static_cast<size_t>(page_index)];
+  Page& p = pages_[static_cast<size_t>(pid)];
+  QS_CHECK_GT(p.refcount, 0);
+  if (p.refcount == 1) return p;
+  // Copy-on-write: allocate first (may throw — pool exhausted or injected
+  // fault — with nothing mutated yet), copy the shared payload, then retarget
+  // this sequence's table entry. The shared original keeps its generation:
+  // its bytes never change, so the other owners' views stay valid.
+  const int npid = alloc_page_locked();
+  Page& np = pages_[static_cast<size_t>(npid)];
+  np.copy_payload_from(p);
+  np.refcount = 1;
+  --p.refcount;
+  if (p.refcount == 1) shared_pages_.fetch_sub(1, std::memory_order_relaxed);
+  s.page_table[static_cast<size_t>(page_index)] = npid;
+  cow_copies_.fetch_add(1, std::memory_order_relaxed);
+  return np;
+}
+
 void PagedKvCache::free_sequence(int seq) {
   std::lock_guard<std::mutex> lk(mu_);
   QS_CHECK(is_live_locked(seq));
   auto& s = seqs_[static_cast<size_t>(seq)];
-  for (int pid : s.page_table) {
-    // Invalidate outstanding SeqViews before the page can be recycled.
-    pages_[static_cast<size_t>(pid)].generation.fetch_add(
-        1, std::memory_order_relaxed);
-    free_page_ids_.push_back(pid);
-    used_pages_.fetch_sub(1, std::memory_order_relaxed);
-  }
+  for (int pid : s.page_table) release_page_locked(pid);
   s.page_table.clear();
   s.length = 0;
   s.live = false;
   free_seq_ids_.push_back(seq);
+}
+
+int PagedKvCache::fork_sequence(int src, int64_t upto_len) {
+  std::lock_guard<std::mutex> lk(mu_);
+  QS_CHECK(is_live_locked(src));
+  auto& source = seqs_[static_cast<size_t>(src)];
+  QS_CHECK_MSG(upto_len >= 0 && upto_len <= source.length,
+               "fork_sequence upto_len " << upto_len << " outside [0, "
+                                         << source.length << "]");
+  int id;
+  if (!free_seq_ids_.empty()) {
+    id = free_seq_ids_.back();
+    free_seq_ids_.pop_back();
+  } else {
+    id = static_cast<int>(seqs_.size());
+    seqs_.emplace_back();
+  }
+  // seqs_ may have grown; re-resolve the source reference.
+  auto& sp = seqs_[static_cast<size_t>(src)];
+  auto& d = seqs_[static_cast<size_t>(id)];
+  const int64_t n_pages = ceil_div(upto_len, int64_t(cfg_.page_size));
+  d.page_table.clear();
+  d.page_table.reserve(static_cast<size_t>(n_pages));
+  for (int64_t pi = 0; pi < n_pages; ++pi) {
+    const int pid = sp.page_table[static_cast<size_t>(pi)];
+    Page& p = pages_[static_cast<size_t>(pid)];
+    ++p.refcount;
+    if (p.refcount == 2) shared_pages_.fetch_add(1, std::memory_order_relaxed);
+    d.page_table.push_back(pid);
+  }
+  d.length = upto_len;
+  d.live = true;
+  return id;
+}
+
+int64_t PagedKvCache::seq_shared_pages(int seq) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  QS_CHECK(is_live_locked(seq));
+  int64_t n = 0;
+  for (int pid : seqs_[static_cast<size_t>(seq)].page_table)
+    if (pages_[static_cast<size_t>(pid)].refcount > 1) ++n;
+  return n;
+}
+
+std::vector<uint32_t> PagedKvCache::page_generations(int seq) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  QS_CHECK(is_live_locked(seq));
+  const auto& s = seqs_[static_cast<size_t>(seq)];
+  std::vector<uint32_t> gens;
+  gens.reserve(s.page_table.size());
+  for (int pid : s.page_table)
+    gens.push_back(pages_[static_cast<size_t>(pid)].generation.load(
+        std::memory_order_relaxed));
+  return gens;
 }
 
 void PagedKvCache::truncate_sequence(int seq, int64_t new_len) {
@@ -118,20 +212,20 @@ void PagedKvCache::truncate_sequence(int seq, int64_t new_len) {
   if (new_len == s.length) return;
   const int64_t keep_pages = ceil_div(new_len, cfg_.page_size);
   for (int64_t pi = keep_pages;
-       pi < static_cast<int64_t>(s.page_table.size()); ++pi) {
-    const int pid = s.page_table[static_cast<size_t>(pi)];
-    pages_[static_cast<size_t>(pid)].generation.fetch_add(
-        1, std::memory_order_relaxed);
-    free_page_ids_.push_back(pid);
-    used_pages_.fetch_sub(1, std::memory_order_relaxed);
-  }
+       pi < static_cast<int64_t>(s.page_table.size()); ++pi)
+    release_page_locked(s.page_table[static_cast<size_t>(pi)]);
   s.page_table.resize(static_cast<size_t>(keep_pages));
   // The last kept page loses its tail slots (and the next append rewrites
   // them), so pre-truncate views of it must go stale too. A new view() taken
-  // after the rollback snapshots the bumped value and reads fine.
+  // after the rollback snapshots the bumped value and reads fine. A SHARED
+  // boundary page is skipped: its bytes are immutable (the next append to
+  // this sequence copies it on write, leaving the original intact), so the
+  // other owners' views — and even this sequence's pre-truncate views of the
+  // still-unchanged bytes — stay valid.
   if (new_len % cfg_.page_size != 0) {
-    pages_[static_cast<size_t>(s.page_table.back())].generation.fetch_add(
-        1, std::memory_order_relaxed);
+    Page& last = pages_[static_cast<size_t>(s.page_table.back())];
+    if (last.refcount == 1)
+      last.generation.fetch_add(1, std::memory_order_relaxed);
   }
   s.length = new_len;
 }
@@ -169,7 +263,9 @@ int PagedKvCache::alloc_page_locked() {
     pid = static_cast<int>(pages_.size());
     pages_.emplace_back();
   }
-  pages_[static_cast<size_t>(pid)].resize(cfg_);
+  Page& p = pages_[static_cast<size_t>(pid)];
+  p.resize(cfg_);
+  p.refcount = 1;
   used_pages_.fetch_add(1, std::memory_order_relaxed);
   return pid;
 }
@@ -180,8 +276,12 @@ bool PagedKvCache::can_grow(int seq, int64_t tokens) const {
   const auto& s = seqs_[static_cast<size_t>(seq)];
   const int64_t have =
       int64_t(s.page_table.size()) * cfg_.page_size - s.length;
-  const int64_t need_pages = ceil_div(std::max<int64_t>(tokens - have, 0),
-                                      cfg_.page_size);
+  int64_t need_pages = ceil_div(std::max<int64_t>(tokens - have, 0),
+                                cfg_.page_size);
+  // A shared tail page is copied on the first write into it.
+  if (tokens > 0 && s.length % cfg_.page_size != 0 &&
+      pages_[static_cast<size_t>(s.page_table.back())].refcount > 1)
+    ++need_pages;
   return need_pages <= free_pages();
 }
 
@@ -194,9 +294,15 @@ void PagedKvCache::append(int seq, const float* k, const float* v) {
     std::lock_guard<std::mutex> lk(mu_);
     QS_CHECK(is_live_locked(seq));
     auto& s = seqs_[static_cast<size_t>(seq)];
-    if (s.length % cfg_.page_size == 0)
+    if (s.length % cfg_.page_size == 0) {
       s.page_table.push_back(alloc_page_locked());
-    page_ptr = &pages_[static_cast<size_t>(s.page_table.back())];
+      page_ptr = &pages_[static_cast<size_t>(s.page_table.back())];
+    } else {
+      // Writing into the existing tail page: if it is shared (this sequence
+      // was forked mid-page), copy it on write first.
+      page_ptr = &ensure_private_locked(
+          s, static_cast<int64_t>(s.page_table.size()) - 1);
+    }
     slot = s.length % cfg_.page_size;
     ++s.length;
   }
@@ -227,15 +333,24 @@ void PagedKvCache::append_batch(int seq, const float* k, const float* v,
     std::lock_guard<std::mutex> lk(mu_);
     QS_CHECK(is_live_locked(seq));
     auto& s = seqs_[static_cast<size_t>(seq)];
-    const int64_t need = ceil_div(s.length + n, cfg_.page_size) -
-                         ceil_div(s.length, cfg_.page_size);
+    // Capacity up front: growth pages, plus one for the copy-on-write of a
+    // shared tail page the first token would land in.
+    int64_t need = ceil_div(s.length + n, cfg_.page_size) -
+                   ceil_div(s.length, cfg_.page_size);
+    if (s.length % cfg_.page_size != 0 &&
+        pages_[static_cast<size_t>(s.page_table.back())].refcount > 1)
+      ++need;
     QS_CHECK_MSG(need <= free_pages(), "KV cache pool exhausted");
     for (int64_t t = 0; t < n; ++t) {
-      if (s.length % cfg_.page_size == 0)
+      Page* page;
+      if (s.length % cfg_.page_size == 0) {
         s.page_table.push_back(alloc_page_locked());
-      dests[static_cast<size_t>(t)] = {
-          &pages_[static_cast<size_t>(s.page_table.back())],
-          s.length % cfg_.page_size};
+        page = &pages_[static_cast<size_t>(s.page_table.back())];
+      } else {
+        page = &ensure_private_locked(
+            s, static_cast<int64_t>(s.page_table.size()) - 1);
+      }
+      dests[static_cast<size_t>(t)] = {page, s.length % cfg_.page_size};
       ++s.length;
     }
   }

@@ -69,6 +69,33 @@ class PagedKvCache {
   void free_sequence(int seq);
   bool is_live(int seq) const;
 
+  // Fork: a new sequence aliasing src's first `upto_len` tokens. Every page
+  // covering [0, upto_len) — including a partially-covered boundary page —
+  // is SHARED (refcount++), not copied, so forking allocates zero pages and
+  // cannot fail for capacity. Shared pages are immutable: the first writer
+  // (append/append_batch filling the shared tail page, or truncate_sequence
+  // cutting into one) copies the page privately first (copy-on-write) and
+  // only then writes — the other owners' data, and their SeqViews, stay
+  // valid (a CoW copy does NOT bump the shared page's generation; only a
+  // true free does). pages_in_use() counts physical pages, so a fork leaves
+  // it unchanged and a CoW copy raises it by one.
+  int fork_sequence(int src, int64_t upto_len);
+
+  // Cumulative copy-on-write page copies (a writer hit a shared page).
+  int64_t cow_page_copies() const {
+    return cow_copies_.load(std::memory_order_relaxed);
+  }
+  // Pages currently referenced by more than one sequence (gauge).
+  int64_t shared_pages() const {
+    return shared_pages_.load(std::memory_order_relaxed);
+  }
+  // Of `seq`'s pages, how many are currently shared (refcount > 1).
+  int64_t seq_shared_pages(int seq) const;
+  // Generation counter snapshot of seq's pages, in page-table order — the
+  // prefix index stores this at insert and revalidates on lookup (a
+  // mismatch means a page was reclaimed under the entry).
+  std::vector<uint32_t> page_generations(int seq) const;
+
   // Append one token's K and V ([n_kv_heads * head_dim] floats each).
   // Quantizes per (token, head) with dynamic scales (or static, per config).
   void append(int seq, const float* k, const float* v);
@@ -83,17 +110,21 @@ class PagedKvCache {
   void append_batch(int seq, const float* k, const float* v, int64_t n);
 
   // Roll the sequence back to `new_len` tokens (0 <= new_len <= seq_len).
-  // Pages that become empty are returned to the free pool; the last kept
-  // page, if the truncation cuts into it, stays allocated and its vacated
-  // slots are rewritten by the next append. Every freed page AND the
-  // partially-truncated last page bump their generation counter, so a
-  // SeqView taken before the rollback trips QS_DCHECK on reads instead of
-  // silently returning rolled-back (or since-rewritten) data — the same
-  // stale-view contract as preemption's free_sequence(). Composes with
-  // append/append_batch: truncate-then-append stores byte-identical pages to
-  // a sequence that never held the rejected tail. This is the speculative-
-  // decoding rollback primitive: a verify step appends k+1 tokens and then
-  // truncates the rejected suffix.
+  // Pages that become empty drop one reference and return to the free pool
+  // when the last reference goes; the last kept page, if the truncation cuts
+  // into it, stays allocated and its vacated slots are rewritten by the next
+  // append. Every truly freed page AND a privately-owned partially-truncated
+  // last page bump their generation counter, so a SeqView taken before the
+  // rollback trips QS_DCHECK on reads instead of silently returning
+  // rolled-back (or since-rewritten) data — the same stale-view contract as
+  // preemption's free_sequence(). A SHARED boundary page is left untouched
+  // (no bump: the other owners' views must stay valid, and its bytes are
+  // immutable — the next append to this sequence copies it on write), so a
+  // rollback can never corrupt another sequence forked from the same
+  // prefix. Composes with append/append_batch: truncate-then-append stores
+  // byte-identical pages to a sequence that never held the rejected tail.
+  // This is the speculative-decoding rollback primitive: a verify step
+  // appends k+1 tokens and then truncates the rejected suffix.
   void truncate_sequence(int seq, int64_t new_len);
 
   int64_t seq_len(int seq) const;
@@ -173,9 +204,14 @@ class PagedKvCache {
     // Atomic only to keep the stale-read *detector* itself benign when the
     // same-sequence contract has already been violated.
     std::atomic<uint32_t> generation{0};
+    // How many live sequences' page tables reference this page. 1 = private
+    // (writable in place), >1 = shared (immutable; writers copy first).
+    // Mutated only under mu_.
+    int32_t refcount = 0;
 
     void resize(const KvCacheConfig& cfg);
     int64_t payload_bytes() const;
+    void copy_payload_from(const Page& src);
   };
 
   struct Sequence {
@@ -192,6 +228,13 @@ class PagedKvCache {
   }
   bool is_live_locked(int seq) const;
   int alloc_page_locked();
+  // Drop one reference to page `pid`; frees it (generation bump + free list)
+  // only when the last reference goes.
+  void release_page_locked(int pid);
+  // Make page `page_index` of `s` privately owned, copying it if shared.
+  // Returns the (possibly new) page. May allocate — the only way append
+  // paths consume an extra page beyond the length-growth arithmetic.
+  Page& ensure_private_locked(Sequence& s, int64_t page_index);
   // Quantize one token's K/V into `page` at `slot` (no locking; the slot is
   // owned exclusively by the appending sequence). Shared by append() and
   // append_batch() so the two paths are bitwise identical by construction.
@@ -212,6 +255,8 @@ class PagedKvCache {
   std::deque<Sequence> seqs_;
   std::vector<int> free_seq_ids_;
   std::atomic<int64_t> used_pages_{0};
+  std::atomic<int64_t> cow_copies_{0};
+  std::atomic<int64_t> shared_pages_{0};
 };
 
 }  // namespace qserve

@@ -461,10 +461,58 @@ void QuantizedModel::truncate_sequence(int seq, int64_t new_len) {
   state.next_pos = new_len;
 }
 
+int QuantizedModel::fork_sequence(int src, int64_t upto_len) {
+  const auto& source = seqs_[static_cast<size_t>(src)];
+  QS_CHECK(source.live);
+  QS_CHECK_MSG(upto_len >= 0 && upto_len <= source.next_pos,
+               "fork upto_len " << upto_len << " outside [0, "
+                                << source.next_pos << "]");
+  int id = -1;
+  for (size_t i = 0; i < seqs_.size(); ++i) {
+    if (!seqs_[i].live) {
+      id = static_cast<int>(i);
+      break;
+    }
+  }
+  if (id < 0) {
+    id = static_cast<int>(seqs_.size());
+    seqs_.emplace_back();
+  }
+  auto& s = seqs_[static_cast<size_t>(id)];
+  // seqs_ may have reallocated; re-resolve the source.
+  const auto& sp = seqs_[static_cast<size_t>(src)];
+  s.layer_seqs.clear();
+  for (int ls : sp.layer_seqs)
+    s.layer_seqs.push_back(kv_->fork_sequence(ls, upto_len));
+  s.next_pos = upto_len;
+  s.live = true;
+  return id;
+}
+
 int64_t QuantizedModel::seq_pos(int seq) const {
   const auto& state = seqs_[static_cast<size_t>(seq)];
   QS_CHECK(state.live);
   return state.next_pos;
+}
+
+std::vector<uint32_t> QuantizedModel::sequence_page_generations(
+    int seq) const {
+  const auto& state = seqs_[static_cast<size_t>(seq)];
+  QS_CHECK(state.live);
+  std::vector<uint32_t> gens;
+  for (int ls : state.layer_seqs) {
+    const std::vector<uint32_t> layer = kv_->page_generations(ls);
+    gens.insert(gens.end(), layer.begin(), layer.end());
+  }
+  return gens;
+}
+
+int64_t QuantizedModel::sequence_shared_pages(int seq) const {
+  const auto& state = seqs_[static_cast<size_t>(seq)];
+  QS_CHECK(state.live);
+  int64_t n = 0;
+  for (int ls : state.layer_seqs) n += kv_->seq_shared_pages(ls);
+  return n;
 }
 
 Tensor QuantizedModel::decode_step(int seq, int token) {

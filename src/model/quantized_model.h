@@ -154,8 +154,20 @@ class QuantizedModel {
   // PagedKvCache::truncate_sequence). A subsequent append of the same tokens
   // reconstructs bitwise-identical state.
   void truncate_sequence(int seq, int64_t new_len);
+  // Fork: a new logical sequence aliasing src's first `upto_len` tokens
+  // across every layer's KV sequence — page refcounts go up, nothing is
+  // copied (copy-on-write happens lazily in the cache when a writer touches
+  // a shared page; see PagedKvCache::fork_sequence). The fork's next append
+  // position is upto_len. This is the prefix-cache / parallel-sampling
+  // primitive: requests sharing a prompt prefix share its KV pages.
+  int fork_sequence(int src, int64_t upto_len);
   // Tokens appended to `seq` so far (next position to prefill/decode).
   int64_t seq_pos(int seq) const;
+  // Page-generation snapshot across every layer's KV sequence, concatenated
+  // in layer order — the prefix index's validity stamp for a cached entry.
+  std::vector<uint32_t> sequence_page_generations(int seq) const;
+  // Currently-shared pages across every layer's KV sequence (observability).
+  int64_t sequence_shared_pages(int seq) const;
 
   const ModelConfig& config() const { return cfg_; }
   const QuantSchemeConfig& scheme() const { return qcfg_; }

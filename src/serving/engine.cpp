@@ -75,7 +75,13 @@ ServingEngine::ServingEngine(QuantizedModel* model, QuantizedModel* draft,
       scheduler_(scheduler_config(cfg, draft != nullptr),
                  model->kv_cache().config().page_size,
                  model->config().n_layers),
-      rng_(cfg.sample_seed) {}
+      rng_(cfg.sample_seed) {
+  if (cfg_.prefix_caching) {
+    QS_CHECK_MSG(cfg_.prefix_cache_max_entries >= 1,
+                 "prefix_cache_max_entries must be >= 1 when caching is on");
+    scheduler_.set_admission_hook([this](Request& r) { bind_prefix(r); });
+  }
+}
 
 int ServingEngine::submit(std::vector<int> prompt, int max_new_tokens) {
   RequestOptions opts;
@@ -110,6 +116,8 @@ int ServingEngine::submit_impl(std::vector<int> prompt,
     reject = "empty prompt";
   } else if (opts.max_new_tokens <= 0) {
     reject = "max_new_tokens must be >= 1";
+  } else if (opts.n < 1) {
+    reject = "parallel sampling needs n >= 1";
   } else {
     // Larger than the whole KV pool: prefill plus the first decode token can
     // never fit, even with every other request evicted.
@@ -136,6 +144,7 @@ int ServingEngine::submit_impl(std::vector<int> prompt,
   req->max_new_tokens = opts.max_new_tokens;
   req->deadline_steps = opts.deadline_steps;
   req->ttft_deadline_steps = opts.ttft_deadline_steps;
+  req->n_samples = opts.n;
   req->on_token = std::move(on_token);
   req->on_finish = std::move(on_finish);
   req->submitted_step = stats_.steps;
@@ -261,6 +270,7 @@ void ServingEngine::finish_with(Request& r, FinishReason reason,
     draft_->end_sequence(r.draft_seq_handle);
     r.draft_seq_handle = -1;
   }
+  unpin_prefix(r);
   switch (reason) {
     case FinishReason::kLength: ++stats_.completed; break;
     case FinishReason::kCancelled: ++stats_.cancelled; break;
@@ -288,10 +298,150 @@ void ServingEngine::evict(Request& r) {
     draft_->end_sequence(r.draft_seq_handle);
     r.draft_seq_handle = -1;
   }
+  // Drop prefix-cache state: the re-admission hook runs a fresh lookup (the
+  // cache may have better — or no — entries by then). Recompute-on-resume
+  // stays bitwise intact either way: KV bytes for a token prefix are a pure
+  // function of the prefix, forked or recomputed.
+  unpin_prefix(r);
+  r.prefix_src_seq = -1;
+  r.prefix_fork_len = 0;
+  r.prefix_shared_pages = 0;
   r.prefill_pos = 0;
   r.state = RequestState::kQueued;
   ++r.preemptions;
   ++stats_.preemptions;
+}
+
+void ServingEngine::bind_prefix(Request& r) {
+  r.prefix_src_seq = -1;
+  r.prefix_fork_len = 0;
+  r.prefix_shared_pages = 0;
+  const int64_t page = model_->kv_cache().config().page_size;
+  const auto validate = [this](const PrefixEntry& e) {
+    // Generation-checked invalidation: if any page under the entry was
+    // reclaimed since insert (a snapshot mismatch), the cached bytes are not
+    // the prompt's KV anymore — drop the entry instead of serving them.
+    return model_->sequence_page_generations(e.seq) == e.generations;
+  };
+  const auto release = [this](const PrefixEntry& e) {
+    ++stats_.prefix_invalidations;
+    model_->end_sequence(e.seq);
+  };
+  const auto hit = prefix_index_.lookup(r.prompt, validate, release);
+  if (!hit) return;
+  // Fork full pages only (zero-allocation fork; the partial boundary page's
+  // tokens are recomputed), and always leave >= 1 token to prefill so the
+  // completing chunk produces the first-token logits.
+  int64_t m = std::min(hit->match_len, r.context_len() - 1);
+  m = m / page * page;
+  if (m <= 0) return;
+  prefix_index_.pin(hit->uid);
+  r.pinned_prefix_entries.push_back(hit->uid);
+  r.prefix_src_seq = hit->seq;
+  r.prefix_fork_len = m;
+  r.prefix_shared_pages = m / page;
+  r.prefill_pos = m;
+  ++stats_.prefix_hits;
+  stats_.prefix_tokens_reused += m;
+  stats_.prefill_tokens_saved += m;
+}
+
+void ServingEngine::maybe_insert_prefix(Request& r) {
+  if (!cfg_.prefix_caching) return;
+  const int64_t page = model_->kv_cache().config().page_size;
+  const int64_t cached_len =
+      static_cast<int64_t>(r.prompt.size()) / page * page;
+  if (cached_len <= 0) return;                     // prompt shorter than a page
+  if (prefix_index_.contains(r.prompt)) return;    // identical key cached
+  while (prefix_index_.size() >= cfg_.prefix_cache_max_entries) {
+    const auto dead = prefix_index_.evict_lru_unpinned();
+    if (!dead) return;  // every entry pinned by in-flight requests; skip
+    ++stats_.prefix_evictions;
+    model_->end_sequence(dead->seq);
+  }
+  // Zero-copy donation: the entry forks the request's first cached_len
+  // tokens — full pages shared with the donor, which keeps its private
+  // partial tail page and decodes on without ever writing a shared page.
+  const int seq = model_->fork_sequence(r.seq_handle, cached_len);
+  const int64_t pages_per_layer = cached_len / page;
+  const int64_t uid = prefix_index_.insert(
+      r.prompt, seq, cached_len, model_->sequence_page_generations(seq),
+      pages_per_layer * model_->config().n_layers);
+  QS_CHECK_GE(uid, 0);  // contains() was checked above
+  // The donor now shares its full prompt pages with the entry: record that
+  // for the scheduler's eviction-credit arithmetic, and pin the entry so
+  // pressure eviction skips it while the donor lives (freeing it would
+  // release nothing).
+  prefix_index_.pin(uid);
+  r.pinned_prefix_entries.push_back(uid);
+  r.prefix_shared_pages = std::max(r.prefix_shared_pages, pages_per_layer);
+  ++stats_.prefix_insertions;
+}
+
+void ServingEngine::unpin_prefix(Request& r) {
+  for (const int64_t uid : r.pinned_prefix_entries) prefix_index_.unpin(uid);
+  r.pinned_prefix_entries.clear();
+}
+
+void ServingEngine::prefix_pressure_evict() {
+  if (prefix_index_.size() == 0) return;
+  const int64_t page = model_->kv_cache().config().page_size;
+  const int64_t decode_tokens =
+      speculative() ? cfg_.speculative.lookahead_k + 1
+                    : cfg_.scheduler.decode_tokens_per_step;
+  // Conservative per-step need: every running request's peak decode append
+  // (+1 page for boundary crossing), a full prefill chunk, and one admission
+  // hold — if the pool can cover that, the cache is not in the way.
+  const int64_t watermark =
+      (static_cast<int64_t>(running_.size()) * (ceil_div(decode_tokens, page) + 1) +
+       ceil_div(static_cast<int64_t>(cfg_.scheduler.prefill_chunk), page) + 2) *
+      model_->config().n_layers;
+  while (model_->kv_cache().free_pages() < watermark) {
+    const auto dead = prefix_index_.evict_lru_unpinned();
+    if (!dead) return;  // nothing reclaimable (all pinned) or index empty
+    ++stats_.prefix_evictions;
+    model_->end_sequence(dead->seq);
+  }
+}
+
+void ServingEngine::spawn_siblings(Request& r, const float* logits) {
+  const int64_t vocab = model_->config().vocab;
+  for (int i = 1; i < r.n_samples; ++i) {
+    auto req = std::make_unique<Request>();
+    req->id = static_cast<int>(requests_.size());
+    req->prompt = r.prompt;
+    req->max_new_tokens = r.max_new_tokens;
+    req->deadline_steps = r.deadline_steps;
+    req->ttft_deadline_steps = r.ttft_deadline_steps;
+    req->on_token = r.on_token;
+    req->on_finish = r.on_finish;
+    req->n_samples = r.n_samples;
+    req->sample_index = i;
+    req->parent_id = r.id;
+    req->submitted_step = stats_.steps;
+    Request* ptr = req.get();
+    requests_.push_back(std::move(req));
+    r.sibling_ids.push_back(ptr->id);
+    // The sibling's first token is sampled NOW from the primary's prefill
+    // logits (all n samples draw from the same distribution; under greedy
+    // they are identical). Its KV state materializes at admission — with
+    // prefix caching on, the sibling forks the prompt's just-donated pages
+    // and prefills only the partial tail + its first token; without it, it
+    // re-prefills its context like any preempted request. Both paths build
+    // the same bytes, so the streams are independent of the cache state.
+    deliver(*ptr, sample(logits, vocab));
+    if (!ptr->done()) {
+      scheduler_.enqueue(ptr);
+      stats_.queue_depth_high_water =
+          std::max(stats_.queue_depth_high_water, scheduler_.queued());
+    }
+  }
+}
+
+void ServingEngine::clear_prefix_cache() {
+  prefix_index_.clear([this](const PrefixEntry& e) {
+    model_->end_sequence(e.seq);
+  });
 }
 
 void ServingEngine::fault_preempt(const std::vector<Request*>& decodes,
@@ -348,7 +498,19 @@ void ServingEngine::handle_prefill_result(Request& r, ChunkJob& c) {
   stats_.prefill_tokens += static_cast<int64_t>(c.tokens.size());
   if (r.prefill_pos < r.context_len()) return;  // more chunks to go
   r.state = RequestState::kDecoding;
+  // Donate the prompt's KV prefix BEFORE delivering: deliver may finish the
+  // request (max_new_tokens == 1) and free its sequence, and the donation
+  // must fork while the KV state is live. Sibling forks are decided before
+  // deliver for the same reason, but spawned after it so the RNG draws in
+  // stream order: primary's token first, then siblings ascending.
+  maybe_insert_prefix(r);
+  const bool spawn = r.n_samples > 1 && r.sample_index == 0 &&
+                     !r.forks_spawned && r.generated.empty();
   deliver(r, sample(c.out, model_->config().vocab));
+  if (spawn) {
+    r.forks_spawned = true;
+    spawn_siblings(r, c.out);
+  }
 }
 
 std::vector<std::vector<int>> ServingEngine::propose_draft_tokens(
@@ -509,6 +671,11 @@ bool ServingEngine::step() {
   } step_guard(in_step_);
   apply_pending_cancellations();
 
+  // Under page pressure, cached prefixes are reclaimed LRU-first BEFORE the
+  // plan sees the free-page count — the cache must never cause a running
+  // request to be preempted.
+  prefix_pressure_evict();
+
   StepPlan plan = scheduler_.plan(running_, model_->kv_cache().free_pages(),
                                   stats_.steps);
   stats_.queue_depth_high_water =
@@ -549,10 +716,20 @@ bool ServingEngine::step() {
                                   }),
                    running_.end());
   }
-  // Apply admissions (FCFS order; keeps running_ in admission order).
+  // Apply admissions (FCFS order; keeps running_ in admission order). A
+  // prefix-cache hit (bound by the admission hook during plan()) forks the
+  // cached entry's full pages — refcounts go up, nothing is copied or
+  // allocated, so this cannot fault and the plan's page arithmetic is exact.
   for (Request* r : plan.admitted) {
     r->state = RequestState::kPrefilling;
-    r->seq_handle = model_->begin_sequence();
+    if (r->prefix_src_seq >= 0) {
+      r->seq_handle = model_->fork_sequence(r->prefix_src_seq,
+                                            r->prefix_fork_len);
+      r->prefix_src_seq = -1;
+      r->prefix_fork_len = 0;
+    } else {
+      r->seq_handle = model_->begin_sequence();
+    }
     if (speculative()) r->draft_seq_handle = draft_->begin_sequence();
     running_.push_back(r);
   }
@@ -744,6 +921,10 @@ void ServingEngine::refresh_derived_stats() {
     stats_.mean_completion_steps =
         completion_steps_sum_ / double(served_finished_);
   }
+  stats_.cow_page_copies = model_->kv_cache().cow_page_copies();
+  stats_.shared_pages = model_->kv_cache().shared_pages();
+  stats_.prefix_cache_entries = prefix_index_.size();
+  stats_.prefix_cache_pages = prefix_index_.pages();
 }
 
 EngineStats ServingEngine::drain() {

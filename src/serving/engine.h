@@ -34,6 +34,7 @@
 
 #include "common/rng.h"
 #include "model/quantized_model.h"
+#include "serving/prefix_index.h"
 #include "serving/scheduler.h"
 
 namespace qserve {
@@ -73,6 +74,21 @@ struct EngineConfig {
   // Running requests do not count; the caps bound *waiting* work.
   int64_t max_queued_requests = 0;
   int64_t max_queued_prompt_tokens = 0;
+  // Prefix caching: when a request's prefill completes, its prompt's
+  // page-aligned KV prefix is donated to a radix-tree index (a zero-copy
+  // fork — the pages' refcounts go up); a later request whose prompt shares
+  // a prefix with any cached entry forks those full pages at admission and
+  // starts prefill at the match length, skipping the matched tokens'
+  // compute. Token streams are bitwise identical to cold runs (the KV bytes
+  // of a token prefix are a pure function of the prefix). Off by default:
+  // cached entries hold pages after their donor finishes — pages_in_use()
+  // only returns to 0 after clear_prefix_cache() — and under page pressure
+  // the engine reclaims unpinned entries LRU-first before any running
+  // request is preempted.
+  bool prefix_caching = false;
+  // Cached-entry cap; at capacity the LRU unpinned entry is reclaimed to
+  // make room for a new donation (skipped if every entry is pinned).
+  int64_t prefix_cache_max_entries = 64;
 };
 
 struct EngineStats {
@@ -147,6 +163,25 @@ struct EngineStats {
   int64_t faulted_steps = 0;
   // User on_token/on_finish callbacks that threw (caught at the boundary).
   int64_t callback_exceptions = 0;
+  // --- prefix caching & CoW sharing ---------------------------------------
+  // Admissions that forked KV from a cached prefix instead of cold-starting.
+  int64_t prefix_hits = 0;
+  // KV tokens aliased from shared pages at those forks (full pages only).
+  int64_t prefix_tokens_reused = 0;
+  // Prompt tokens whose prefill compute was skipped, cumulatively — each hit
+  // starts prefill_pos at the aligned match length instead of 0.
+  int64_t prefill_tokens_saved = 0;
+  // Entries donated to / reclaimed from / invalidated out of the index.
+  int64_t prefix_insertions = 0;
+  int64_t prefix_evictions = 0;
+  int64_t prefix_invalidations = 0;
+  // Gauges (sampled every step and on drain): copy-on-write page copies the
+  // KV cache has performed (cumulative), pages currently referenced by more
+  // than one sequence, and the index's entry/page footprint.
+  int64_t cow_page_copies = 0;
+  int64_t shared_pages = 0;
+  int64_t prefix_cache_entries = 0;
+  int64_t prefix_cache_pages = 0;
 };
 
 class ServingEngine {
@@ -218,6 +253,12 @@ class ServingEngine {
   const Request& request(int id) const;
   const EngineStats& stats() const { return stats_; }
 
+  // Release every cached prefix entry (their KV sequences are freed; pages
+  // shared with running requests survive via refcounts). After the engine is
+  // also drained, pages_in_use() is back to 0. Safe to call any time —
+  // in-flight requests that forked from a released entry keep their pages.
+  void clear_prefix_cache();
+
  private:
   struct ChunkJob;  // one prefill share's materialized tokens (engine.cpp)
 
@@ -264,6 +305,25 @@ class ServingEngine {
   // is already back in the scheduler queue.
   void evict(Request& r);
   bool speculative() const { return draft_ != nullptr; }
+  // --- prefix caching ------------------------------------------------------
+  // Scheduler admission hook: longest-prefix lookup (generation-validated),
+  // set prefill_pos to the page-aligned match and stash the fork source.
+  void bind_prefix(Request& r);
+  // At prefill completion: donate the prompt's page-aligned KV prefix to the
+  // index (zero-copy fork; skipped if the exact key is cached or the entry
+  // cap is reached with everything pinned).
+  void maybe_insert_prefix(Request& r);
+  // Drop this request's pins on index entries (finish / preemption).
+  void unpin_prefix(Request& r);
+  // Reclaim LRU unpinned entries while the pool is under the step's
+  // conservative page watermark — cached prefixes never cause a running
+  // request to be preempted.
+  void prefix_pressure_evict();
+  // Parallel sampling: fork n-1 sibling requests at the primary's first
+  // prefill completion, sampling each sibling's first token from the same
+  // logits; siblings enqueue and re-enter admission (hitting the prompt's
+  // just-donated prefix entry when caching is on).
+  void spawn_siblings(Request& r, const float* logits);
   // Draft-k proposals for every decoding request of the plan, one batched
   // draft forward per lookahead depth (depth 0 also catches the draft up on
   // context it has not seen). Returns proposals[i] for plan.decodes[i].
@@ -289,6 +349,7 @@ class ServingEngine {
   QuantizedModel* draft_ = nullptr;  // speculative decoding draft model
   EngineConfig cfg_;
   Scheduler scheduler_;
+  PrefixIndex prefix_index_;
   std::vector<std::unique_ptr<Request>> requests_;
   std::vector<Request*> running_;  // admission order; back = youngest
   EngineStats stats_;

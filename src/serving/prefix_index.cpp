@@ -1,0 +1,204 @@
+#include "serving/prefix_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qserve {
+
+PrefixIndex::~PrefixIndex() = default;
+
+int64_t PrefixIndex::first_entry_in_subtree(const Node* n) {
+  if (n->entry_uid >= 0) return n->entry_uid;
+  for (const auto& [tok, kid] : n->kids) {
+    (void)tok;
+    const int64_t uid = first_entry_in_subtree(kid.get());
+    if (uid >= 0) return uid;
+  }
+  return -1;
+}
+
+void PrefixIndex::touch(Stored& s) {
+  lru_.erase(s.lru_it);
+  lru_.push_front(s.entry.uid);
+  s.lru_it = lru_.begin();
+}
+
+std::optional<PrefixIndex::Hit> PrefixIndex::lookup(
+    const std::vector<int>& prompt,
+    const std::function<bool(const PrefixEntry&)>& validate,
+    const std::function<void(const PrefixEntry&)>& on_release) {
+  for (;;) {
+    // Walk as deep as the prompt matches. `matched` counts prompt tokens
+    // consumed; `sub` is the deepest node whose subtree shares those tokens.
+    const Node* sub = &root_;
+    size_t matched = 0;
+    for (;;) {
+      if (matched == prompt.size()) break;
+      const auto it = sub->kids.find(prompt[matched]);
+      if (it == sub->kids.end()) break;
+      const Node* kid = it->second.get();
+      size_t j = 0;
+      while (j < kid->edge.size() && matched < prompt.size() &&
+             kid->edge[j] == prompt[matched]) {
+        ++j;
+        ++matched;
+      }
+      sub = kid;  // every entry under `kid` shares prompt[0, matched)
+      if (j < kid->edge.size()) break;  // stopped mid-edge
+    }
+    if (matched == 0) return std::nullopt;
+    const int64_t uid = first_entry_in_subtree(sub);
+    if (uid < 0) {
+      // Reachable only from the root (entry-less branches are pruned).
+      QS_CHECK_MSG(sub == &root_, "prefix tree branch without entries");
+      return std::nullopt;
+    }
+    Stored& s = entries_.at(uid);
+    if (validate && !validate(s.entry)) {
+      const PrefixEntry dead = erase_entry(uid);
+      if (on_release) on_release(dead);
+      continue;  // retry against the pruned tree
+    }
+    touch(s);
+    Hit hit;
+    hit.uid = uid;
+    hit.seq = s.entry.seq;
+    hit.match_len =
+        std::min<int64_t>(static_cast<int64_t>(matched), s.entry.cached_len);
+    return hit;
+  }
+}
+
+int64_t PrefixIndex::insert(std::vector<int> key, int seq, int64_t cached_len,
+                            std::vector<uint32_t> generations, int64_t pages) {
+  QS_CHECK_MSG(!key.empty(), "prefix index key must be non-empty");
+  QS_CHECK(cached_len >= 0 &&
+           cached_len <= static_cast<int64_t>(key.size()));
+  Node* n = &root_;
+  size_t i = 0;
+  while (i < key.size()) {
+    auto it = n->kids.find(key[i]);
+    if (it == n->kids.end()) {
+      // No shared edge: hang the whole remainder as one leaf.
+      auto leaf = std::make_unique<Node>();
+      leaf->edge.assign(key.begin() + static_cast<std::ptrdiff_t>(i),
+                        key.end());
+      leaf->parent = n;
+      Node* raw = leaf.get();
+      n->kids.emplace(key[i], std::move(leaf));
+      n = raw;
+      i = key.size();
+      break;
+    }
+    Node* kid = it->second.get();
+    size_t j = 0;
+    while (j < kid->edge.size() && i < key.size() && kid->edge[j] == key[i]) {
+      ++j;
+      ++i;
+    }
+    if (j == kid->edge.size()) {
+      n = kid;  // consumed the whole edge, descend
+      continue;
+    }
+    // Key diverges mid-edge: split `kid` at j. `mid` takes the shared edge
+    // prefix and adopts `kid` (whose edge shrinks to the suffix).
+    auto mid = std::make_unique<Node>();
+    mid->edge.assign(kid->edge.begin(),
+                     kid->edge.begin() + static_cast<std::ptrdiff_t>(j));
+    mid->parent = n;
+    std::unique_ptr<Node> kid_owned = std::move(it->second);
+    kid_owned->edge.erase(kid_owned->edge.begin(),
+                          kid_owned->edge.begin() +
+                              static_cast<std::ptrdiff_t>(j));
+    kid_owned->parent = mid.get();
+    mid->kids.emplace(kid_owned->edge.front(), std::move(kid_owned));
+    Node* mid_raw = mid.get();
+    it->second = std::move(mid);
+    n = mid_raw;
+    // The rest of the key (if any) becomes a fresh leaf under mid; the loop
+    // re-enters with no matching kid and creates it.
+  }
+  if (n->entry_uid >= 0) return -1;  // identical key already cached
+
+  const int64_t uid = next_uid_++;
+  n->entry_uid = uid;
+  Stored s;
+  s.entry.uid = uid;
+  s.entry.key = std::move(key);
+  s.entry.cached_len = cached_len;
+  s.entry.seq = seq;
+  s.entry.generations = std::move(generations);
+  s.entry.pages = pages;
+  s.node = n;
+  lru_.push_front(uid);
+  s.lru_it = lru_.begin();
+  total_pages_ += pages;
+  entries_.emplace(uid, std::move(s));
+  return uid;
+}
+
+bool PrefixIndex::contains(const std::vector<int>& key) const {
+  const Node* n = &root_;
+  size_t i = 0;
+  while (i < key.size()) {
+    const auto it = n->kids.find(key[i]);
+    if (it == n->kids.end()) return false;
+    const Node* kid = it->second.get();
+    size_t j = 0;
+    while (j < kid->edge.size() && i < key.size() && kid->edge[j] == key[i]) {
+      ++j;
+      ++i;
+    }
+    if (j < kid->edge.size()) return false;  // diverged or key ended mid-edge
+    n = kid;
+  }
+  return n->entry_uid >= 0;
+}
+
+void PrefixIndex::pin(int64_t uid) { ++entries_.at(uid).entry.pins; }
+
+void PrefixIndex::unpin(int64_t uid) {
+  const auto it = entries_.find(uid);
+  if (it == entries_.end()) return;  // entry invalidated while pinned
+  QS_CHECK_GT(it->second.entry.pins, 0);
+  --it->second.entry.pins;
+}
+
+PrefixEntry PrefixIndex::erase_entry(int64_t uid) {
+  auto it = entries_.find(uid);
+  QS_CHECK(it != entries_.end());
+  Stored& s = it->second;
+  lru_.erase(s.lru_it);
+  total_pages_ -= s.entry.pages;
+  Node* n = s.node;
+  n->entry_uid = -1;
+  // Prune entry-less leaf chains so lookups never land in a dead subtree.
+  while (n != &root_ && n->entry_uid < 0 && n->kids.empty()) {
+    Node* parent = n->parent;
+    parent->kids.erase(n->edge.front());
+    n = parent;
+  }
+  PrefixEntry dead = std::move(s.entry);
+  entries_.erase(it);
+  return dead;
+}
+
+std::optional<PrefixEntry> PrefixIndex::evict_lru_unpinned() {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (entries_.at(*it).entry.pins == 0) return erase_entry(*it);
+  }
+  return std::nullopt;
+}
+
+void PrefixIndex::clear(
+    const std::function<void(const PrefixEntry&)>& on_release) {
+  while (!lru_.empty()) {
+    const PrefixEntry dead = erase_entry(lru_.back());
+    if (on_release) on_release(dead);
+  }
+  QS_CHECK(entries_.empty());
+  QS_CHECK_EQ(total_pages_, 0);
+}
+
+}  // namespace qserve

@@ -1,0 +1,129 @@
+// Radix-tree (compressed trie) index over prompt token IDs mapping prompt
+// prefixes to cached KV sequences — the lookup side of prefix caching.
+//
+// Each entry maps a full prompt (the key) to a model sequence holding the
+// KV state of the prompt's first `cached_len` tokens (the engine caches
+// page-aligned prefixes so a cache hit forks full pages only and never
+// allocates). lookup() walks the tree for the longest common prefix between
+// a new prompt and any cached key, then returns the first entry (in
+// deterministic child order) of the deepest reached subtree — every entry
+// below that point shares at least the matched tokens, so any of them is a
+// valid fork source for `min(match, cached_len)` tokens.
+//
+// The index is passive bookkeeping: it owns no KV state and calls no model
+// API. The engine drives the lifecycle — it forks a sequence INTO the index
+// at insert, frees the sequence an evicted/invalidated entry returns, and
+// revalidates an entry's stored page-generation snapshot on every hit (a
+// mismatch means a page under the entry was reclaimed; the entry is dropped
+// instead of serving another request's bytes). Entries pinned by in-flight
+// requests (which share pages with the entry) are skipped by LRU eviction:
+// freeing them would release no pages while the sharer lives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace qserve {
+
+// One cached prefix. `seq` is a model sequence handle whose KV covers
+// key[0, cached_len); `generations` is the page-generation snapshot taken at
+// insert; `pages` is the entry's per-model page footprint (for observability
+// and page-pressure accounting).
+struct PrefixEntry {
+  int64_t uid = -1;
+  std::vector<int> key;
+  int64_t cached_len = 0;
+  int seq = -1;
+  std::vector<uint32_t> generations;
+  int64_t pages = 0;
+  int pins = 0;
+};
+
+class PrefixIndex {
+ public:
+  struct Hit {
+    int64_t uid = -1;
+    int seq = -1;
+    // Common-prefix tokens between the prompt and the entry's key, clamped
+    // to the entry's cached length — the most KV the caller may fork.
+    int64_t match_len = 0;
+  };
+
+  PrefixIndex() = default;
+  ~PrefixIndex();
+  PrefixIndex(const PrefixIndex&) = delete;
+  PrefixIndex& operator=(const PrefixIndex&) = delete;
+
+  // Longest-prefix lookup; touches the returned entry's LRU position.
+  // `validate` (optional) is consulted before an entry is returned; an entry
+  // failing validation is erased, handed to `on_release` (the caller frees
+  // its KV sequence), and the lookup continues with the next candidate.
+  // Returns nullopt when no entry shares >= 1 token with the prompt.
+  std::optional<Hit> lookup(
+      const std::vector<int>& prompt,
+      const std::function<bool(const PrefixEntry&)>& validate = nullptr,
+      const std::function<void(const PrefixEntry&)>& on_release = nullptr);
+
+  // Insert an entry for `key` -> (seq, cached_len). Returns the new entry's
+  // uid, or -1 if an entry with the identical key already exists (the caller
+  // keeps ownership of `seq` and should free it).
+  int64_t insert(std::vector<int> key, int seq, int64_t cached_len,
+                 std::vector<uint32_t> generations, int64_t pages);
+
+  bool contains(const std::vector<int>& key) const;
+
+  // Pin/unpin an entry against LRU eviction while a request shares pages
+  // with it. unpin() of an already-erased uid is a no-op (an entry can be
+  // invalidated while pinned — pinning is an eviction-policy hint, not a
+  // correctness requirement; page refcounts protect the shared bytes).
+  void pin(int64_t uid);
+  void unpin(int64_t uid);
+
+  // Remove the least-recently-used unpinned entry and return it (the caller
+  // frees its KV sequence). nullopt when the index is empty or every entry
+  // is pinned.
+  std::optional<PrefixEntry> evict_lru_unpinned();
+
+  // Remove every entry, handing each to `on_release`.
+  void clear(const std::function<void(const PrefixEntry&)>& on_release);
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  // Sum of entries' page footprints (pages may be shared with running
+  // requests or other entries, so this is an upper bound on exclusively-held
+  // pages).
+  int64_t pages() const { return total_pages_; }
+
+ private:
+  struct Node {
+    std::vector<int> edge;  // tokens on the edge from parent to this node
+    std::map<int, std::unique_ptr<Node>> kids;  // keyed by first edge token
+    Node* parent = nullptr;
+    int64_t entry_uid = -1;
+  };
+
+  struct Stored {
+    PrefixEntry entry;
+    Node* node = nullptr;
+    std::list<int64_t>::iterator lru_it;
+  };
+
+  void touch(Stored& s);
+  PrefixEntry erase_entry(int64_t uid);
+  // First entry uid in `n`'s subtree, deterministic (node entry first, then
+  // children in ascending first-token order). -1 if none.
+  static int64_t first_entry_in_subtree(const Node* n);
+
+  Node root_;
+  std::unordered_map<int64_t, Stored> entries_;
+  std::list<int64_t> lru_;  // front = most recently used
+  int64_t next_uid_ = 0;
+  int64_t total_pages_ = 0;
+};
+
+}  // namespace qserve

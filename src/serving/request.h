@@ -52,6 +52,15 @@ inline const char* to_string(FinishReason reason) {
 // Per-request knobs for the streaming submit API.
 struct RequestOptions {
   int max_new_tokens = 16;
+  // Parallel sampling: generate `n` independent completions of the prompt.
+  // The submitted request is sample 0; when its prefill completes, the
+  // engine forks n-1 sibling requests whose KV sequences share the prompt's
+  // pages copy-on-write (via the prefix cache when enabled, by re-prefill
+  // otherwise). Each sibling streams through the same on_token/on_finish
+  // callbacks, distinguishable by Request::sample_index / parent_id;
+  // on_finish fires once per completion (n times total). Meaningful with
+  // temperature > 0 (greedy siblings all emit the primary's stream).
+  int n = 1;
   // Deadlines in engine steps, measured from submission; 0 disables. The
   // scheduler expires them at plan time: a request that has not finished
   // within deadline_steps (or produced its first token within
@@ -103,8 +112,32 @@ struct Request {
 
   // Chunked prefill progress: context tokens (prompt + generated, for a
   // resumed request) already appended to the KV cache. Reset on preemption.
+  // A prefix-cache hit starts this at the match length — the matched tokens'
+  // KV is forked from the cached entry instead of recomputed.
   int64_t prefill_pos = 0;
   int preemptions = 0;
+
+  // --- prefix caching (engine-internal) ----------------------------------
+  // Set by the admission hook on a cache hit, consumed when admission is
+  // applied: fork prefix_fork_len tokens from model sequence prefix_src_seq
+  // instead of begin_sequence(). Reset after the fork.
+  int prefix_src_seq = -1;
+  int64_t prefix_fork_len = 0;
+  // Per-layer count of this request's pages known to be shared with a cache
+  // entry or sibling (full pages of the forked/donated prefix). The
+  // scheduler subtracts these from eviction page credits — freeing the
+  // sequence releases only privately-held pages. Reset on preemption.
+  int64_t prefix_shared_pages = 0;
+  // Prefix-index entries this request pins (its cache hit, and the entry it
+  // donated at prefill completion); unpinned at finish/eviction.
+  std::vector<int64_t> pinned_prefix_entries;
+
+  // --- parallel sampling (RequestOptions::n) ------------------------------
+  int n_samples = 1;
+  int sample_index = 0;        // 0 = the submitted primary
+  int parent_id = -1;          // primary's id for a forked sibling
+  std::vector<int> sibling_ids;  // on the primary, ids of forked siblings
+  bool forks_spawned = false;
 
   // Timeline (engine step indices) for latency metrics.
   int64_t submitted_step = -1;

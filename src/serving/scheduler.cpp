@@ -36,7 +36,13 @@ int64_t Scheduler::grow_pages(int64_t len, int64_t tokens) const {
 }
 
 int64_t Scheduler::held_pages(const Request& r) const {
-  return ceil_div(kv_len(r), int64_t(page_size_)) * n_layers_;
+  // Pages freed if this request's sequence goes away. Pages shared with a
+  // prefix-cache entry or a sibling fork (prefix_shared_pages per layer)
+  // only drop a refcount, so they are excluded — the credit is conservative
+  // (never over-counts; sharing that has since dissolved just under-counts).
+  const int64_t per_layer = ceil_div(kv_len(r), int64_t(page_size_)) -
+                            r.prefix_shared_pages;
+  return std::max<int64_t>(per_layer, 0) * n_layers_;
 }
 
 int64_t Scheduler::token_capacity(int64_t len, int64_t free) const {
@@ -137,6 +143,10 @@ StepPlan Scheduler::plan(const std::vector<Request*>& running,
       Request* r = queue_.front();
       queue_.pop_front();
       queued_prompt_tokens_ -= r->context_len();
+      // Prefix-cache consultation: a hit advances r->prefill_pos to the
+      // match length before the chunk distribution below, so the planned
+      // shares and page growth already reflect the skipped prefill.
+      if (admission_hook_) admission_hook_(*r);
       plan.admitted.push_back(r);
       live.push_back(r);
       admit_hold += n_layers_;

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "serving/request.h"
@@ -96,6 +97,17 @@ class Scheduler {
   // admitted request). Returns false if `r` was not in the queue.
   bool remove_queued(Request* r);
 
+  // Consulted once per admitted request, after it is popped from the queue
+  // and before the prefill chunk is distributed. The engine's prefix-cache
+  // hook lives here: on a hit it sets r.prefill_pos to the match length (so
+  // this very plan's chunk shares and page arithmetic already see the
+  // smaller remaining prefill) and stashes the fork source the engine
+  // consumes when it applies the admission. The hook must not touch KV
+  // state — forking happens engine-side, after the plan is returned.
+  void set_admission_hook(std::function<void(Request&)> hook) {
+    admission_hook_ = std::move(hook);
+  }
+
   // Plan one step. `running` is the engine's batch in admission order (the
   // eviction victim is its back); `free_pages` is the pool's current free
   // page count; `current_step` is the engine step index used for deadline
@@ -131,6 +143,7 @@ class Scheduler {
   int n_layers_;
   std::deque<Request*> queue_;
   int64_t queued_prompt_tokens_ = 0;
+  std::function<void(Request&)> admission_hook_;
 };
 
 }  // namespace qserve

@@ -567,5 +567,333 @@ TEST(PagedKvCache, StaleSeqViewDetectedAfterTruncate) {
 #endif
 }
 
+TEST(PagedKvCache, ForkAliasesPagesWithoutCopying) {
+  // 10 tokens on page_size 4 = pages [4, 4, 2]. Forking the first 8 tokens
+  // aliases the two full pages: zero allocation, zero copies, and the fork's
+  // bytes ARE the source's bytes.
+  PagedKvCache cache(small_cfg(KvPrecision::kInt4));
+  Rng rng(41);
+  const int src = cache.alloc_sequence();
+  std::vector<float> k, v;
+  for (int t = 0; t < 10; ++t) {
+    const auto kt = random_vec(rng, 16, t % 4 ? 0.f : 5.f);
+    const auto vt = random_vec(rng, 16);
+    k.insert(k.end(), kt.begin(), kt.end());
+    v.insert(v.end(), vt.begin(), vt.end());
+  }
+  cache.append_batch(src, k.data(), v.data(), 10);
+  ASSERT_EQ(cache.pages_in_use(), 3);
+
+  const int fork = cache.fork_sequence(src, 8);
+  EXPECT_EQ(cache.seq_len(fork), 8);
+  EXPECT_EQ(cache.pages_in_use(), 3);  // nothing allocated
+  EXPECT_EQ(cache.cow_page_copies(), 0);
+  EXPECT_EQ(cache.shared_pages(), 2);
+  EXPECT_EQ(cache.seq_shared_pages(src), 2);
+  EXPECT_EQ(cache.seq_shared_pages(fork), 2);
+
+  Tensor ks, vs, kf, vf;
+  cache.gather(src, ks, vs);
+  cache.gather(fork, kf, vf);
+  for (int64_t t = 0; t < 8; ++t)
+    for (int64_t c = 0; c < 16; ++c) {
+      ASSERT_EQ(kf.at2(t, c), ks.at2(t, c));
+      ASSERT_EQ(vf.at2(t, c), vs.at2(t, c));
+    }
+
+  // Freeing the source keeps the shared pages alive for the fork; the
+  // source's private tail page is the only one released.
+  cache.free_sequence(src);
+  EXPECT_EQ(cache.pages_in_use(), 2);
+  EXPECT_EQ(cache.shared_pages(), 0);  // refcounts dropped to 1
+  Tensor kf2, vf2;
+  cache.gather(fork, kf2, vf2);
+  EXPECT_EQ(max_abs_diff(kf, kf2), 0.0f);
+  cache.free_sequence(fork);
+  EXPECT_EQ(cache.pages_in_use(), 0);
+}
+
+TEST(PagedKvCache, ForkZeroAndFullLength) {
+  PagedKvCache cache(small_cfg(KvPrecision::kInt8));
+  Rng rng(42);
+  const int src = cache.alloc_sequence();
+  const auto x = random_vec(rng, 16);
+  cache.append(src, x.data(), x.data());
+  const int empty = cache.fork_sequence(src, 0);
+  EXPECT_EQ(cache.seq_len(empty), 0);
+  EXPECT_EQ(cache.shared_pages(), 0);
+  const int full = cache.fork_sequence(src, 1);  // partial boundary page
+  EXPECT_EQ(cache.seq_len(full), 1);
+  EXPECT_EQ(cache.shared_pages(), 1);
+  EXPECT_THROW(cache.fork_sequence(src, 2), CheckError);   // > length
+  EXPECT_THROW(cache.fork_sequence(src, -1), CheckError);  // negative
+  cache.free_sequence(src);
+  cache.free_sequence(empty);
+  cache.free_sequence(full);
+  EXPECT_EQ(cache.pages_in_use(), 0);
+}
+
+TEST(PagedKvCache, CowWriterGetsPrivateCopySourceUnchanged) {
+  // Fork including the partial boundary page, then append to the FORK: the
+  // shared tail page is copied privately first, the source's bytes and its
+  // pre-existing SeqView stay untouched, and the fork's content equals a
+  // replay that never shared anything.
+  PagedKvCache cache(small_cfg(KvPrecision::kInt4));
+  PagedKvCache replay(small_cfg(KvPrecision::kInt4));
+  Rng rng(43);
+  const int src = cache.alloc_sequence();
+  std::vector<float> k, v;
+  for (int t = 0; t < 6; ++t) {  // pages [4, 2]
+    const auto kt = random_vec(rng, 16, t % 3 ? 0.f : 4.f);
+    const auto vt = random_vec(rng, 16);
+    k.insert(k.end(), kt.begin(), kt.end());
+    v.insert(v.end(), vt.begin(), vt.end());
+  }
+  cache.append_batch(src, k.data(), v.data(), 6);
+  const int fork = cache.fork_sequence(src, 6);
+  EXPECT_EQ(cache.shared_pages(), 2);
+  const PagedKvCache::SeqView src_view = cache.view(src);
+
+  Tensor ks0, vs0;
+  cache.gather(src, ks0, vs0);
+  const auto kx = random_vec(rng, 16);
+  const auto vx = random_vec(rng, 16);
+  cache.append(fork, kx.data(), vx.data());  // writes slot 2 of the tail page
+  EXPECT_EQ(cache.cow_page_copies(), 1);
+  EXPECT_EQ(cache.pages_in_use(), 3);   // the private copy
+  EXPECT_EQ(cache.shared_pages(), 1);   // only the full page stays shared
+  EXPECT_EQ(cache.seq_shared_pages(src), 1);
+  EXPECT_EQ(cache.seq_shared_pages(fork), 1);
+
+  // Source is bitwise untouched — including through the pre-CoW view (a CoW
+  // copy must NOT bump the shared page's generation).
+  Tensor ks1, vs1;
+  cache.gather(src, ks1, vs1);
+  EXPECT_EQ(max_abs_diff(ks0, ks1), 0.0f);
+  EXPECT_EQ(max_abs_diff(vs0, vs1), 0.0f);
+  std::vector<float> out(8);
+  src_view.read_k(5, 1, out.data());
+
+  // Fork content == replay without sharing.
+  const int rep = replay.alloc_sequence();
+  replay.append_batch(rep, k.data(), v.data(), 6);
+  replay.append(rep, kx.data(), vx.data());
+  Tensor ka, va, kb, vb;
+  cache.gather(fork, ka, va);
+  replay.gather(rep, kb, vb);
+  EXPECT_EQ(max_abs_diff(ka, kb), 0.0f);
+  EXPECT_EQ(max_abs_diff(va, vb), 0.0f);
+
+  // The fork's tail is now private: further appends copy nothing more.
+  cache.append(fork, kx.data(), vx.data());
+  EXPECT_EQ(cache.cow_page_copies(), 1);
+  cache.free_sequence(src);
+  cache.free_sequence(fork);
+  EXPECT_EQ(cache.pages_in_use(), 0);
+  EXPECT_EQ(cache.shared_pages(), 0);
+}
+
+TEST(PagedKvCache, SourceAppendAfterForkCopiesOnWrite) {
+  // Sharing is symmetric: after a boundary-inclusive fork, the SOURCE is a
+  // writer into a shared page too and must CoW before appending.
+  PagedKvCache cache(small_cfg(KvPrecision::kInt8));
+  Rng rng(44);
+  const int src = cache.alloc_sequence();
+  std::vector<float> k;
+  for (int t = 0; t < 5; ++t) {  // pages [4, 1]
+    const auto kt = random_vec(rng, 16);
+    k.insert(k.end(), kt.begin(), kt.end());
+  }
+  cache.append_batch(src, k.data(), k.data(), 5);
+  const int fork = cache.fork_sequence(src, 5);
+  Tensor kf0, vf0;
+  cache.gather(fork, kf0, vf0);
+
+  const auto kx = random_vec(rng, 16);
+  cache.append(src, kx.data(), kx.data());
+  EXPECT_EQ(cache.cow_page_copies(), 1);
+  EXPECT_EQ(cache.seq_len(src), 6);
+  EXPECT_EQ(cache.seq_len(fork), 5);
+  Tensor kf1, vf1;
+  cache.gather(fork, kf1, vf1);
+  EXPECT_EQ(max_abs_diff(kf0, kf1), 0.0f);
+  EXPECT_EQ(max_abs_diff(vf0, vf1), 0.0f);
+  cache.free_sequence(src);
+  cache.free_sequence(fork);
+  EXPECT_EQ(cache.pages_in_use(), 0);
+}
+
+TEST(PagedKvCache, TruncateNeverTouchesSharedBoundaryPage) {
+  // The speculative-rollback hazard: truncating a sequence whose boundary
+  // page is shared must leave the page's bytes and generation alone — the
+  // other owner keeps reading through a pre-rollback view. The truncated
+  // writer CoWs on its next append instead.
+  PagedKvCache cache(small_cfg(KvPrecision::kInt4));
+  Rng rng(45);
+  const int src = cache.alloc_sequence();
+  std::vector<float> k;
+  for (int t = 0; t < 8; ++t) {  // pages [4, 4]
+    const auto kt = random_vec(rng, 16);
+    k.insert(k.end(), kt.begin(), kt.end());
+  }
+  cache.append_batch(src, k.data(), k.data(), 8);
+  const int fork = cache.fork_sequence(src, 8);
+  const PagedKvCache::SeqView fork_view = cache.view(fork);
+
+  cache.truncate_sequence(src, 6);  // cuts INTO shared page 1
+  EXPECT_EQ(cache.seq_len(src), 6);
+  EXPECT_EQ(cache.seq_len(fork), 8);
+  EXPECT_EQ(cache.pages_in_use(), 2);   // nothing freed (both refs live)
+  EXPECT_EQ(cache.shared_pages(), 2);   // still shared
+  std::vector<float> out(8);
+  fork_view.read_k(7, 0, out.data());   // no generation bump
+
+  // Appending after the shared-boundary truncate copies the page first;
+  // the fork still sees the ORIGINAL tokens 6 and 7.
+  Tensor kf0, vf0;
+  cache.gather(fork, kf0, vf0);
+  const auto kx = random_vec(rng, 16);
+  cache.append(src, kx.data(), kx.data());
+  EXPECT_EQ(cache.cow_page_copies(), 1);
+  Tensor kf1, vf1;
+  cache.gather(fork, kf1, vf1);
+  EXPECT_EQ(max_abs_diff(kf0, kf1), 0.0f);
+  fork_view.read_k(7, 0, out.data());
+
+  // Truncating the tail page AWAY entirely just drops a reference: the fork
+  // keeps the page; the source's table shrinks.
+  cache.truncate_sequence(fork, 3);  // fork's page 1 ref dropped (src CoW'd)
+  EXPECT_EQ(cache.seq_len(fork), 3);
+  cache.free_sequence(src);
+  cache.free_sequence(fork);
+  EXPECT_EQ(cache.pages_in_use(), 0);
+  EXPECT_EQ(cache.shared_pages(), 0);
+}
+
+TEST(PagedKvCache, ForkCowFuzzInterleavedInvariants) {
+  // Randomized interleaving of fork / append_batch / truncate / free across
+  // up to 6 sequences, against TWO mirrors: a float mirror per sequence
+  // (bitwise replay-equivalence) and a shadow page model implementing the
+  // documented refcount semantics (exact pages_in_use / shared_pages /
+  // seq_shared_pages / cow_page_copies accounting at every step).
+  for (const KvPrecision p : {KvPrecision::kInt4, KvPrecision::kInt8}) {
+    PagedKvCache cache(small_cfg(p, /*max_pages=*/512));
+    Rng rng(static_cast<uint64_t>(55 + static_cast<int>(p)));
+    const int span = 16;
+    const int64_t page = cache.config().page_size;
+
+    struct Shadow {
+      int id = -1;                 // cache sequence handle
+      std::vector<float> k, v;     // span floats per token
+      std::vector<int> pages;      // shadow page ids
+      int64_t len() const { return static_cast<int64_t>(k.size()) / 16; }
+    };
+    std::vector<Shadow> seqs;
+    std::vector<int> ref;  // shadow page id -> refcount (0 = free)
+    int64_t shadow_cows = 0;
+    const auto new_page = [&ref]() {
+      ref.push_back(1);
+      return static_cast<int>(ref.size()) - 1;
+    };
+    // First write into a sequence's existing tail page: CoW if shared.
+    const auto shadow_tail_write = [&](Shadow& s) {
+      if (s.len() % page == 0 || s.pages.empty()) return;
+      int& rc = ref[static_cast<size_t>(s.pages.back())];
+      if (rc > 1) {
+        --rc;
+        s.pages.back() = new_page();
+        ++shadow_cows;
+      }
+    };
+    const auto check = [&]() {
+      int64_t in_use = 0, shared = 0;
+      for (const int rc : ref) {
+        in_use += rc > 0;
+        shared += rc > 1;
+      }
+      ASSERT_EQ(cache.pages_in_use(), in_use);
+      ASSERT_EQ(cache.shared_pages(), shared);
+      ASSERT_EQ(cache.cow_page_copies(), shadow_cows);
+      for (const auto& s : seqs) {
+        ASSERT_EQ(cache.seq_len(s.id), s.len());
+        int64_t mine = 0;
+        for (const int pid : s.pages)
+          mine += ref[static_cast<size_t>(pid)] > 1;
+        ASSERT_EQ(cache.seq_shared_pages(s.id), mine);
+      }
+    };
+
+    seqs.push_back({});
+    seqs.back().id = cache.alloc_sequence();
+    for (int op = 0; op < 400; ++op) {
+      Shadow& s = seqs[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int>(seqs.size()) - 1))];
+      const int action = rng.uniform_int(0, 9);
+      if (action <= 3) {  // append_batch of 1..6 tokens
+        const int n = rng.uniform_int(1, 6);
+        std::vector<float> k, v;
+        for (int t = 0; t < n; ++t) {
+          const auto kt = random_vec(rng, span, t % 3 ? 0.f : 6.f);
+          const auto vt = random_vec(rng, span);
+          k.insert(k.end(), kt.begin(), kt.end());
+          v.insert(v.end(), vt.begin(), vt.end());
+        }
+        cache.append_batch(s.id, k.data(), v.data(), n);
+        shadow_tail_write(s);
+        const int64_t target = s.len() + n;
+        while (static_cast<int64_t>(s.pages.size()) * page < target)
+          s.pages.push_back(new_page());
+        s.k.insert(s.k.end(), k.begin(), k.end());
+        s.v.insert(s.v.end(), v.begin(), v.end());
+      } else if (action <= 5 && seqs.size() < 6) {  // fork a random prefix
+        const int64_t upto = rng.uniform_int(0, static_cast<int>(s.len()));
+        Shadow f;
+        f.id = cache.fork_sequence(s.id, upto);
+        const int64_t n_pages = (upto + page - 1) / page;
+        for (int64_t pi = 0; pi < n_pages; ++pi) {
+          f.pages.push_back(s.pages[static_cast<size_t>(pi)]);
+          ++ref[static_cast<size_t>(f.pages.back())];
+        }
+        f.k.assign(s.k.begin(), s.k.begin() + upto * span);
+        f.v.assign(s.v.begin(), s.v.begin() + upto * span);
+        seqs.push_back(std::move(f));  // note: `s` may dangle; re-looped next
+      } else if (action <= 8) {  // truncate to a random shorter length
+        const int64_t new_len = rng.uniform_int(0, static_cast<int>(s.len()));
+        cache.truncate_sequence(s.id, new_len);
+        const int64_t keep = (new_len + page - 1) / page;
+        while (static_cast<int64_t>(s.pages.size()) > keep) {
+          --ref[static_cast<size_t>(s.pages.back())];
+          s.pages.pop_back();
+        }
+        s.k.resize(static_cast<size_t>(new_len * span));
+        s.v.resize(static_cast<size_t>(new_len * span));
+      } else if (seqs.size() > 1) {  // free a sequence
+        cache.free_sequence(s.id);
+        for (const int pid : s.pages) --ref[static_cast<size_t>(pid)];
+        if (&s != &seqs.back()) s = std::move(seqs.back());
+        seqs.pop_back();
+      }
+      check();
+
+      if (op % 16 == 15) {
+        const Shadow& probe = seqs[static_cast<size_t>(
+            rng.uniform_int(0, static_cast<int>(seqs.size()) - 1))];
+        if (probe.len() == 0) continue;
+        PagedKvCache fresh(small_cfg(p, /*max_pages=*/512));
+        const int f = fresh.alloc_sequence();
+        fresh.append_batch(f, probe.k.data(), probe.v.data(), probe.len());
+        Tensor ka, va, kb, vb;
+        cache.gather(probe.id, ka, va);
+        fresh.gather(f, kb, vb);
+        ASSERT_EQ(max_abs_diff(ka, kb), 0.0f);
+        ASSERT_EQ(max_abs_diff(va, vb), 0.0f);
+      }
+    }
+    for (const auto& s : seqs) cache.free_sequence(s.id);
+    ASSERT_EQ(cache.pages_in_use(), 0);
+    ASSERT_EQ(cache.shared_pages(), 0);
+  }
+}
+
 }  // namespace
 }  // namespace qserve

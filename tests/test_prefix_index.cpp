@@ -1,0 +1,264 @@
+// Radix-tree prefix index: insertion with edge splitting, longest-prefix
+// lookup, LRU eviction with pinning, and validator-driven invalidation.
+#include "serving/prefix_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace qserve {
+namespace {
+
+std::vector<int> key(std::initializer_list<int> t) { return std::vector<int>(t); }
+
+TEST(PrefixIndex, EmptyLookupMisses) {
+  PrefixIndex idx;
+  EXPECT_FALSE(idx.lookup(key({1, 2, 3})).has_value());
+  EXPECT_EQ(idx.size(), 0);
+  EXPECT_EQ(idx.pages(), 0);
+}
+
+TEST(PrefixIndex, ExactAndPartialMatch) {
+  PrefixIndex idx;
+  const int64_t uid = idx.insert(key({1, 2, 3, 4}), /*seq=*/7,
+                                 /*cached_len=*/4, {}, /*pages=*/2);
+  ASSERT_GE(uid, 0);
+  EXPECT_EQ(idx.size(), 1);
+  EXPECT_EQ(idx.pages(), 2);
+
+  auto hit = idx.lookup(key({1, 2, 3, 4}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->uid, uid);
+  EXPECT_EQ(hit->seq, 7);
+  EXPECT_EQ(hit->match_len, 4);
+
+  // Longer prompt sharing the whole key: match is the key length.
+  hit = idx.lookup(key({1, 2, 3, 4, 9, 9}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->match_len, 4);
+
+  // Shorter prompt sharing a prefix: match is the common prefix.
+  hit = idx.lookup(key({1, 2, 9}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->match_len, 2);
+
+  // Disjoint prompt: miss.
+  EXPECT_FALSE(idx.lookup(key({5, 1, 2})).has_value());
+}
+
+TEST(PrefixIndex, MatchClampedToCachedLen) {
+  PrefixIndex idx;
+  // Key is 6 tokens but only 4 are cached (page alignment at the engine).
+  idx.insert(key({1, 2, 3, 4, 5, 6}), 3, /*cached_len=*/4, {}, 1);
+  auto hit = idx.lookup(key({1, 2, 3, 4, 5, 6}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->match_len, 4);
+}
+
+TEST(PrefixIndex, LongestEntryWinsOnSharedPrefix) {
+  PrefixIndex idx;
+  const int64_t a = idx.insert(key({1, 2}), 10, 2, {}, 1);
+  const int64_t b = idx.insert(key({1, 2, 3, 4}), 11, 4, {}, 2);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+
+  // The walk follows the prompt as deep as the tree allows; the deeper
+  // entry is returned when the prompt covers its key.
+  auto hit = idx.lookup(key({1, 2, 3, 4, 5}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->uid, b);
+  EXPECT_EQ(hit->match_len, 4);
+
+  // A prompt stopping mid-way matches the shallower entry exactly.
+  hit = idx.lookup(key({1, 2, 9}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->uid, a);
+  EXPECT_EQ(hit->match_len, 2);
+}
+
+TEST(PrefixIndex, DuplicateKeyRejected) {
+  PrefixIndex idx;
+  EXPECT_GE(idx.insert(key({4, 5, 6}), 1, 3, {}, 1), 0);
+  EXPECT_EQ(idx.insert(key({4, 5, 6}), 2, 3, {}, 1), -1);
+  EXPECT_EQ(idx.size(), 1);
+  EXPECT_EQ(idx.pages(), 1);
+}
+
+TEST(PrefixIndex, EdgeSplitKeepsBothEntriesReachable) {
+  PrefixIndex idx;
+  // Second insert splits the first key's edge mid-way.
+  const int64_t a = idx.insert(key({1, 2, 3, 4, 5}), 1, 5, {}, 1);
+  const int64_t b = idx.insert(key({1, 2, 3, 9, 9}), 2, 5, {}, 1);
+  auto ha = idx.lookup(key({1, 2, 3, 4, 5}));
+  auto hb = idx.lookup(key({1, 2, 3, 9, 9}));
+  ASSERT_TRUE(ha.has_value());
+  ASSERT_TRUE(hb.has_value());
+  EXPECT_EQ(ha->uid, a);
+  EXPECT_EQ(ha->match_len, 5);
+  EXPECT_EQ(hb->uid, b);
+  EXPECT_EQ(hb->match_len, 5);
+  // A prompt diverging right at the split point still matches 3 tokens.
+  auto hm = idx.lookup(key({1, 2, 3, 7}));
+  ASSERT_TRUE(hm.has_value());
+  EXPECT_EQ(hm->match_len, 3);
+}
+
+TEST(PrefixIndex, LruEvictionOrderAndTouchOnLookup) {
+  PrefixIndex idx;
+  const int64_t a = idx.insert(key({1, 1}), 1, 2, {}, 1);
+  const int64_t b = idx.insert(key({2, 2}), 2, 2, {}, 1);
+  const int64_t c = idx.insert(key({3, 3}), 3, 2, {}, 1);
+  // Touch `a` so `b` becomes LRU.
+  ASSERT_TRUE(idx.lookup(key({1, 1})).has_value());
+  auto dead = idx.evict_lru_unpinned();
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(dead->uid, b);
+  EXPECT_EQ(dead->seq, 2);
+  // Next LRU is `c` (never touched after insert order a,b,c with a touched).
+  dead = idx.evict_lru_unpinned();
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(dead->uid, c);
+  dead = idx.evict_lru_unpinned();
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(dead->uid, a);
+  EXPECT_FALSE(idx.evict_lru_unpinned().has_value());
+  EXPECT_EQ(idx.size(), 0);
+  EXPECT_EQ(idx.pages(), 0);
+}
+
+TEST(PrefixIndex, PinnedEntriesSkippedByEviction) {
+  PrefixIndex idx;
+  const int64_t a = idx.insert(key({1, 1}), 1, 2, {}, 1);
+  const int64_t b = idx.insert(key({2, 2}), 2, 2, {}, 1);
+  idx.pin(a);
+  idx.pin(b);
+  EXPECT_FALSE(idx.evict_lru_unpinned().has_value());
+  idx.unpin(a);
+  auto dead = idx.evict_lru_unpinned();
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(dead->uid, a);
+  // Double-pin requires matching unpins.
+  idx.pin(b);
+  idx.unpin(b);
+  EXPECT_FALSE(idx.evict_lru_unpinned().has_value());
+  idx.unpin(b);
+  dead = idx.evict_lru_unpinned();
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(dead->uid, b);
+  // Unpin of an erased uid is a tolerated no-op.
+  idx.unpin(b);
+  idx.unpin(12345);
+}
+
+TEST(PrefixIndex, ValidatorInvalidationErasesAndRetries) {
+  PrefixIndex idx;
+  const int64_t stale = idx.insert(key({1, 2, 3, 4}), 1, 4, {7, 7}, 2);
+  const int64_t fresh = idx.insert(key({1, 2}), 2, 2, {9}, 1);
+  std::vector<int64_t> released;
+  const auto validate = [&](const PrefixEntry& e) { return e.uid != stale; };
+  const auto release = [&](const PrefixEntry& e) { released.push_back(e.uid); };
+  // The deep (stale) entry is found first, fails validation, is erased, and
+  // the lookup retries: the shallower valid entry is returned.
+  auto hit = idx.lookup(key({1, 2, 3, 4}), validate, release);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->uid, fresh);
+  EXPECT_EQ(hit->match_len, 2);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], stale);
+  EXPECT_EQ(idx.size(), 1);
+  // All entries invalid -> miss, everything released.
+  released.clear();
+  hit = idx.lookup(key({1, 2}), [](const PrefixEntry&) { return false; },
+                   release);
+  EXPECT_FALSE(hit.has_value());
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], fresh);
+  EXPECT_EQ(idx.size(), 0);
+  EXPECT_EQ(idx.pages(), 0);
+}
+
+TEST(PrefixIndex, ClearReleasesEverything) {
+  PrefixIndex idx;
+  idx.insert(key({1}), 1, 1, {}, 1);
+  idx.insert(key({2, 3}), 2, 2, {}, 2);
+  idx.pin(0);  // pinned entries are released by clear() too
+  std::vector<int> seqs;
+  idx.clear([&](const PrefixEntry& e) { seqs.push_back(e.seq); });
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(seqs, (std::vector<int>{1, 2}));
+  EXPECT_EQ(idx.size(), 0);
+  EXPECT_EQ(idx.pages(), 0);
+  EXPECT_FALSE(idx.lookup(key({1})).has_value());
+}
+
+TEST(PrefixIndex, FuzzAgainstLinearScanReference) {
+  // Reference model: a flat list of (key, uid). Longest-prefix lookup is a
+  // linear scan; LRU is a vector reordered on touch. The radix tree must
+  // agree on hit/miss and match length for every probe.
+  Rng rng(99);
+  PrefixIndex idx;
+  struct Ref {
+    std::vector<int> key;
+    int64_t uid;
+  };
+  std::vector<Ref> ref;
+  const auto rand_key = [&rng]() {
+    const int len = rng.uniform_int(1, 12);
+    std::vector<int> k(static_cast<size_t>(len));
+    for (auto& t : k) t = rng.uniform_int(0, 3);  // small alphabet -> collisions
+    return k;
+  };
+  for (int iter = 0; iter < 2000; ++iter) {
+    const int op = rng.uniform_int(0, 2);
+    if (op == 0) {
+      auto k = rand_key();
+      const int64_t uid = idx.insert(k, int(iter), int64_t(k.size()), {}, 1);
+      const bool dup = std::any_of(ref.begin(), ref.end(), [&](const Ref& r) {
+        return r.key == k;
+      });
+      EXPECT_EQ(uid < 0, dup) << "duplicate-key detection diverged";
+      if (uid >= 0) ref.push_back({std::move(k), uid});
+    } else if (op == 1 && !ref.empty()) {
+      // Evict LRU-unpinned; reference: erase any one entry the index names.
+      auto dead = idx.evict_lru_unpinned();
+      ASSERT_TRUE(dead.has_value());
+      const auto it = std::find_if(ref.begin(), ref.end(), [&](const Ref& r) {
+        return r.uid == dead->uid;
+      });
+      ASSERT_TRUE(it != ref.end());
+      ref.erase(it);
+    } else {
+      const auto probe = rand_key();
+      size_t best = 0;
+      for (const auto& r : ref) {
+        size_t m = 0;
+        while (m < r.key.size() && m < probe.size() && r.key[m] == probe[m])
+          ++m;
+        best = std::max(best, m);
+      }
+      const auto hit = idx.lookup(probe);
+      EXPECT_EQ(hit.has_value(), best > 0);
+      if (hit) {
+        EXPECT_EQ(size_t(hit->match_len), best);
+        const auto it = std::find_if(ref.begin(), ref.end(),
+                                     [&](const Ref& r) {
+                                       return r.uid == hit->uid;
+                                     });
+        ASSERT_TRUE(it != ref.end());
+        // The returned entry must actually share `best` tokens.
+        ASSERT_GE(it->key.size(), best);
+        for (size_t m = 0; m < best; ++m) EXPECT_EQ(it->key[m], probe[m]);
+      }
+    }
+  }
+  ASSERT_EQ(idx.size(), int64_t(ref.size()));
+  idx.clear([](const PrefixEntry&) {});
+  EXPECT_EQ(idx.size(), 0);
+  EXPECT_EQ(idx.pages(), 0);
+}
+
+}  // namespace
+}  // namespace qserve

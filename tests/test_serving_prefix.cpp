@@ -1,0 +1,414 @@
+// Prefix caching & parallel sampling at the engine level. The central
+// invariants: a request served from a warm prefix cache produces a token
+// stream BITWISE identical to a cold start (the KV bytes of a token prefix
+// are a pure function of the prefix), across ISAs and thread counts, under
+// preemption churn and injected faults; engine-level forks are page-aligned
+// and therefore never trigger copy-on-write; and every test drains to
+// pages_in_use() == 0 once the cache is cleared.
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "kernels/cpu/isa.h"
+#include "model/quantized_model.h"
+#include "model/weights.h"
+#include "serving/engine.h"
+
+namespace qserve {
+namespace {
+
+using cpu::Isa;
+
+struct IsaGuard {
+  explicit IsaGuard(Isa isa) { cpu::set_isa(isa); }
+  ~IsaGuard() { cpu::clear_isa_override(); }
+};
+
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> v{Isa::kScalar};
+  if (static_cast<int>(cpu::detected_isa()) >= static_cast<int>(Isa::kAvx2))
+    v.push_back(Isa::kAvx2);
+  if (static_cast<int>(cpu::detected_isa()) >= static_cast<int>(Isa::kAvx512))
+    v.push_back(Isa::kAvx512);
+  return v;
+}
+
+struct FaultGuard {
+  FaultGuard() { fault::clear(); }
+  ~FaultGuard() { fault::clear(); }
+};
+
+const ModelWeights& fixture_weights() {
+  static const ModelWeights* w =
+      new ModelWeights(make_synthetic_weights(toy_config(1)));
+  return *w;
+}
+
+QuantSchemeConfig pool_scheme(int64_t pages) {
+  QuantSchemeConfig scheme = QuantSchemeConfig::qserve_w4a8kv4_g128();
+  scheme.kv_max_pages = pages;
+  return scheme;
+}
+
+// Prompts sharing a long system prefix (page_size = 16 tokens in the toy
+// model's KV config) with short distinct user suffixes.
+struct Workload {
+  std::vector<std::vector<int>> prompts;
+  std::vector<int> max_new;
+};
+
+Workload shared_prefix_workload(int n, int prefix_len, uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  std::vector<int> prefix(static_cast<size_t>(prefix_len));
+  for (auto& t : prefix) t = rng.uniform_int(0, 511);
+  for (int i = 0; i < n; ++i) {
+    auto p = prefix;
+    const int suffix = rng.uniform_int(1, 6);
+    for (int s = 0; s < suffix; ++s) p.push_back(rng.uniform_int(0, 511));
+    w.prompts.push_back(std::move(p));
+    w.max_new.push_back(rng.uniform_int(4, 10));
+  }
+  return w;
+}
+
+// Each request served alone, cold, caching off: the bitwise reference.
+std::vector<std::vector<int>> solo_streams(const Workload& w) {
+  fault::clear();
+  std::vector<std::vector<int>> out;
+  for (size_t i = 0; i < w.prompts.size(); ++i) {
+    QuantizedModel model(fixture_weights(),
+                         QuantSchemeConfig::qserve_w4a8kv4_g128());
+    ServingEngine engine(&model, EngineConfig{});
+    const int id = engine.submit(w.prompts[i], w.max_new[i]);
+    engine.run_to_completion();
+    out.push_back(engine.request(id).generated);
+  }
+  return out;
+}
+
+void pump(ServingEngine& engine) {
+  int guard = 0;
+  while (engine.step()) {
+    if (++guard >= 50000) {
+      ADD_FAILURE() << "engine must terminate";
+      break;
+    }
+  }
+}
+
+TEST(PrefixCaching, WarmStreamsBitwiseIdenticalAcrossIsaAndThreads) {
+  FaultGuard fg;
+  const Workload w = shared_prefix_workload(5, /*prefix_len=*/96, 301);
+  const auto solo = solo_streams(w);
+
+  for (Isa isa : supported_isas()) {
+    IsaGuard isa_guard(isa);
+    for (int threads : {1, 8}) {
+      set_num_threads(threads);
+      const std::string tag = std::string(cpu::isa_name(isa)) + "/" +
+                              std::to_string(threads) + "t";
+      QuantizedModel model(fixture_weights(), pool_scheme(64));
+      EngineConfig cfg;
+      cfg.prefix_caching = true;
+      cfg.scheduler.prefill_chunk = 16;
+      cfg.scheduler.max_batch = 4;
+      ServingEngine engine(&model, cfg);
+
+      // Cold request first (drained alone so its donation is in the index
+      // before any other request is planned), then the warm batch.
+      std::vector<int> ids;
+      ids.push_back(engine.submit(w.prompts[0], w.max_new[0]));
+      pump(engine);
+      for (size_t i = 1; i < w.prompts.size(); ++i)
+        ids.push_back(engine.submit(w.prompts[i], w.max_new[i]));
+      pump(engine);
+
+      const EngineStats& s = engine.stats();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        EXPECT_EQ(engine.request(ids[i]).generated, solo[i])
+            << tag << " request " << i;
+        EXPECT_EQ(engine.request(ids[i]).finish_reason, FinishReason::kLength);
+      }
+      EXPECT_EQ(s.prefix_insertions, int64_t(w.prompts.size()))
+          << tag << ": every completed prefill donates its distinct key";
+      EXPECT_GE(s.prefix_hits, int64_t(w.prompts.size()) - 1) << tag;
+      // Every hit skipped the full 96-token (6-page) shared prefix.
+      EXPECT_EQ(s.prefill_tokens_saved, 96 * s.prefix_hits) << tag;
+      EXPECT_EQ(s.prefix_tokens_reused, s.prefill_tokens_saved) << tag;
+      // Engine forks are page-aligned; no writer ever lands in a shared
+      // page, so the refactor's CoW machinery must never have fired.
+      EXPECT_EQ(s.cow_page_copies, 0) << tag;
+      EXPECT_GE(s.prefix_cache_entries, 1) << tag;
+      EXPECT_GE(s.prefix_cache_pages, 6) << tag;
+
+      // Drained but warm: the cache still holds pages. Clearing it is the
+      // only thing standing between the engine and an empty pool.
+      EXPECT_GT(model.kv_cache().pages_in_use(), 0) << tag;
+      engine.clear_prefix_cache();
+      EXPECT_EQ(model.kv_cache().pages_in_use(), 0) << tag;
+      EXPECT_EQ(model.kv_cache().shared_pages(), 0) << tag;
+    }
+  }
+  set_num_threads(0);
+}
+
+TEST(PrefixCaching, WarmFirstTokenTakesOneChunkStepColdTakesSix) {
+  // The TTFT mechanism, pinned in steps: an 82-token prompt at
+  // prefill_chunk=16 costs 6 chunk steps cold; warm, the 80-token (5-page)
+  // aligned prefix is forked and only the 2-token tail is prefilled — first
+  // token after 1 step, a 6x step-count improvement (the bench measures the
+  // same effect in wall-clock on a 1024-token system prompt).
+  FaultGuard fg;
+  const Workload w = shared_prefix_workload(2, /*prefix_len=*/80, 302);
+  const auto solo = solo_streams(w);
+  QuantizedModel model(fixture_weights(), pool_scheme(64));
+  EngineConfig cfg;
+  cfg.prefix_caching = true;
+  cfg.scheduler.prefill_chunk = 16;
+  ServingEngine engine(&model, cfg);
+
+  const int cold = engine.submit(w.prompts[0], w.max_new[0]);
+  pump(engine);
+  const int warm = engine.submit(w.prompts[1], w.max_new[1]);
+  pump(engine);
+
+  const Request& rc = engine.request(cold);
+  const Request& rw = engine.request(warm);
+  EXPECT_EQ(rc.generated, solo[0]);
+  EXPECT_EQ(rw.generated, solo[1]);
+  // first_token_step records the pre-increment step counter, so the number
+  // of engine steps executed up to and including the sampling one is
+  // (first - submitted + 1).
+  const int64_t cold_ttft = rc.first_token_step - rc.submitted_step + 1;
+  const int64_t warm_ttft = rw.first_token_step - rw.submitted_step + 1;
+  EXPECT_EQ(cold_ttft, 6);
+  EXPECT_EQ(warm_ttft, 1);
+  EXPECT_GE(cold_ttft, 5 * warm_ttft);
+  EXPECT_EQ(engine.stats().prefill_tokens_saved, 80);
+
+  engine.clear_prefix_cache();
+  EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
+}
+
+TEST(PrefixCaching, SurvivesPreemptionChurnSmallPool) {
+  // A pool too small for the whole batch forces eviction round trips while
+  // cached entries hold pages. Under-pressure reclaim may sacrifice cache
+  // hits, never correctness: every completed stream stays bitwise solo.
+  FaultGuard fg;
+  const Workload w = shared_prefix_workload(6, /*prefix_len=*/48, 303);
+  const auto solo = solo_streams(w);
+  for (const int64_t pool_pages : {12, 20}) {
+    QuantizedModel model(fixture_weights(), pool_scheme(pool_pages));
+    EngineConfig cfg;
+    cfg.prefix_caching = true;
+    cfg.scheduler.prefill_chunk = 16;
+    cfg.scheduler.max_batch = 4;
+    ServingEngine engine(&model, cfg);
+    std::vector<int> ids;
+    for (size_t i = 0; i < w.prompts.size(); ++i)
+      ids.push_back(engine.submit(w.prompts[i], w.max_new[i]));
+    pump(engine);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(engine.request(ids[i]).finish_reason, FinishReason::kLength)
+          << "pool=" << pool_pages << " request " << i;
+      EXPECT_EQ(engine.request(ids[i]).generated, solo[i])
+          << "pool=" << pool_pages << " request " << i;
+    }
+    engine.clear_prefix_cache();
+    EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
+    EXPECT_EQ(model.kv_cache().shared_pages(), 0);
+  }
+}
+
+TEST(PrefixCaching, EntryCapEvictsLruAndPressureEvictsBeforePreempting) {
+  FaultGuard fg;
+  // Three distinct prompts (no shared prefix) through a cap-2 cache.
+  Rng rng(304);
+  QuantizedModel model(fixture_weights(), pool_scheme(64));
+  EngineConfig cfg;
+  cfg.prefix_caching = true;
+  cfg.prefix_cache_max_entries = 2;
+  ServingEngine engine(&model, cfg);
+  for (int i = 0; i < 3; ++i) {
+    std::vector<int> p(20);
+    for (auto& t : p) t = rng.uniform_int(0, 511);
+    engine.submit(std::move(p), 4);
+    pump(engine);
+  }
+  EXPECT_EQ(engine.stats().prefix_insertions, 3);
+  EXPECT_GE(engine.stats().prefix_evictions, 1);
+  EXPECT_LE(engine.stats().prefix_cache_entries, 2);
+
+  // Pressure: a prompt that needs most of a small pool must reclaim cached
+  // pages (prefix_evictions grows) instead of failing or preempting forever.
+  QuantizedModel small(fixture_weights(), pool_scheme(8));
+  ServingEngine engine2(&small, cfg);
+  std::vector<int> warmup(32);
+  for (auto& t : warmup) t = rng.uniform_int(0, 511);
+  engine2.submit(warmup, 4);
+  pump(engine2);
+  EXPECT_EQ(engine2.stats().prefix_insertions, 1);
+  std::vector<int> big(96);
+  for (auto& t : big) t = rng.uniform_int(0, 511);
+  const int id = engine2.submit(big, 4);
+  pump(engine2);
+  EXPECT_EQ(engine2.request(id).finish_reason, FinishReason::kLength);
+  EXPECT_GE(engine2.stats().prefix_evictions, 1);
+  engine2.clear_prefix_cache();
+  EXPECT_EQ(small.kv_cache().pages_in_use(), 0);
+  engine.clear_prefix_cache();
+  EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
+}
+
+TEST(PrefixCaching, ChurnUnderFaultInjectionStaysBitwise) {
+  // Deterministic kv_alloc faults + the QSERVE_FAULT env spec (when CI sets
+  // it): fault recovery is preemption, preemption is stream-preserving, and
+  // neither may corrupt a shared page.
+  FaultGuard fg;
+  const Workload w = shared_prefix_workload(6, /*prefix_len=*/48, 305);
+  const auto solo = solo_streams(w);
+  const char* env = std::getenv("QSERVE_FAULT");
+  if (env != nullptr) {
+    fault::configure(env);
+  } else {
+    fault::set_site(fault::kKvAlloc, 0.05, 91);
+  }
+  QuantizedModel model(fixture_weights(), pool_scheme(24));
+  EngineConfig cfg;
+  cfg.prefix_caching = true;
+  cfg.scheduler.prefill_chunk = 16;
+  cfg.scheduler.max_batch = 4;
+  ServingEngine engine(&model, cfg);
+  std::vector<int> ids;
+  for (size_t i = 0; i < w.prompts.size(); ++i)
+    ids.push_back(engine.submit(w.prompts[i], w.max_new[i]));
+  pump(engine);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(engine.request(ids[i]).finish_reason, FinishReason::kLength)
+        << i;
+    EXPECT_EQ(engine.request(ids[i]).generated, solo[i]) << i;
+  }
+  fault::clear();
+  engine.clear_prefix_cache();
+  EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
+  EXPECT_EQ(model.kv_cache().shared_pages(), 0);
+}
+
+TEST(ParallelSampling, GreedySiblingsEmitThePrimaryStream) {
+  // n=4 at temperature 0: all four completions must equal the solo stream —
+  // with the cache on (siblings fork the donated prompt pages) AND off
+  // (siblings re-prefill cold). Demuxing metadata must line up.
+  FaultGuard fg;
+  const Workload w = shared_prefix_workload(1, /*prefix_len=*/40, 306);
+  const auto solo = solo_streams(w);
+  for (const bool caching : {false, true}) {
+    QuantizedModel model(fixture_weights(), pool_scheme(64));
+    EngineConfig cfg;
+    cfg.prefix_caching = caching;
+    cfg.scheduler.prefill_chunk = 16;
+    ServingEngine engine(&model, cfg);
+    RequestOptions opts;
+    opts.max_new_tokens = w.max_new[0];
+    opts.n = 4;
+    std::map<int, int> finishes;
+    const int primary = engine.submit(
+        w.prompts[0], opts, nullptr,
+        [&finishes](const Request& r) { ++finishes[r.id]; });
+    pump(engine);
+
+    const Request& rp = engine.request(primary);
+    ASSERT_EQ(rp.sibling_ids.size(), 3u) << "caching=" << caching;
+    EXPECT_EQ(rp.n_samples, 4);
+    EXPECT_EQ(rp.sample_index, 0);
+    EXPECT_EQ(rp.generated, solo[0]) << "caching=" << caching;
+    int index = 1;
+    for (const int sid : rp.sibling_ids) {
+      const Request& rs = engine.request(sid);
+      EXPECT_EQ(rs.finish_reason, FinishReason::kLength);
+      EXPECT_EQ(rs.generated, solo[0])
+          << "caching=" << caching << " sibling " << rs.sample_index;
+      EXPECT_EQ(rs.parent_id, primary);
+      EXPECT_EQ(rs.sample_index, index++);
+      EXPECT_EQ(rs.n_samples, 4);
+      EXPECT_EQ(finishes[sid], 1);
+    }
+    EXPECT_EQ(finishes[primary], 1);
+    engine.clear_prefix_cache();
+    EXPECT_EQ(model.kv_cache().pages_in_use(), 0) << "caching=" << caching;
+  }
+}
+
+TEST(ParallelSampling, TemperatureRunsAreReproducible) {
+  // temperature > 0: the four streams draw from one seeded RNG in a fixed
+  // order (primary, then siblings ascending), so two identical runs must
+  // produce identical stream sets; every completion runs to full length.
+  FaultGuard fg;
+  const Workload w = shared_prefix_workload(1, /*prefix_len=*/40, 307);
+  const auto run = [&w]() {
+    QuantizedModel model(fixture_weights(), pool_scheme(64));
+    EngineConfig cfg;
+    cfg.prefix_caching = true;
+    cfg.temperature = 0.8f;
+    cfg.sample_seed = 1234;
+    ServingEngine engine(&model, cfg);
+    RequestOptions opts;
+    opts.max_new_tokens = 8;
+    opts.n = 4;
+    const int primary = engine.submit(w.prompts[0], opts, nullptr, nullptr);
+    int guard = 0;
+    while (engine.step() && ++guard < 50000) {
+    }
+    std::vector<std::vector<int>> streams;
+    streams.push_back(engine.request(primary).generated);
+    for (const int sid : engine.request(primary).sibling_ids)
+      streams.push_back(engine.request(sid).generated);
+    engine.clear_prefix_cache();
+    EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
+    return streams;
+  };
+  const auto first = run();
+  const auto again = run();
+  ASSERT_EQ(first.size(), 4u);
+  for (const auto& s : first) EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(first, again);
+}
+
+TEST(PrefixCaching, SpeculativeEngineComposesWithWarmCache) {
+  // Speculative decode + prefix cache: verify-step rollbacks truncate only
+  // above the shared prefix, so warm streams still match the solo baseline
+  // (which is itself bitwise equal to non-speculative decoding by the
+  // speculative engine's greedy-acceptance invariant).
+  FaultGuard fg;
+  const Workload w = shared_prefix_workload(3, /*prefix_len=*/48, 308);
+  const auto solo = solo_streams(w);
+  QuantizedModel target(fixture_weights(), pool_scheme(64));
+  QuantizedModel draft(fixture_weights(), pool_scheme(64));
+  EngineConfig cfg;
+  cfg.prefix_caching = true;
+  cfg.scheduler.prefill_chunk = 16;
+  cfg.speculative.lookahead_k = 2;
+  ServingEngine engine(&target, &draft, cfg);
+  std::vector<int> ids;
+  ids.push_back(engine.submit(w.prompts[0], w.max_new[0]));
+  pump(engine);
+  for (size_t i = 1; i < w.prompts.size(); ++i)
+    ids.push_back(engine.submit(w.prompts[i], w.max_new[i]));
+  pump(engine);
+  for (size_t i = 0; i < ids.size(); ++i)
+    EXPECT_EQ(engine.request(ids[i]).generated, solo[i]) << i;
+  EXPECT_GE(engine.stats().prefix_hits, 1);
+  engine.clear_prefix_cache();
+  EXPECT_EQ(target.kv_cache().pages_in_use(), 0);
+  EXPECT_EQ(draft.kv_cache().pages_in_use(), 0);
+}
+
+}  // namespace
+}  // namespace qserve

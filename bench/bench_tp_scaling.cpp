@@ -1,0 +1,148 @@
+// Tensor-parallel scaling sweep: decode throughput and time-to-first-token at
+// 1/2/4 shards on the toy MHA model (4 KV heads, so the plan shards evenly up
+// to 4 ways). Shard pools partition the engine's thread budget, so on a fixed
+// budget the curve is expected near-flat with a small reduction/concat cost —
+// the point of the rows is catching regressions in that boundary, not
+// advertising speedup. Token streams at every shard count are verified
+// bitwise identical to the single-shard engine before any number is reported.
+//
+// Invoked with `--json <path>` it writes regression records for
+// bench/check_regression.py. Rows reuse the GemmBenchRecord schema:
+// `serving_tp_decode_sN` carries decode tokens/second in `gops`;
+// `serving_tp_ttft_sN` carries first-tokens/second (1e3 / TTFT-ms). m = the
+// shard count, n = concurrent requests, k = new tokens per request.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "kernels/cpu/isa.h"
+#include "serving/engine.h"
+
+using namespace qserve;
+
+namespace {
+
+constexpr int kRequests = 4;
+constexpr int kPrompt = 16;
+constexpr int kMaxNew = 32;
+
+std::vector<int> request_prompt(int r) {
+  std::vector<int> p;
+  p.reserve(kPrompt);
+  for (int i = 0; i < kPrompt; ++i) p.push_back((41 * r + 7 * i + 3) % 512);
+  return p;
+}
+
+struct RunResult {
+  double decode_tps = 0;
+  double ttft_ms = 0;  // first request, admission to first token
+  std::vector<std::vector<int>> streams;
+};
+
+RunResult run(const ModelWeights& weights, int shards) {
+  QuantizedModel model(weights, QuantSchemeConfig::qserve_w4a8kv4_per_channel(),
+                       TpConfig{shards});
+  ServingEngine engine(&model, EngineConfig{});
+  std::vector<int> ids;
+  for (int r = 0; r < kRequests; ++r)
+    ids.push_back(engine.submit(request_prompt(r), kMaxNew));
+
+  RunResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (engine.step()) {
+    if (out.ttft_ms <= 0 && engine.request(ids[0]).first_token_step >= 0) {
+      out.ttft_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    }
+  }
+  out.decode_tps = engine.stats().decode_tokens_per_second;
+  for (int id : ids) out.streams.push_back(engine.request(id).generated);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+
+  const ModelWeights weights = make_synthetic_weights(toy_config_mha(1));
+  std::vector<benchutil::GemmBenchRecord> rows;
+  std::vector<cpu::Isa> isas{cpu::Isa::kScalar};
+  if (cpu::detected_isa() != cpu::Isa::kScalar)
+    isas.push_back(cpu::detected_isa());
+
+  std::printf(
+      "%d requests x %d new tokens, toy MHA W4A8KV4 model, %d threads\n",
+      kRequests, kMaxNew, num_threads());
+  std::printf("%-8s %-8s %16s %12s %10s\n", "isa", "shards", "decode tok/s",
+              "TTFT ms", "streams");
+  for (cpu::Isa isa : isas) {
+    cpu::set_isa(isa);
+    const char* iname = cpu::isa_name(isa);
+    std::vector<std::vector<int>> reference;
+    for (const int shards : {1, 2, 4}) {
+      // Best-of-2 per metric: the engine is deterministic, the wall clock is
+      // not, and these rows gate CI like every other bench's.
+      RunResult best = run(weights, shards);
+      const RunResult again = run(weights, shards);
+      if (best.streams != again.streams) {
+        std::printf("FAIL: repeat run diverged at %d shards (%s)\n", shards,
+                    iname);
+        return 1;
+      }
+      best.decode_tps = std::max(best.decode_tps, again.decode_tps);
+      best.ttft_ms = std::min(best.ttft_ms, again.ttft_ms);
+      if (shards == 1) {
+        reference = best.streams;
+      } else if (best.streams != reference) {
+        std::printf(
+            "FAIL: %d-shard streams diverged from the single-shard engine "
+            "(%s)\n",
+            shards, iname);
+        return 1;
+      }
+      std::printf("%-8s %-8d %16.1f %12.2f %10s\n", iname, shards,
+                  best.decode_tps, best.ttft_ms, "ok");
+
+      benchutil::GemmBenchRecord d;
+      d.name = "serving_tp_decode_s" + std::to_string(shards);
+      d.isa = iname;
+      d.m = shards;
+      d.n = kRequests;
+      d.k = kMaxNew;
+      d.seconds = best.decode_tps > 0 ? 1.0 / best.decode_tps : 0;
+      d.gops = best.decode_tps;
+      rows.push_back(d);
+
+      benchutil::GemmBenchRecord t;
+      t.name = "serving_tp_ttft_s" + std::to_string(shards);
+      t.isa = iname;
+      t.m = shards;
+      t.n = kRequests;
+      t.k = kMaxNew;
+      t.seconds = best.ttft_ms / 1e3;
+      t.gops = best.ttft_ms > 0 ? 1e3 / best.ttft_ms : 0;
+      rows.push_back(t);
+    }
+    cpu::clear_isa_override();
+  }
+
+  if (!json_path.empty()) {
+    if (!benchutil::write_bench_json(json_path,
+                                     cpu::isa_name(cpu::detected_isa()),
+                                     num_threads(), rows))
+      return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

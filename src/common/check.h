@@ -54,6 +54,8 @@ namespace detail {
 
 #ifdef NDEBUG
 #define QS_DCHECK(expr) ((void)0)
+#define QS_DCHECK_MSG(expr, msg) ((void)0)
 #else
 #define QS_DCHECK(expr) QS_CHECK(expr)
+#define QS_DCHECK_MSG(expr, msg) QS_CHECK_MSG(expr, msg)
 #endif

@@ -36,6 +36,27 @@ inline int ilog2(int64_t x) {
   return l;
 }
 
+// Fixed pairwise (recursive-halving) summation tree over v[0..n). The split
+// point is the largest power of two strictly below n, so the tree shape is a
+// function of n alone. Two properties the tensor-parallel all-reduce relies
+// on:
+//  - For power-of-two n, the partial sums of any even partition into
+//    power-of-two-aligned blocks combine (again pairwise) into bitwise the
+//    same result as summing all n leaves in one tree — shard count does not
+//    change the bits.
+//  - For integer T the sum is exact, so ANY grouping matches; the fixed tree
+//    is still used so float and integer reductions share one code path.
+template <typename T>
+inline T pairwise_tree_sum(const T* v, int64_t n) {
+  if (n <= 0) return T(0);
+  if (n == 1) return v[0];
+  if (n == 2) return static_cast<T>(v[0] + v[1]);
+  int64_t half = 1;
+  while (half * 2 < n) half *= 2;  // largest power of two < n
+  return static_cast<T>(pairwise_tree_sum(v, half) +
+                        pairwise_tree_sum(v + half, n - half));
+}
+
 // Numerically stable softmax over a contiguous row, in place.
 inline void softmax_inplace(float* x, int n) {
   float m = x[0];

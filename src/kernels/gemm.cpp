@@ -156,6 +156,27 @@ I32Tensor gemm_blocked_acc(const QuantizedActs& x, const PackedGemmB& w) {
   return acc;
 }
 
+Tensor gemm_blocked_epilogue(const I32Tensor& acc, const QuantizedActs& x,
+                             const std::vector<float>& scale,
+                             const std::vector<float>& zp_term) {
+  const int64_t m = acc.rows(), n = acc.cols();
+  QS_CHECK_EQ(m, x.m());
+  QS_CHECK_EQ(n, static_cast<int64_t>(scale.size()));
+  const bool has_zp = !zp_term.empty();
+  if (has_zp) QS_CHECK_EQ(n, static_cast<int64_t>(zp_term.size()));
+  Tensor y({m, n});
+  parallel_for(0, m, 1, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      for (int64_t r = 0; r < n; ++r) {
+        float v = float(acc.at2(t, r)) * x.s[t] * scale[static_cast<size_t>(r)];
+        if (has_zp) v -= x.token_sum[t] * zp_term[static_cast<size_t>(r)];
+        y.at2(t, r) = to_half_precision(v);
+      }
+    }
+  });
+  return y;
+}
+
 Tensor gemm_w8a8(const QuantizedActs& x, const W8PerChannel& w) {
   QS_CHECK_EQ(x.k(), w.k());
   return gemm_blocked(x, pack_gemm_b(w, preferred_nr()));

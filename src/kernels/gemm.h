@@ -60,8 +60,21 @@ Tensor gemm_blocked(const QuantizedActs& x, const PackedGemmB& w);
 
 // The raw INT32 accumulators acc[t, r] = sum_c x.q[t, c] * code(r, c) before
 // the epilogue — exposed so tests can assert cross-ISA bitwise identity at
-// the accumulator level, not just after FP16 rounding.
+// the accumulator level, not just after FP16 rounding, and so the
+// tensor-parallel row-parallel path can all-reduce per-shard k-slice
+// partials exactly (integer sums are order-independent).
 I32Tensor gemm_blocked_acc(const QuantizedActs& x, const PackedGemmB& w);
+
+// gemm_blocked's exact epilogue applied to externally-reduced accumulators
+// (the tensor-parallel all-reduce of per-shard partials). `scale`/`zp_term`
+// are the full-row epilogue constants — identical in every k-slice pack,
+// since they are per-output-row — and `x` supplies the full-row per-token
+// scale and token sum (zp_term empty = no zero-point term). Bitwise
+// identical to gemm_blocked on the unsliced pack: the INT32 accumulator sum
+// is exact and the float expression is evaluated in the same order.
+Tensor gemm_blocked_epilogue(const I32Tensor& acc, const QuantizedActs& x,
+                             const std::vector<float>& scale,
+                             const std::vector<float>& zp_term);
 
 Tensor gemm_w4a8_per_group_streamed(const QuantizedActs& x,
                                     const W4PerGroup& w,

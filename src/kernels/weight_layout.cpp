@@ -88,11 +88,13 @@ ReorderedGroupMeta reorder_group_meta(const W4PerGroup& w) {
 
 namespace {
 
-// `code_at(row, col)` returns the signed code value; out-of-range panel slots
-// are zero codes (they contribute nothing to dot products or row sums).
+// `code_at(row, col)` returns the signed code value at ABSOLUTE matrix
+// indices; the packed slice covers rows [row0, row0 + n) and input channels
+// [col0, col0 + k). Out-of-range panel slots are zero codes (they contribute
+// nothing to dot products or row sums).
 template <typename CodeAtFn>
-PackedGemmB pack_panels(int64_t n, int64_t k, int nr, bool unsigned_codes,
-                        const CodeAtFn& code_at) {
+PackedGemmB pack_panels(int64_t n, int64_t k, int64_t row0, int64_t col0,
+                        int nr, bool unsigned_codes, const CodeAtFn& code_at) {
   QS_CHECK(nr > 0);
   PackedGemmB b;
   b.n = n;
@@ -116,7 +118,7 @@ PackedGemmB pack_panels(int64_t n, int64_t k, int nr, bool unsigned_codes,
           for (int j = 0; j < cpu::kKGroup; ++j) {
             const int64_t col = g * cpu::kKGroup + j;
             if (col >= k) continue;
-            const int code = code_at(row, col);
+            const int code = code_at(row0 + row, col0 + col);
             panel[(g * nr + r) * cpu::kKGroup + j] =
                 static_cast<int8_t>(code);
             b.row_sum[static_cast<size_t>(row)] += code;
@@ -128,51 +130,80 @@ PackedGemmB pack_panels(int64_t n, int64_t k, int nr, bool unsigned_codes,
   return b;
 }
 
+PackSlice checked_slice(const PackSlice& s, int64_t n, int64_t k) {
+  QS_CHECK(0 <= s.row0 && s.row0 <= s.row1 && s.row1 <= n);
+  QS_CHECK(0 <= s.col0 && s.col0 <= s.col1 && s.col1 <= k);
+  return s;
+}
+
 }  // namespace
 
-PackedGemmB pack_gemm_b(const W8PerChannel& w, int nr) {
+PackedGemmB pack_gemm_b_slice(const W8PerChannel& w, int nr,
+                              const PackSlice& sl) {
+  const PackSlice s = checked_slice(sl, w.n(), w.k());
   PackedGemmB b = pack_panels(
-      w.n(), w.k(), nr, /*unsigned_codes=*/false,
+      s.row1 - s.row0, s.col1 - s.col0, s.row0, s.col0, nr,
+      /*unsigned_codes=*/false,
       [&](int64_t r, int64_t c) { return int(w.qw.at2(r, c)); });
-  b.scale.assign(static_cast<size_t>(w.n()), 0.0f);
-  for (int64_t r = 0; r < w.n(); ++r) b.scale[static_cast<size_t>(r)] = w.s[r];
+  b.scale.assign(static_cast<size_t>(b.n), 0.0f);
+  for (int64_t r = 0; r < b.n; ++r)
+    b.scale[static_cast<size_t>(r)] = w.s[s.row0 + r];
   return b;
 }
 
-PackedGemmB pack_gemm_b(const W4PerChannel& w, int nr) {
+PackedGemmB pack_gemm_b_slice(const W4PerChannel& w, int nr,
+                              const PackSlice& sl) {
   // Raw UINT4 codes are MAC'd directly; the zero-point term is handled in
   // the epilogue via tX * (z*s) (Eq. 12/13), carried here as zp_term.
+  const PackSlice s = checked_slice(sl, w.n(), w.k());
   PackedGemmB b = pack_panels(
-      w.n(), w.k(), nr, /*unsigned_codes=*/true,
+      s.row1 - s.row0, s.col1 - s.col0, s.row0, s.col0, nr,
+      /*unsigned_codes=*/true,
       [&](int64_t r, int64_t c) { return int(get_u4(w.qw, r, c)); });
-  b.scale.assign(static_cast<size_t>(w.n()), 0.0f);
-  b.zp_term.assign(static_cast<size_t>(w.n()), 0.0f);
-  for (int64_t r = 0; r < w.n(); ++r) {
-    b.scale[static_cast<size_t>(r)] = w.s[r];
-    b.zp_term[static_cast<size_t>(r)] = w.szw[r];
+  b.scale.assign(static_cast<size_t>(b.n), 0.0f);
+  b.zp_term.assign(static_cast<size_t>(b.n), 0.0f);
+  for (int64_t r = 0; r < b.n; ++r) {
+    b.scale[static_cast<size_t>(r)] = w.s[s.row0 + r];
+    b.zp_term[static_cast<size_t>(r)] = w.szw[s.row0 + r];
   }
   return b;
 }
 
-PackedGemmB pack_gemm_b(const W4PerGroup& w, int nr) {
+PackedGemmB pack_gemm_b_slice(const W4PerGroup& w, int nr,
+                              const PackSlice& sl) {
   // Level-2 dequant (q - z) * s1 restores the integer level-1 codes once, at
   // pack time. With the protective range (level1_range = 119) the code
   // always fits INT8; with the naive range (127) it can exceed it, and the
   // cast wraps exactly like the INT8 register in the GPU kernel — that
   // overflow is the accuracy bug the paper's Fig. 6 reproduces, so it must
-  // not be asserted away.
+  // not be asserted away. The group index is computed from the ABSOLUTE
+  // column, so a k-slice needs no group alignment.
+  const PackSlice s = checked_slice(sl, w.n(), w.k());
   PackedGemmB b = pack_panels(
-      w.n(), w.k(), nr, /*unsigned_codes=*/false,
+      s.row1 - s.row0, s.col1 - s.col0, s.row0, s.col0, nr,
+      /*unsigned_codes=*/false,
       [&](int64_t r, int64_t c) {
         const int64_t g = c / w.group;
         const int code = (int(get_u4(w.qw, r, c)) - int(w.z.at2(r, g))) *
                          int(w.s1.at2(r, g));
         return int(static_cast<int8_t>(code));
       });
-  b.scale.assign(static_cast<size_t>(w.n()), 0.0f);
-  for (int64_t r = 0; r < w.n(); ++r)
-    b.scale[static_cast<size_t>(r)] = w.s0[r];
+  b.scale.assign(static_cast<size_t>(b.n), 0.0f);
+  for (int64_t r = 0; r < b.n; ++r)
+    b.scale[static_cast<size_t>(r)] = w.s0[s.row0 + r];
   return b;
+}
+
+PackedGemmB pack_gemm_b(const W8PerChannel& w, int nr) {
+  return pack_gemm_b_slice(w, nr, PackSlice{0, w.n(), 0, w.k()});
+}
+
+PackedGemmB pack_gemm_b(const W4PerChannel& w, int nr) {
+  return pack_gemm_b_slice(w, nr, PackSlice{0, w.n(), 0, w.k()});
+}
+
+PackedGemmB pack_gemm_b(const W4PerGroup& w, int nr) {
+  return pack_gemm_b_slice(w, nr, PackSlice{0, w.n(), 0, w.k()});
 }
 
 }  // namespace qserve

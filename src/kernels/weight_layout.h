@@ -119,4 +119,24 @@ PackedGemmB pack_gemm_b(const W8PerChannel& w, int nr);
 PackedGemmB pack_gemm_b(const W4PerChannel& w, int nr);
 PackedGemmB pack_gemm_b(const W4PerGroup& w, int nr);
 
+// Rectangular slice of a weight matrix, packed for one tensor-parallel
+// shard: rows [row0, row1) are output channels (column-parallel sharding),
+// cols [col0, col1) input channels (row-parallel sharding). Metadata is
+// looked up at ABSOLUTE indices — per-group scales/zeros come from the
+// group containing the absolute column — so every packed code, row_sum and
+// epilogue constant is bitwise the one the full pack would carry for the
+// same (row, col). No alignment is required of the slice bounds; empty
+// slices produce an invalid (n == 0 or k == 0) pack the caller must skip.
+struct PackSlice {
+  int64_t row0 = 0, row1 = 0;
+  int64_t col0 = 0, col1 = 0;
+};
+
+PackedGemmB pack_gemm_b_slice(const W8PerChannel& w, int nr,
+                              const PackSlice& s);
+PackedGemmB pack_gemm_b_slice(const W4PerChannel& w, int nr,
+                              const PackSlice& s);
+PackedGemmB pack_gemm_b_slice(const W4PerGroup& w, int nr,
+                              const PackSlice& s);
+
 }  // namespace qserve

@@ -87,9 +87,19 @@ void fused_decode_attention(const PagedKvCache& cache, int seq,
 void batched_fused_decode_attention(
     const PagedKvCache& cache, const std::vector<DecodeAttentionItem>& items,
     const AttentionConfig& cfg) {
-  if (items.empty()) return;
+  batched_fused_decode_attention(cache, items, cfg, 0, cfg.n_heads);
+}
+
+void batched_fused_decode_attention(
+    const PagedKvCache& cache, const std::vector<DecodeAttentionItem>& items,
+    const AttentionConfig& cfg, int q_head0, int n_q_heads) {
+  if (items.empty() || n_q_heads == 0) return;
   check_against_cache(cache, cfg);
   const int group = cfg.n_heads / cfg.n_kv_heads;
+  QS_CHECK(q_head0 >= 0 && n_q_heads >= 0 &&
+           q_head0 + n_q_heads <= cfg.n_heads);
+  // GQA-group alignment keeps every KV head's query group in one shard.
+  QS_CHECK(q_head0 % group == 0 && n_q_heads % group == 0);
   const cpu::AttentionKernels& ker =
       cpu::attention_kernel_for(cpu::active_isa());
 
@@ -104,19 +114,20 @@ void batched_fused_decode_attention(
 
   // One flat work list over all sequences × heads for the whole engine step.
   // Each (item, head) pair owns its output slice exclusively, so scheduling
-  // order and thread count cannot change the result.
-  const int64_t n_work = int64_t(items.size()) * cfg.n_heads;
+  // order and thread count cannot change the result. Local head l maps to
+  // global query head q_head0 + l; items' q/out are slice-relative.
+  const int64_t n_work = int64_t(items.size()) * n_q_heads;
   parallel_for(0, n_work, 1, [&](int64_t w0, int64_t w1) {
     thread_local std::vector<float> scores;
     for (int64_t w = w0; w < w1; ++w) {
-      const size_t i = static_cast<size_t>(w / cfg.n_heads);
-      const int h = static_cast<int>(w % cfg.n_heads);
+      const size_t i = static_cast<size_t>(w / n_q_heads);
+      const int l = static_cast<int>(w % n_q_heads);
       const PagedKvCache::SeqView& kv = views[i];
       scores.resize(static_cast<size_t>(kv.length()));
-      view_head_attention(kv, ker, cfg, h / group,
-                          items[i].q + int64_t(h) * cfg.head_dim,
+      view_head_attention(kv, ker, cfg, (q_head0 + l) / group,
+                          items[i].q + int64_t(l) * cfg.head_dim,
                           scores.data(),
-                          items[i].out + int64_t(h) * cfg.head_dim);
+                          items[i].out + int64_t(l) * cfg.head_dim);
     }
   });
 }

@@ -43,4 +43,16 @@ void batched_fused_decode_attention(const PagedKvCache& cache,
                                     const std::vector<DecodeAttentionItem>& items,
                                     const AttentionConfig& cfg);
 
+// Head-ranged executor for tensor-parallel shards: computes only query
+// heads [q_head0, q_head0 + n_q_heads) of the FULL config `cfg`, with each
+// item's q/out pointing at the shard's own slice (local head 0 = global
+// head q_head0). The range must be GQA-group aligned (q_head0 and n_q_heads
+// multiples of n_heads / n_kv_heads) so every KV head's query group lives
+// in one shard. Per-head arithmetic is the full executor's — a shard's
+// output slice is bitwise the corresponding slice of the unsharded call.
+void batched_fused_decode_attention(const PagedKvCache& cache,
+                                    const std::vector<DecodeAttentionItem>& items,
+                                    const AttentionConfig& cfg, int q_head0,
+                                    int n_q_heads);
+
 }  // namespace qserve

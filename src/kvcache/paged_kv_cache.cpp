@@ -309,21 +309,52 @@ void PagedKvCache::append(int seq, const float* k, const float* v) {
   write_token(*page_ptr, slot, k, v);
 }
 
-void PagedKvCache::append_batch(int seq, const float* k, const float* v,
-                                int64_t n) {
+int64_t PagedKvCache::append_reserve_locked(int seq, int64_t n) {
+  auto& s = seqs_[static_cast<size_t>(seq)];
+  // Capacity up front: growth pages, plus one for the copy-on-write of a
+  // shared tail page the first token would land in. Checked before any
+  // sequence state mutates — seq_len never claims tokens whose slots were
+  // not written.
+  int64_t need = ceil_div(s.length + n, cfg_.page_size) -
+                 ceil_div(s.length, cfg_.page_size);
+  if (s.length % cfg_.page_size != 0 &&
+      pages_[static_cast<size_t>(s.page_table.back())].refcount > 1)
+    ++need;
+  QS_CHECK_MSG(need <= free_pages(), "KV cache pool exhausted");
+  const int64_t pos0 = s.length;
+  for (int64_t t = 0; t < n; ++t) {
+    if (s.length % cfg_.page_size == 0) {
+      s.page_table.push_back(alloc_page_locked());
+    } else {
+      ensure_private_locked(s,
+                            static_cast<int64_t>(s.page_table.size()) - 1);
+    }
+    ++s.length;
+  }
+  return pos0;
+}
+
+int64_t PagedKvCache::append_reserve(int seq, int64_t n) {
   QS_CHECK_GT(n, 0);
-  // Fault site at the batch-append entry: every engine-driven append (decode
-  // rows and prefill chunks alike go through append_batch) draws here, before
-  // any state mutates.
+  // Same fault-site draw as append_batch's entry: one kv_append draw per
+  // reserved span, so TP and single-shard runs see identical fault
+  // schedules.
   fault::maybe_fail(fault::kKvAppend);
-  if (n == 1) return append(seq, k, v);
-  // Bookkeeping under the lock: allocate every page the n tokens need and
-  // resolve each token's (page, slot) destination. Capacity is checked up
-  // front so a too-large batch throws before any sequence state mutates —
-  // seq_len never claims tokens whose slots were not written. The
-  // quantize-into-page writes below touch slots owned exclusively by this
-  // sequence, so they run unlocked — and concurrently with other sequences'
-  // appends.
+  std::lock_guard<std::mutex> lk(mu_);
+  QS_CHECK(is_live_locked(seq));
+  return append_reserve_locked(seq, n);
+}
+
+void PagedKvCache::append_write_heads(int seq, int64_t pos0, const float* k,
+                                      const float* v, int64_t n, int head0,
+                                      int head1, int64_t row_stride) {
+  QS_CHECK(head0 >= 0 && head0 <= head1 && head1 <= cfg_.n_kv_heads);
+  QS_CHECK_GE(pos0, 0);
+  if (n <= 0 || head0 == head1) return;
+  // One short locked pass resolves the (page, slot) destinations — the
+  // reserve already made every page private — then the quantize writes run
+  // unlocked, concurrently with other shards filling other head ranges of
+  // the same slots.
   struct Dest {
     Page* page;
     int64_t slot;
@@ -333,25 +364,50 @@ void PagedKvCache::append_batch(int seq, const float* k, const float* v,
     std::lock_guard<std::mutex> lk(mu_);
     QS_CHECK(is_live_locked(seq));
     auto& s = seqs_[static_cast<size_t>(seq)];
-    // Capacity up front: growth pages, plus one for the copy-on-write of a
-    // shared tail page the first token would land in.
-    int64_t need = ceil_div(s.length + n, cfg_.page_size) -
-                   ceil_div(s.length, cfg_.page_size);
-    if (s.length % cfg_.page_size != 0 &&
-        pages_[static_cast<size_t>(s.page_table.back())].refcount > 1)
-      ++need;
-    QS_CHECK_MSG(need <= free_pages(), "KV cache pool exhausted");
+    QS_CHECK_LE(pos0 + n, s.length);
     for (int64_t t = 0; t < n; ++t) {
-      Page* page;
-      if (s.length % cfg_.page_size == 0) {
-        s.page_table.push_back(alloc_page_locked());
-        page = &pages_[static_cast<size_t>(s.page_table.back())];
-      } else {
-        page = &ensure_private_locked(
-            s, static_cast<int64_t>(s.page_table.size()) - 1);
-      }
-      dests[static_cast<size_t>(t)] = {page, s.length % cfg_.page_size};
-      ++s.length;
+      const int64_t tok = pos0 + t;
+      Page& p = pages_[static_cast<size_t>(
+          s.page_table[static_cast<size_t>(tok / cfg_.page_size)])];
+      QS_DCHECK(p.refcount == 1);  // reserve left the range privately owned
+      dests[static_cast<size_t>(t)] = {&p, tok % cfg_.page_size};
+    }
+  }
+  for (int64_t t = 0; t < n; ++t) {
+    const Dest& d = dests[static_cast<size_t>(t)];
+    write_token_heads(*d.page, d.slot, k + t * row_stride, v + t * row_stride,
+                      head0, head1);
+  }
+}
+
+void PagedKvCache::append_batch(int seq, const float* k, const float* v,
+                                int64_t n) {
+  QS_CHECK_GT(n, 0);
+  // Fault site at the batch-append entry: every engine-driven append (decode
+  // rows and prefill chunks alike go through append_batch) draws here, before
+  // any state mutates.
+  fault::maybe_fail(fault::kKvAppend);
+  if (n == 1) return append(seq, k, v);
+  // Bookkeeping under the lock: allocate every page the n tokens need and
+  // resolve each token's (page, slot) destination. The quantize-into-page
+  // writes below touch slots owned exclusively by this sequence, so they run
+  // unlocked — and concurrently with other sequences' appends.
+  struct Dest {
+    Page* page;
+    int64_t slot;
+  };
+  std::vector<Dest> dests(static_cast<size_t>(n));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    QS_CHECK(is_live_locked(seq));
+    const int64_t pos0 = append_reserve_locked(seq, n);
+    auto& s = seqs_[static_cast<size_t>(seq)];
+    for (int64_t t = 0; t < n; ++t) {
+      const int64_t tok = pos0 + t;
+      dests[static_cast<size_t>(t)] = {
+          &pages_[static_cast<size_t>(
+              s.page_table[static_cast<size_t>(tok / cfg_.page_size)])],
+          tok % cfg_.page_size};
     }
   }
   const int64_t span = head_span();
@@ -363,24 +419,38 @@ void PagedKvCache::append_batch(int seq, const float* k, const float* v,
 
 void PagedKvCache::write_token(Page& page, int64_t slot, const float* k,
                                const float* v) {
-  const int64_t span = head_span();
-  const int64_t off = slot * span;
+  write_token_heads(page, slot, k, v, 0, cfg_.n_kv_heads);
+}
+
+void PagedKvCache::write_token_heads(Page& page, int64_t slot, const float* k,
+                                     const float* v, int head0, int head1) {
+  const int64_t dim = cfg_.head_dim;
 
   if (cfg_.precision == KvPrecision::kFp16) {
-    for (int64_t i = 0; i < span; ++i) {
-      page.k_half[static_cast<size_t>(off + i)] =
-          detail::float_to_half_bits(k[i]);
-      page.v_half[static_cast<size_t>(off + i)] =
-          detail::float_to_half_bits(v[i]);
+    for (int h = head0; h < head1; ++h) {
+      const int64_t off = slot * head_span() + int64_t(h) * dim;
+      const float* ks = k + int64_t(h - head0) * dim;
+      const float* vs = v + int64_t(h - head0) * dim;
+      for (int64_t i = 0; i < dim; ++i) {
+        page.k_half[static_cast<size_t>(off + i)] =
+            detail::float_to_half_bits(ks[i]);
+        page.v_half[static_cast<size_t>(off + i)] =
+            detail::float_to_half_bits(vs[i]);
+      }
     }
   } else if (cfg_.static_scales) {
     StaticKv8Params pk{cfg_.static_scale_k}, pv{cfg_.static_scale_v};
-    for (int64_t i = 0; i < span; ++i) {
-      int8_t ck, cv;
-      kv8_static_quantize(k + i, 1, pk, &ck);
-      kv8_static_quantize(v + i, 1, pv, &cv);
-      page.k_codes[static_cast<size_t>(off + i)] = static_cast<uint8_t>(ck);
-      page.v_codes[static_cast<size_t>(off + i)] = static_cast<uint8_t>(cv);
+    for (int h = head0; h < head1; ++h) {
+      const int64_t off = slot * head_span() + int64_t(h) * dim;
+      const float* ks = k + int64_t(h - head0) * dim;
+      const float* vs = v + int64_t(h - head0) * dim;
+      for (int64_t i = 0; i < dim; ++i) {
+        int8_t ck, cv;
+        kv8_static_quantize(ks + i, 1, pk, &ck);
+        kv8_static_quantize(vs + i, 1, pv, &cv);
+        page.k_codes[static_cast<size_t>(off + i)] = static_cast<uint8_t>(ck);
+        page.v_codes[static_cast<size_t>(off + i)] = static_cast<uint8_t>(cv);
+      }
     }
   } else {
     const int bits = static_cast<int>(cfg_.precision);
@@ -402,9 +472,9 @@ void PagedKvCache::write_token(Page& page, int64_t slot, const float* k,
       // is lossless.
       params[pidx] = {Half(p.scale).bits(), Half(p.zero).bits()};
     };
-    for (int h = 0; h < cfg_.n_kv_heads; ++h) {
-      store(k + int64_t(h) * cfg_.head_dim, h, page.k_codes, page.k_params);
-      store(v + int64_t(h) * cfg_.head_dim, h, page.v_codes, page.v_params);
+    for (int h = head0; h < head1; ++h) {
+      store(k + int64_t(h - head0) * dim, h, page.k_codes, page.k_params);
+      store(v + int64_t(h - head0) * dim, h, page.v_codes, page.v_params);
     }
   }
 }
@@ -555,18 +625,24 @@ cpu::KvHeadRun PagedKvCache::SeqView::v_run(int run, int head) const {
 }
 
 void PagedKvCache::gather(int seq, Tensor& k_out, Tensor& v_out) const {
+  gather_heads(seq, k_out, v_out, 0, cfg_.n_kv_heads);
+}
+
+void PagedKvCache::gather_heads(int seq, Tensor& k_out, Tensor& v_out,
+                                int head0, int head1) const {
+  QS_CHECK(head0 >= 0 && head0 <= head1 && head1 <= cfg_.n_kv_heads);
   // One locked page-table snapshot, then unlocked per-head dequantization —
   // the same arithmetic as read_k/read_v, head by head.
   const SeqView v = view(seq);
-  const int64_t span = head_span();
+  const int64_t span = int64_t(head1 - head0) * cfg_.head_dim;
   k_out = Tensor({v.length(), span});
   v_out = Tensor({v.length(), span});
   for (int64_t t = 0; t < v.length(); ++t) {
     float* kr = k_out.row(t);
     float* vr = v_out.row(t);
-    for (int h = 0; h < cfg_.n_kv_heads; ++h) {
-      v.read_k(t, h, kr + int64_t(h) * cfg_.head_dim);
-      v.read_v(t, h, vr + int64_t(h) * cfg_.head_dim);
+    for (int h = head0; h < head1; ++h) {
+      v.read_k(t, h, kr + int64_t(h - head0) * cfg_.head_dim);
+      v.read_v(t, h, vr + int64_t(h - head0) * cfg_.head_dim);
     }
   }
 }

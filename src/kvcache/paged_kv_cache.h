@@ -109,6 +109,24 @@ class PagedKvCache {
   // rows for one sequence) through this path.
   void append_batch(int seq, const float* k, const float* v, int64_t n);
 
+  // Two-phase append for tensor-parallel shards: append_reserve performs ALL
+  // of append_batch's locked bookkeeping — capacity check, page allocation,
+  // copy-on-write of a shared tail page, length growth — and returns the
+  // position of the first reserved token; the reserved slots' bytes are then
+  // filled by append_write_heads calls covering disjoint KV-head ranges
+  // (shards write their own heads concurrently, lock-free: head vectors
+  // occupy disjoint byte ranges — INT4 nibble packing keeps head boundaries
+  // byte-aligned because head_dim is even). k/v point at row 0 of
+  // [n, (head1 - head0) * head_dim] row-major slices whose rows are
+  // `row_stride` floats apart. reserve + write_heads over a covering
+  // partition of [0, n_kv_heads) is bitwise identical to one append_batch
+  // (same per-head kv_quantize, same page layout, same fault-site draw
+  // sequence: one kv_append draw per reserve, like append_batch).
+  int64_t append_reserve(int seq, int64_t n);
+  void append_write_heads(int seq, int64_t pos0, const float* k,
+                          const float* v, int64_t n, int head0, int head1,
+                          int64_t row_stride);
+
   // Roll the sequence back to `new_len` tokens (0 <= new_len <= seq_len).
   // Pages that become empty drop one reference and return to the free pool
   // when the last reference goes; the last kept page, if the truncation cuts
@@ -143,6 +161,12 @@ class PagedKvCache {
   // Dequantize the whole sequence into [s, n_kv_heads*head_dim] matrices
   // (the gather a fused attention kernel performs page by page).
   void gather(int seq, Tensor& k_out, Tensor& v_out) const;
+
+  // Head-ranged gather for tensor-parallel shards: dequantize only heads
+  // [head0, head1) into [s, (head1-head0)*head_dim] matrices. Bitwise the
+  // corresponding columns of the full gather.
+  void gather_heads(int seq, Tensor& k_out, Tensor& v_out, int head0,
+                    int head1) const;
 
   // Dequantize a single (token, head) K or V vector into out[head_dim] —
   // the inline access pattern of the fused attention kernel (§5.3). Exactly
@@ -235,10 +259,19 @@ class PagedKvCache {
   // Returns the (possibly new) page. May allocate — the only way append
   // paths consume an extra page beyond the length-growth arithmetic.
   Page& ensure_private_locked(Sequence& s, int64_t page_index);
+  // Locked core of append_reserve/append_batch: grow the sequence by n
+  // tokens (allocating pages, CoW-copying a shared tail) and return the
+  // first reserved position. Caller holds mu_.
+  int64_t append_reserve_locked(int seq, int64_t n);
   // Quantize one token's K/V into `page` at `slot` (no locking; the slot is
   // owned exclusively by the appending sequence). Shared by append() and
   // append_batch() so the two paths are bitwise identical by construction.
   void write_token(Page& page, int64_t slot, const float* k, const float* v);
+  // Head-ranged variant: heads [head0, head1), k/v pointing at the slice's
+  // own head 0 (head h reads k + (h - head0) * head_dim). write_token is
+  // the full-range case, so the two are bitwise identical by construction.
+  void write_token_heads(Page& page, int64_t slot, const float* k,
+                         const float* v, int head0, int head1);
   // Resolve the page holding (seq, token) under mu_, with bounds checks.
   const Page* locate(int seq, int64_t token, int head) const;
   // Dequantize one (token, head) K or V vector out of `page` (no locking;

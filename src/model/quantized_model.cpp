@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/half.h"
+#include "common/math_util.h"
 #include "common/parallel.h"
 #include "kernels/attention.h"
 #include "kernels/cpu/microkernel.h"
@@ -14,6 +15,75 @@
 #include "quant/quantize.h"
 
 namespace qserve {
+
+namespace {
+
+// Tensor parallelism is restricted to the schemes whose GEMMs accumulate in
+// exact INT32 — that is what makes the row-parallel all-reduce bitwise
+// (integer partials from disjoint k-slices sum exactly in any order).
+bool int8_path_scheme(WeightScheme w) {
+  return w == WeightScheme::kW8PerChannel ||
+         w == WeightScheme::kW4PerChannel ||
+         w == WeightScheme::kW4PerGroupProgressive;
+}
+
+int resolve_tp_shards(const ModelConfig& cfg, const QuantSchemeConfig& qcfg,
+                      const TpConfig& tp) {
+  const int max_feasible =
+      int8_path_scheme(qcfg.weights) ? cfg.n_kv_heads : 1;
+  if (tp.n_shards == 0) {
+    // Runtime default: clamp silently — QSERVE_TP_SHARDS applies to every
+    // model in the process, shardable or not.
+    return std::max(1, std::min(tp_shards(), max_feasible));
+  }
+  QS_CHECK_MSG(tp.n_shards >= 1, "TpConfig.n_shards must be >= 1 (0 = auto)");
+  if (tp.n_shards > 1) {
+    QS_CHECK_MSG(int8_path_scheme(qcfg.weights),
+                 "tensor parallelism requires an INT8-path weight scheme "
+                 "(W8A8 or W4A8)");
+    QS_CHECK_MSG(tp.n_shards <= cfg.n_kv_heads,
+                 "TpConfig.n_shards " << tp.n_shards << " exceeds n_kv_heads "
+                                      << cfg.n_kv_heads);
+  }
+  return tp.n_shards;
+}
+
+// Column slice [c0, c1) of centrally quantized activations: shard-local
+// codes, shared FULL-row per-token scale and token sum — the row-parallel
+// input contract (the quantizer must see every column of a row, so shards
+// slice codes, never re-quantize).
+QuantizedActs slice_acts_cols(const QuantizedActs& x, int64_t c0, int64_t c1) {
+  QuantizedActs out;
+  out.q = I8Tensor({x.m(), c1 - c0});
+  for (int64_t t = 0; t < x.m(); ++t)
+    std::copy(x.q.row(t) + c0, x.q.row(t) + c1, out.q.row(t));
+  out.s = x.s;
+  out.token_sum = x.token_sum;
+  return out;
+}
+
+// All-reduce of per-shard INT32 partial accumulators over the fixed pairwise
+// summation tree (math_util.h). Integer sums are exact in any order, but the
+// fixed tree keeps the reduction's definition shard-count-explicit and
+// matches the float helper the tests pin down.
+I32Tensor reduce_partials(const std::vector<I32Tensor>& parts) {
+  const int64_t s_count = static_cast<int64_t>(parts.size());
+  QS_CHECK_GT(s_count, 0);
+  I32Tensor out({parts[0].rows(), parts[0].cols()});
+  for (const I32Tensor& p : parts) QS_CHECK(p.same_shape(out));
+  parallel_for(0, out.numel(), 1024, [&](int64_t lo, int64_t hi) {
+    thread_local std::vector<int32_t> vals;
+    vals.resize(static_cast<size_t>(s_count));
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t s = 0; s < s_count; ++s)
+        vals[static_cast<size_t>(s)] = parts[static_cast<size_t>(s)][i];
+      out[i] = pairwise_tree_sum(vals.data(), s_count);
+    }
+  });
+  return out;
+}
+
+}  // namespace
 
 // --- scheme presets -----------------------------------------------------------
 
@@ -106,6 +176,68 @@ QuantizedLinear::QuantizedLinear(const Tensor& w,
   }
 }
 
+QuantizedLinear::QuantizedLinear(const Tensor& w, const QuantSchemeConfig& cfg,
+                                 const std::vector<PackSlice>& shard_slices)
+    : scheme_(cfg.weights), acts_(cfg.acts), n_(w.rows()) {
+  QS_CHECK_MSG(!shard_slices.empty(),
+               "tensor-parallel QuantizedLinear needs at least one slice");
+  const int nr = cpu::microkernel_for(cpu::active_isa()).nr;
+  shard_packs_.reserve(shard_slices.size());
+  // Quantize the full matrix ONCE, then pack each shard's rectangle from it.
+  // pack_gemm_b_slice reads metadata at absolute indices, so every packed
+  // code / row_sum / epilogue constant is bitwise the full pack's entry for
+  // the same (row, col) — and the quantization-time struct is dropped after
+  // the loop, so TP never holds the weight twice.
+  switch (scheme_) {
+    case WeightScheme::kW8PerChannel: {
+      const W8PerChannel qw = quantize_w8_per_channel(w);
+      for (const PackSlice& s : shard_slices)
+        shard_packs_.push_back(pack_gemm_b_slice(qw, nr, s));
+      break;
+    }
+    case WeightScheme::kW4PerChannel: {
+      const W4PerChannel qw = quantize_w4_per_channel(w);
+      for (const PackSlice& s : shard_slices)
+        shard_packs_.push_back(pack_gemm_b_slice(qw, nr, s));
+      break;
+    }
+    case WeightScheme::kW4PerGroupProgressive: {
+      ProgressiveOptions popt;
+      popt.group = static_cast<int>(std::min<int64_t>(cfg.group, w.cols()));
+      popt.level1_range = cfg.level1_range;
+      const W4PerGroup qw = quantize_progressive(w, popt);
+      for (const PackSlice& s : shard_slices)
+        shard_packs_.push_back(pack_gemm_b_slice(qw, nr, s));
+      break;
+    }
+    default:
+      QS_CHECK_MSG(false,
+                   "tensor-parallel sharding requires an INT8-path weight "
+                   "scheme (W8A8 or W4A8)");
+  }
+}
+
+Tensor QuantizedLinear::apply_shard(const QuantizedActs& x, int s) const {
+  QS_DCHECK(s >= 0 && s < static_cast<int>(shard_packs_.size()));
+  return gemm_blocked(x, shard_packs_[static_cast<size_t>(s)]);
+}
+
+I32Tensor QuantizedLinear::acc_shard(const QuantizedActs& x_slice,
+                                     int s) const {
+  QS_DCHECK(s >= 0 && s < static_cast<int>(shard_packs_.size()));
+  return gemm_blocked_acc(x_slice, shard_packs_[static_cast<size_t>(s)]);
+}
+
+const std::vector<float>& QuantizedLinear::epilogue_scale() const {
+  QS_CHECK(!shard_packs_.empty());
+  return shard_packs_[0].scale;
+}
+
+const std::vector<float>& QuantizedLinear::epilogue_zp_term() const {
+  QS_CHECK(!shard_packs_.empty());
+  return shard_packs_[0].zp_term;
+}
+
 Tensor QuantizedLinear::apply(const Tensor& x) const {
   switch (scheme_) {
     case WeightScheme::kFp16:
@@ -131,6 +263,11 @@ Tensor QuantizedLinear::apply(const Tensor& x) const {
 
 QuantizedModel::QuantizedModel(const ModelWeights& weights,
                                const QuantSchemeConfig& cfg)
+    : QuantizedModel(weights, cfg, TpConfig{}) {}
+
+QuantizedModel::QuantizedModel(const ModelWeights& weights,
+                               const QuantSchemeConfig& cfg,
+                               const TpConfig& tp)
     : cfg_(weights.cfg), qcfg_(cfg) {
   // Loud scheme validation at construction instead of downstream
   // misbehavior (a non-positive group would divide by zero at pack time; a
@@ -140,20 +277,75 @@ QuantizedModel::QuantizedModel(const ModelWeights& weights,
                "QuantSchemeConfig.level1_range must be in [1, 127]");
   QS_CHECK_MSG(cfg.kv_max_pages > 0,
                "QuantSchemeConfig.kv_max_pages must be >= 1");
+  tp_ = resolve_tp_shards(cfg_, cfg, tp);
+  if (tp_ > 1) {
+    // Shard plan: contiguous near-even KV head ranges (feasibility caps
+    // tp_ at n_kv_heads, so every range is non-empty), query ranges scaled
+    // by the GQA group, and near-even granularity-1 splits of ffn_dim and
+    // the o_proj input — the k-splits need no head/group alignment because
+    // pack_gemm_b_slice resolves metadata at absolute indices.
+    const int group = cfg_.n_heads / cfg_.n_kv_heads;
+    const int64_t q_dim = int64_t(cfg_.n_heads) * cfg_.head_dim;
+    QS_CHECK_GE(cfg_.ffn_dim, int64_t(tp_));
+    tp_plan_.resize(static_cast<size_t>(tp_));
+    for (int s = 0; s < tp_; ++s) {
+      TpShard& sh = tp_plan_[static_cast<size_t>(s)];
+      sh.kh0 = (s * cfg_.n_kv_heads) / tp_;
+      sh.kh1 = ((s + 1) * cfg_.n_kv_heads) / tp_;
+      sh.qh0 = sh.kh0 * group;
+      sh.qh1 = sh.kh1 * group;
+      sh.f0 = (int64_t(s) * cfg_.ffn_dim) / tp_;
+      sh.f1 = (int64_t(s + 1) * cfg_.ffn_dim) / tp_;
+      sh.ko0 = (int64_t(s) * q_dim) / tp_;
+      sh.ko1 = (int64_t(s + 1) * q_dim) / tp_;
+      QS_CHECK(sh.kh1 > sh.kh0 && sh.f1 > sh.f0 && sh.ko1 > sh.ko0);
+    }
+  }
   embedding_ = weights.embedding;
   layers_.reserve(weights.layers.size());
-  for (const auto& lw : weights.layers) {
-    QLayer ql;
-    ql.wq = QuantizedLinear(lw.wq, cfg);
-    ql.wk = QuantizedLinear(lw.wk, cfg);
-    ql.wv = QuantizedLinear(lw.wv, cfg);
-    ql.wo = QuantizedLinear(lw.wo, cfg);
-    ql.w_gate = QuantizedLinear(lw.w_gate, cfg);
-    ql.w_up = QuantizedLinear(lw.w_up, cfg);
-    ql.w_down = QuantizedLinear(lw.w_down, cfg);
-    ql.ln_attn = lw.ln_attn;
-    ql.ln_ffn = lw.ln_ffn;
-    layers_.push_back(std::move(ql));
+  if (tp_ > 1) {
+    // Per-projection slice lists, identical for every layer: column-parallel
+    // layers (QKV, gate/up) slice output rows; row-parallel layers (o_proj,
+    // down) slice input columns. Each shard's rectangle is packed once at
+    // construction — no duplicated packing, no full pack.
+    const int64_t dim = cfg_.head_dim;
+    const int64_t hidden = cfg_.hidden;
+    std::vector<PackSlice> sq, skv, so, sffn, sdown;
+    for (const TpShard& sh : tp_plan_) {
+      sq.push_back({int64_t(sh.qh0) * dim, int64_t(sh.qh1) * dim, 0, hidden});
+      skv.push_back(
+          {int64_t(sh.kh0) * dim, int64_t(sh.kh1) * dim, 0, hidden});
+      so.push_back({0, hidden, sh.ko0, sh.ko1});
+      sffn.push_back({sh.f0, sh.f1, 0, hidden});
+      sdown.push_back({0, hidden, sh.f0, sh.f1});
+    }
+    for (const auto& lw : weights.layers) {
+      QLayer ql;
+      ql.wq = QuantizedLinear(lw.wq, cfg, sq);
+      ql.wk = QuantizedLinear(lw.wk, cfg, skv);
+      ql.wv = QuantizedLinear(lw.wv, cfg, skv);
+      ql.wo = QuantizedLinear(lw.wo, cfg, so);
+      ql.w_gate = QuantizedLinear(lw.w_gate, cfg, sffn);
+      ql.w_up = QuantizedLinear(lw.w_up, cfg, sffn);
+      ql.w_down = QuantizedLinear(lw.w_down, cfg, sdown);
+      ql.ln_attn = lw.ln_attn;
+      ql.ln_ffn = lw.ln_ffn;
+      layers_.push_back(std::move(ql));
+    }
+  } else {
+    for (const auto& lw : weights.layers) {
+      QLayer ql;
+      ql.wq = QuantizedLinear(lw.wq, cfg);
+      ql.wk = QuantizedLinear(lw.wk, cfg);
+      ql.wv = QuantizedLinear(lw.wv, cfg);
+      ql.wo = QuantizedLinear(lw.wo, cfg);
+      ql.w_gate = QuantizedLinear(lw.w_gate, cfg);
+      ql.w_up = QuantizedLinear(lw.w_up, cfg);
+      ql.w_down = QuantizedLinear(lw.w_down, cfg);
+      ql.ln_attn = lw.ln_attn;
+      ql.ln_ffn = lw.ln_ffn;
+      layers_.push_back(std::move(ql));
+    }
   }
   ln_final_ = weights.ln_final;
   // The LM head stays FP16 in all configurations (standard practice).
@@ -219,6 +411,7 @@ Tensor QuantizedModel::run_blocks(int seq, const Tensor& embedded, int pos0) {
 Tensor QuantizedModel::run_blocks_batched(const std::vector<SeqSpan>& spans,
                                           const Tensor& embedded,
                                           const std::vector<int>& positions) {
+  if (tp_ > 1) return run_blocks_batched_tp(spans, embedded, positions);
   const int64_t n = embedded.rows();
   QS_CHECK_EQ(n, static_cast<int64_t>(positions.size()));
   const AttentionConfig& acfg = attn_cfg_;
@@ -337,6 +530,230 @@ Tensor QuantizedModel::run_blocks_batched(const std::vector<SeqSpan>& spans,
         }
     });
     Tensor down = layer.w_down.apply(act);
+    add_inplace(x, down);
+  }
+  return x;
+}
+
+void QuantizedModel::note_shard_times(const std::vector<double>& seconds) {
+  if (seconds.empty()) return;
+  double mx = 0.0, sum = 0.0;
+  for (double v : seconds) {
+    mx = std::max(mx, v);
+    sum += v;
+  }
+  tp_shard_max_seconds_ += mx;
+  tp_shard_mean_seconds_ += sum / double(seconds.size());
+}
+
+Tensor QuantizedModel::run_blocks_batched_tp(const std::vector<SeqSpan>& spans,
+                                             const Tensor& embedded,
+                                             const std::vector<int>& positions) {
+  const int64_t n = embedded.rows();
+  QS_CHECK_EQ(n, static_cast<int64_t>(positions.size()));
+  const AttentionConfig& acfg = attn_cfg_;
+  const int S = tp_;
+  const int64_t dim = cfg_.head_dim;
+  const auto dur = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  std::vector<double> times(static_cast<size_t>(S), 0.0);
+  // Per-shard scratch reused across regions of one layer.
+  std::vector<Tensor> qs(static_cast<size_t>(S)), ks(static_cast<size_t>(S)),
+      vs(static_cast<size_t>(S)), attns(static_cast<size_t>(S)),
+      acts(static_cast<size_t>(S));
+  std::vector<I32Tensor> accs(static_cast<size_t>(S));
+
+  Tensor x = embedded;
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    auto& layer = layers_[li];
+    // Attention block. Norm + activation quantization run centrally over
+    // FULL rows (the per-token scale must see every column); each shard then
+    // runs its QKV row-slice GEMMs and RoPE on its own head slices — RoPE is
+    // per-head, so a head slice transforms bitwise like the full matrix.
+    const QuantizedActs hq =
+        quantize_acts_per_token(rms_norm(x, layer.ln_attn));
+    run_sharded(
+        S,
+        [&](int s) {
+          qs[static_cast<size_t>(s)] = layer.wq.apply_shard(hq, s);
+          ks[static_cast<size_t>(s)] = layer.wk.apply_shard(hq, s);
+          vs[static_cast<size_t>(s)] = layer.wv.apply_shard(hq, s);
+          rope_inplace(qs[static_cast<size_t>(s)], positions, cfg_.head_dim);
+          rope_inplace(ks[static_cast<size_t>(s)], positions, cfg_.head_dim);
+        },
+        times.data());
+    note_shard_times(times);
+
+    // Attention section (timed like the single-shard path: KV append +
+    // attend). Slots for every span are reserved centrally, in span order —
+    // ONE kKvAppend fault draw per span, exactly append_batch's schedule, so
+    // an armed fault site fires at the same step regardless of shard count.
+    const auto attn_t0 = std::chrono::steady_clock::now();
+    std::vector<int64_t> pos0(spans.size());
+    for (size_t si = 0; si < spans.size(); ++si) {
+      const SeqSpan& sp = spans[si];
+      const int lseq = seqs_[static_cast<size_t>(sp.seq)].layer_seqs[li];
+      pos0[si] = kv_->append_reserve(lseq, sp.n);
+    }
+    int64_t n_single = 0;
+    for (const SeqSpan& sp : spans) n_single += (sp.n == 1) ? 1 : 0;
+    run_sharded(
+        S,
+        [&](int s) {
+          const TpShard& sh = tp_plan_[static_cast<size_t>(s)];
+          const int qn = sh.qh1 - sh.qh0;
+          Tensor& ksl = ks[static_cast<size_t>(s)];
+          Tensor& vsl = vs[static_cast<size_t>(s)];
+          Tensor& qsl = qs[static_cast<size_t>(s)];
+          // Each shard writes its own KV head range of every span's reserved
+          // rows — disjoint byte ranges (INT4 head boundaries are
+          // byte-aligned via the even head_dim), written lock-free after a
+          // short locked destination resolution.
+          for (size_t si = 0; si < spans.size(); ++si) {
+            const SeqSpan& sp = spans[si];
+            const int lseq =
+                seqs_[static_cast<size_t>(sp.seq)].layer_seqs[li];
+            kv_->append_write_heads(lseq, pos0[si], ksl.row(sp.row0),
+                                    vsl.row(sp.row0), sp.n, sh.kh0, sh.kh1,
+                                    ksl.cols());
+          }
+          // No cross-shard barrier before attending: a shard reads only the
+          // KV heads it just wrote.
+          Tensor& attn_s = attns[static_cast<size_t>(s)];
+          attn_s = Tensor({n, int64_t(qn) * dim});
+          std::vector<DecodeAttentionItem> items;
+          std::vector<size_t> multi;
+          items.reserve(spans.size());
+          for (size_t si = 0; si < spans.size(); ++si) {
+            const SeqSpan& sp = spans[si];
+            const int lseq =
+                seqs_[static_cast<size_t>(sp.seq)].layer_seqs[li];
+            if (sp.n == 1) {
+              items.push_back(
+                  {lseq, qsl.row(sp.row0), attn_s.row(sp.row0)});
+            } else {
+              multi.push_back(si);
+            }
+          }
+          if (!items.empty())
+            batched_fused_decode_attention(*kv_, items, acfg, sh.qh0, qn);
+          if (!multi.empty()) {
+            // Multi-row spans (prefill chunks / verify spans): gather the
+            // shard's KV head range and attend with the slice config — the
+            // kernels are per-head, so the slice output is bitwise the
+            // matching columns of the unsharded call.
+            AttentionConfig scfg = acfg;
+            scfg.n_heads = qn;
+            scfg.n_kv_heads = sh.kh1 - sh.kh0;
+            for (size_t mi : multi) {
+              const SeqSpan& sp = spans[mi];
+              const int lseq =
+                  seqs_[static_cast<size_t>(sp.seq)].layer_seqs[li];
+              Tensor kd, vd;
+              kv_->gather_heads(lseq, kd, vd, sh.kh0, sh.kh1);
+              Tensor qspan({sp.n, attn_s.cols()});
+              std::copy(qsl.row(sp.row0),
+                        qsl.row(sp.row0) + sp.n * qspan.cols(),
+                        qspan.data());
+              const Tensor a = attention_prefill(qspan, kd, vd, scfg);
+              std::copy(a.data(), a.data() + a.numel(),
+                        attn_s.row(sp.row0));
+            }
+          }
+        },
+        times.data());
+    note_shard_times(times);
+    attention_seconds_ += dur(attn_t0);
+    if (n_single > 0) {
+      batched_attention_calls_ += S;  // one head-ranged dispatch per shard
+      decode_attention_items_ += n_single;
+    }
+
+    // Reduction boundary 1 (comm): concat the column-parallel attention
+    // slices back into full rows for the central o_proj quantization.
+    const auto cat_t0 = std::chrono::steady_clock::now();
+    Tensor attn({n, int64_t(cfg_.n_heads) * dim});
+    for (int s = 0; s < S; ++s) {
+      const TpShard& sh = tp_plan_[static_cast<size_t>(s)];
+      const int64_t w = int64_t(sh.qh1 - sh.qh0) * dim;
+      const Tensor& attn_s = attns[static_cast<size_t>(s)];
+      for (int64_t t = 0; t < n; ++t)
+        std::copy(attn_s.row(t), attn_s.row(t) + w,
+                  attn.row(t) + int64_t(sh.qh0) * dim);
+    }
+    tp_comm_seconds_ += dur(cat_t0);
+
+    // Row-parallel o_proj: central full-row quantization, per-shard k-slice
+    // partial accumulators, then the all-reduce + shared epilogue.
+    const QuantizedActs aq = quantize_acts_per_token(attn);
+    run_sharded(
+        S,
+        [&](int s) {
+          const TpShard& sh = tp_plan_[static_cast<size_t>(s)];
+          accs[static_cast<size_t>(s)] =
+              layer.wo.acc_shard(slice_acts_cols(aq, sh.ko0, sh.ko1), s);
+        },
+        times.data());
+    note_shard_times(times);
+    // Reduction boundary 2 (comm): fixed pairwise-tree all-reduce of the
+    // exact INT32 partials + the identical post-reduction epilogue.
+    const auto red_t0 = std::chrono::steady_clock::now();
+    Tensor attn_proj = gemm_blocked_epilogue(
+        reduce_partials(accs), aq, layer.wo.epilogue_scale(),
+        layer.wo.epilogue_zp_term());
+    tp_comm_seconds_ += dur(red_t0);
+    add_inplace(x, attn_proj);
+
+    // FFN block: column-parallel gate/up + SwiGLU on slices, concat, then
+    // row-parallel down with the same reduce + epilogue shape.
+    const QuantizedActs h2q =
+        quantize_acts_per_token(rms_norm(x, layer.ln_ffn));
+    run_sharded(
+        S,
+        [&](int s) {
+          const TpShard& sh = tp_plan_[static_cast<size_t>(s)];
+          const Tensor gate = layer.w_gate.apply_shard(h2q, s);
+          const Tensor up = layer.w_up.apply_shard(h2q, s);
+          const int64_t w = sh.f1 - sh.f0;
+          Tensor& act_s = acts[static_cast<size_t>(s)];
+          act_s = Tensor({n, w});
+          for (int64_t t = 0; t < n; ++t)
+            for (int64_t c = 0; c < w; ++c) {
+              const float g = gate.at2(t, c);
+              act_s.at2(t, c) = (g / (1.0f + std::exp(-g))) * up.at2(t, c);
+            }
+        },
+        times.data());
+    note_shard_times(times);
+    const auto cat2_t0 = std::chrono::steady_clock::now();
+    Tensor act({n, cfg_.ffn_dim});
+    for (int s = 0; s < S; ++s) {
+      const TpShard& sh = tp_plan_[static_cast<size_t>(s)];
+      const int64_t w = sh.f1 - sh.f0;
+      const Tensor& act_s = acts[static_cast<size_t>(s)];
+      for (int64_t t = 0; t < n; ++t)
+        std::copy(act_s.row(t), act_s.row(t) + w, act.row(t) + sh.f0);
+    }
+    tp_comm_seconds_ += dur(cat2_t0);
+    const QuantizedActs actq = quantize_acts_per_token(act);
+    run_sharded(
+        S,
+        [&](int s) {
+          const TpShard& sh = tp_plan_[static_cast<size_t>(s)];
+          accs[static_cast<size_t>(s)] =
+              layer.w_down.acc_shard(slice_acts_cols(actq, sh.f0, sh.f1), s);
+        },
+        times.data());
+    note_shard_times(times);
+    const auto red2_t0 = std::chrono::steady_clock::now();
+    Tensor down = gemm_blocked_epilogue(
+        reduce_partials(accs), actq, layer.w_down.epilogue_scale(),
+        layer.w_down.epilogue_zp_term());
+    tp_comm_seconds_ += dur(red2_t0);
     add_inplace(x, down);
   }
   return x;

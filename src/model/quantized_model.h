@@ -16,6 +16,17 @@
 
 namespace qserve {
 
+// Tensor-parallel execution config. n_shards = 0 resolves the shard count
+// from the runtime default (QSERVE_TP_SHARDS / set_tp_shards()) and clamps
+// it to what the model can serve: INT8-path weight schemes (W8A8 and the two
+// W4A8 variants) shard up to n_kv_heads ways; every other scheme runs
+// single-shard. An explicit n_shards >= 1 is validated loudly instead —
+// requesting 2 shards of a scheme or head layout that cannot shard throws
+// CheckError at construction, not a silent fallback.
+struct TpConfig {
+  int n_shards = 0;
+};
+
 enum class WeightScheme {
   kFp16,
   kW8PerChannel,          // SmoothQuant / TRT-LLM W8A8
@@ -51,10 +62,33 @@ class QuantizedLinear {
  public:
   QuantizedLinear() = default;
   QuantizedLinear(const Tensor& w, const QuantSchemeConfig& cfg);
+  // Tensor-parallel construction (INT8-path schemes only): quantize the full
+  // matrix once, then pack one rectangular slice per shard via
+  // pack_gemm_b_slice — no full pack is ever built, so TP holds each weight
+  // exactly once. Column-parallel layers pass full-k row slices;
+  // row-parallel layers pass full-n column (k) slices.
+  QuantizedLinear(const Tensor& w, const QuantSchemeConfig& cfg,
+                  const std::vector<PackSlice>& shard_slices);
 
   // x is the FP activation; quantization (if any) happens inside, matching
   // the fused quant nodes of Fig. 11.
   Tensor apply(const Tensor& x) const;
+
+  // Column-parallel shard GEMM: the FP16 output slice for shard s's row
+  // range, from the centrally quantized full-k activations. Bitwise the
+  // corresponding output columns of the unsharded apply().
+  Tensor apply_shard(const QuantizedActs& x, int s) const;
+  // Row-parallel shard GEMM: shard s's exact INT32 partial accumulators over
+  // its k-slice. `x_slice` holds the shard's columns of the centrally
+  // quantized codes with the FULL-row per-token scale/token_sum; integer
+  // partials from disjoint k-slices sum exactly, so the all-reduced total
+  // fed to gemm_blocked_epilogue is bitwise the unsharded accumulator.
+  I32Tensor acc_shard(const QuantizedActs& x_slice, int s) const;
+  // Full-row epilogue constants for the post-reduction epilogue. Row-
+  // parallel slices span every output row, so every shard pack carries the
+  // identical vectors; shard 0's are returned.
+  const std::vector<float>& epilogue_scale() const;
+  const std::vector<float>& epilogue_zp_term() const;
 
   int64_t out_features() const { return n_; }
 
@@ -73,6 +107,9 @@ class QuantizedLinear {
   // quantization-time structs are dropped after packing to avoid holding
   // the weights twice.
   PackedGemmB packed_;
+  // Tensor-parallel form: per-shard slice packs (and no packed_). Each
+  // shard's tiles were interleaved once at construction from its own slice.
+  std::vector<PackedGemmB> shard_packs_;
 };
 
 // One sequence's slice of a batched engine step: `tokens` are appended to
@@ -112,7 +149,11 @@ struct BatchedStep {
 class QuantizedModel {
  public:
   // `weights` are the (possibly QoQ-transformed) FP32 weights to quantize.
+  // The two-argument form resolves the tensor-parallel shard count from the
+  // runtime default (TpConfig{0}); pass an explicit TpConfig to pin it.
   QuantizedModel(const ModelWeights& weights, const QuantSchemeConfig& cfg);
+  QuantizedModel(const ModelWeights& weights, const QuantSchemeConfig& cfg,
+                 const TpConfig& tp);
 
   // Stateless full-sequence forward (allocates a scratch KV sequence).
   Tensor forward(const std::vector<int>& tokens);
@@ -179,11 +220,26 @@ class QuantizedModel {
   // and the prefill gather path).
   double attention_seconds() const { return attention_seconds_; }
   // How many batched_fused_decode_attention dispatches ran (one per layer
-  // per step that carries at least one single-row span) and how many
-  // sequence-items they covered in total — a step with d decode rows adds
-  // n_layers calls and d * n_layers items, never a per-sequence fan-out.
+  // per step that carries at least one single-row span; one per SHARD per
+  // layer under tensor parallelism, since each shard dispatches its own
+  // head range) and how many sequence-items they covered in total — a step
+  // with d decode rows adds d * n_layers items regardless of shard count,
+  // never a per-sequence fan-out.
   int64_t batched_attention_calls() const { return batched_attention_calls_; }
   int64_t decode_attention_items() const { return decode_attention_items_; }
+
+  // Tensor-parallel observability. tp_shards() is the resolved shard count
+  // (1 = single-shard execution, the classic path). tp_comm_seconds() is the
+  // cumulative wall time spent at the reduction boundaries — the concat of
+  // column-parallel output slices and the all-reduce + epilogue of
+  // row-parallel partials — i.e. the time a multi-device deployment would
+  // spend in collectives. tp_shard_max/mean_seconds() accumulate, per shard
+  // region, the slowest shard's wall time and the mean shard wall time;
+  // their ratio is the shard-imbalance factor EngineStats reports.
+  int tp_shards() const { return tp_; }
+  double tp_comm_seconds() const { return tp_comm_seconds_; }
+  double tp_shard_max_seconds() const { return tp_shard_max_seconds_; }
+  double tp_shard_mean_seconds() const { return tp_shard_mean_seconds_; }
 
  private:
   struct QLayer {
@@ -209,14 +265,43 @@ class QuantizedModel {
   Tensor run_blocks_batched(const std::vector<SeqSpan>& spans,
                             const Tensor& embedded,
                             const std::vector<int>& positions);
+  // Tensor-parallel executor (tp_ > 1): same contract, same bits. Each layer
+  // runs five run_sharded regions — QKV+RoPE slices, KV writes + sharded
+  // attention, o_proj partials, gate/up+SwiGLU slices, down partials — with
+  // centrally-timed concat / all-reduce boundaries between them.
+  Tensor run_blocks_batched_tp(const std::vector<SeqSpan>& spans,
+                               const Tensor& embedded,
+                               const std::vector<int>& positions);
   Tensor logits_from_hidden(const Tensor& h) const;
+  // Fold one shard region's per-shard wall times into the imbalance
+  // accumulators.
+  void note_shard_times(const std::vector<double>& seconds);
+
+  // One shard's slice of every per-layer dimension. KV head ranges are
+  // contiguous and near-even (feasibility caps shards at n_kv_heads); query
+  // head ranges are the KV range times the GQA group, so a KV head's whole
+  // query group lives on one shard; the FFN partition slices ffn_dim with
+  // granularity 1; the o_proj/down k-slices are the matching near-even input
+  // splits (head-layout-unaligned bounds are fine — pack_gemm_b_slice looks
+  // metadata up at absolute indices).
+  struct TpShard {
+    int kh0 = 0, kh1 = 0;      // KV head range [kh0, kh1)
+    int qh0 = 0, qh1 = 0;      // query head range
+    int64_t f0 = 0, f1 = 0;    // ffn_dim range (gate/up rows, down k-slice)
+    int64_t ko0 = 0, ko1 = 0;  // o_proj k-slice of n_heads * head_dim
+  };
 
   ModelConfig cfg_;
   QuantSchemeConfig qcfg_;
   // Built and validated once at construction (INT4 KV implies even
   // head_dim); every forward reuses it instead of re-deriving per call.
   AttentionConfig attn_cfg_;
+  int tp_ = 1;
+  std::vector<TpShard> tp_plan_;
   double attention_seconds_ = 0.0;
+  double tp_comm_seconds_ = 0.0;
+  double tp_shard_max_seconds_ = 0.0;
+  double tp_shard_mean_seconds_ = 0.0;
   int64_t batched_attention_calls_ = 0;
   int64_t decode_attention_items_ = 0;
   Tensor embedding_;

@@ -661,6 +661,8 @@ bool ServingEngine::step() {
   const double attn0 =
       model_->attention_seconds() +
       (draft_ ? draft_->attention_seconds() : 0.0);
+  const double comm0 = model_->tp_comm_seconds() +
+                       (draft_ ? draft_->tp_comm_seconds() : 0.0);
 
   // Mark the step in progress so cancel() from inside a callback defers to
   // this step's safe points instead of mutating mid-flight state.
@@ -788,6 +790,8 @@ bool ServingEngine::step() {
   stats_.attention_seconds +=
       model_->attention_seconds() +
       (draft_ ? draft_->attention_seconds() : 0.0) - attn0;
+  stats_.comm_seconds += model_->tp_comm_seconds() +
+                         (draft_ ? draft_->tp_comm_seconds() : 0.0) - comm0;
   refresh_derived_stats();
   return !scheduler_.idle(static_cast<int>(running_.size()));
 }
@@ -921,6 +925,13 @@ void ServingEngine::refresh_derived_stats() {
     stats_.mean_completion_steps =
         completion_steps_sum_ / double(served_finished_);
   }
+  const double shard_max =
+      model_->tp_shard_max_seconds() +
+      (draft_ ? draft_->tp_shard_max_seconds() : 0.0);
+  const double shard_mean =
+      model_->tp_shard_mean_seconds() +
+      (draft_ ? draft_->tp_shard_mean_seconds() : 0.0);
+  stats_.shard_imbalance = shard_mean > 0 ? shard_max / shard_mean : 0;
   stats_.cow_page_copies = model_->kv_cache().cow_page_copies();
   stats_.shared_pages = model_->kv_cache().shared_pages();
   stats_.prefix_cache_entries = prefix_index_.size();

@@ -115,6 +115,15 @@ struct EngineStats {
   // wall_seconds — the observable this PR's SIMD attention kernels move.
   double attention_seconds = 0;
   double attention_share = 0;
+  // Tensor-parallel observables, maintained identically by the plain and
+  // speculative engines (draft-model deltas included, like
+  // attention_seconds). comm_seconds is wall time at the shard reduction
+  // boundaries — column-parallel concats and row-parallel all-reduce +
+  // epilogue. shard_imbalance is cumulative slowest-shard wall time over
+  // cumulative mean shard wall time across every shard region (1.0 =
+  // perfectly balanced; 0 when no shard region ever ran, i.e. tp_shards==1).
+  double comm_seconds = 0;
+  double shard_imbalance = 0;
   // Peak *requests* running in one step.
   int peak_batch = 0;
   // Batched-GEMM occupancy: peak stacked rows (decode tokens + prefill-chunk

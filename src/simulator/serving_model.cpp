@@ -155,6 +155,95 @@ ServingEstimate estimate_throughput(const DeviceSpec& dev,
   return est;
 }
 
+TpScalingEstimate estimate_tp_decode_scaling(const DeviceSpec& dev,
+                                             const SystemProfile& sys,
+                                             const qserve::ModelConfig& model,
+                                             int batch, int seq_len,
+                                             int n_shards, int n_threads) {
+  const int S = std::max(1, n_shards);
+  const int T = std::max(1, n_threads);
+  // Fraction of the device each shard's pool owns. Pools partition the thread
+  // budget when it covers the shards (the engine's normal configuration);
+  // oversubscribed hosts (T < S) time-slice the device evenly instead.
+  const double shard_frac =
+      T >= S ? double(std::max(1, T / S)) / double(T) : 1.0 / double(S);
+
+  AttentionKernelConfig attn_cfg = sys.attention;
+  attn_cfg.kv_bits = sys.kv_bits;
+  const int group = model.n_heads / model.n_kv_heads;
+  const int64_t dim = model.head_dim;
+
+  // Worst shard: slices are near-even, so evaluate each shard and take max.
+  double shard_seconds = 0;
+  for (int s = 0; s < S; ++s) {
+    const int kh0 = (s * model.n_kv_heads) / S;
+    const int kh1 = ((s + 1) * model.n_kv_heads) / S;
+    const int64_t f0 = (int64_t(s) * model.ffn_dim) / S;
+    const int64_t f1 = (int64_t(s + 1) * model.ffn_dim) / S;
+    const int64_t ko0 = (int64_t(s) * model.q_dim()) / S;
+    const int64_t ko1 = (int64_t(s + 1) * model.q_dim()) / S;
+    auto slice_cost = [&](int64_t n, int64_t k) {
+      GemmShape shape;
+      shape.m = batch;
+      shape.n = n;
+      shape.k = k;
+      return gemm_cost(dev, sys.gemm, shape).seconds;
+    };
+    double t = 0;
+    // Column-parallel QKV + gate|up (output rows sliced), row-parallel
+    // o_proj + down (input columns sliced) — the engine's shard plan.
+    t += slice_cost(int64_t(kh1 - kh0) * dim * int64_t(group) +
+                        2 * int64_t(kh1 - kh0) * dim,
+                    model.hidden);
+    t += slice_cost(model.hidden, ko1 - ko0);
+    t += slice_cost(2 * (f1 - f0), model.hidden);
+    t += slice_cost(model.hidden, f1 - f0);
+    if (kh1 > kh0) {
+      AttentionShape as;
+      as.batch = batch;
+      as.seq_len = seq_len;
+      as.n_kv_heads = kh1 - kh0;
+      as.n_heads = (kh1 - kh0) * group;
+      as.head_dim = model.head_dim;
+      t += attention_decode_cost(dev, attn_cfg, as).seconds;
+    }
+    shard_seconds = std::max(shard_seconds, t / shard_frac);
+  }
+
+  // Reduction + concat boundary, absent at one shard: concat streams the
+  // column-parallel attention and gate|up outputs once; each all-reduce
+  // streams S INT32 partial rows down the pairwise tree and writes one. The
+  // adds sit at ~1 op/element, well under the roofline turning point, so the
+  // max() below resolves to the memory side on every modelled device.
+  double comm = 0;
+  if (S > 1) {
+    const double concat_bytes =
+        2.0 * 4.0 * double(batch) * double(model.q_dim() + 2 * model.ffn_dim);
+    const double reduce_bytes =
+        2.0 * 4.0 * double(batch) * double(model.hidden) * double(S + 1);
+    const double reduce_ops =
+        2.0 * double(batch) * double(model.hidden) * double(S - 1);
+    comm = std::max((concat_bytes + reduce_bytes) / dev.hbm_bytes_per_s(),
+                    reduce_ops / dev.cuda_ops_per_s(false));
+  }
+
+  TpScalingEstimate est;
+  est.n_shards = S;
+  est.comm_seconds = double(model.n_layers) * comm;
+  est.step_seconds =
+      double(model.n_layers) *
+          (shard_seconds + comm + elementwise_seconds(dev, model, batch)) +
+      lm_head_seconds(dev, model, batch);
+  if (S == 1) {
+    est.relative_throughput = 1.0;
+  } else {
+    const TpScalingEstimate base = estimate_tp_decode_scaling(
+        dev, sys, model, batch, seq_len, 1, n_threads);
+    est.relative_throughput = base.step_seconds / est.step_seconds;
+  }
+  return est;
+}
+
 ServingEstimate max_throughput(const DeviceSpec& dev, const SystemProfile& sys,
                                const qserve::ModelConfig& model,
                                const ServingWorkload& wl, int max_batch) {

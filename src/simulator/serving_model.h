@@ -60,4 +60,33 @@ int max_feasible_batch(const DeviceSpec& dev, const SystemProfile& sys,
 double kv_pool_bytes(const SystemProfile& sys, const qserve::ModelConfig& model,
                      const ServingWorkload& wl, int batch);
 
+// --- tensor-parallel decode scaling ------------------------------------------
+//
+// First-principles model of one decode step under the engine's tensor-parallel
+// executor: shardable work (column/row-sliced layer GEMMs via gemm_model plus
+// each shard's KV-head slice of decode attention) runs on n_shards disjoint
+// pools of max(1, n_threads / n_shards) threads, while central work (norms,
+// activation quant, LM head) and the reduction boundaries (pairwise all-reduce
+// of row-parallel INT32 partials, concat of column-parallel outputs) stay on
+// the full budget. The boundary cost is the roofline max of streaming the
+// partial/concat buffers and the reduction adds — its computation intensity is
+// ~1 op/element, far below the CUDA-core turning point, so it is memory-bound
+// on every modelled device. Throughput is reported relative to the
+// single-shard step at the SAME thread budget, so absolute device constants
+// cancel; with n_threads >= n_shards the pools partition a fixed budget and
+// the honest prediction is <= 1 (TP buys locality and smaller sync domains,
+// not extra FLOPs), degrading gracefully via the comm term as shards grow.
+struct TpScalingEstimate {
+  int n_shards = 1;
+  double step_seconds = 0;  // absolute (uncalibrated) model step time
+  double comm_seconds = 0;  // reduction + concat boundary time per step
+  double relative_throughput = 1.0;  // step(1 shard) / step(n_shards)
+};
+
+TpScalingEstimate estimate_tp_decode_scaling(const DeviceSpec& dev,
+                                             const SystemProfile& sys,
+                                             const qserve::ModelConfig& model,
+                                             int batch, int seq_len,
+                                             int n_shards, int n_threads);
+
 }  // namespace qserve::sim

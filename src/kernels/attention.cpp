@@ -1,5 +1,6 @@
 #include "kernels/attention.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -37,14 +38,49 @@ namespace {
 // microkernels — the gather/prefill path goes through the exact same QK/SV
 // code as the fused paged path, which is what keeps the two bitwise equal
 // (tests/test_fused_attention.cpp pins this).
-cpu::KvHeadRun f32_run(const Tensor& m, int64_t kv_head, int head_dim,
-                       int64_t n_tokens) {
+cpu::KvHeadRun f32_run(const Tensor& m, int64_t row0, int64_t kv_head,
+                       int head_dim, int64_t n_tokens) {
   cpu::KvHeadRun run;
   run.kind = cpu::KvRunKind::kF32;
   run.n_tokens = n_tokens;
-  run.f32 = m.row(0) + kv_head * head_dim;
+  run.f32 = m.row(row0) + kv_head * head_dim;
   run.stride = m.cols();
   return run;
+}
+
+// One head, one query vector, attending two gathered-row ranges: [0, a) and
+// [row2, row2 + cnt2). Scores buffer must hold a + cnt2 floats. When the
+// ranges are adjacent (row2 == a) the split QK calls write per-token-
+// independent dots into adjacent score slots and the chained SV calls
+// accumulate token-sequentially across the boundary, so the result is
+// bitwise identical to one call over rows [0, a + cnt2) — the full-attention
+// case is the a = s_visible, cnt2 = 0 degenerate of this function.
+void head_attention_ranges(const cpu::AttentionKernels& ker, const float* qh,
+                           const Tensor& k, const Tensor& v, int64_t kv_head,
+                           int head_dim, int64_t a, int64_t row2, int64_t cnt2,
+                           bool fp16_accum, float* scores, float* out) {
+  const float scale = 1.0f / std::sqrt(float(head_dim));
+  const int64_t n_vis = a + cnt2;
+  if (a > 0)
+    ker.qk_dot(qh, f32_run(k, 0, kv_head, head_dim, a), head_dim, scores);
+  if (cnt2 > 0)
+    ker.qk_dot(qh, f32_run(k, row2, kv_head, head_dim, cnt2), head_dim,
+               scores + a);
+  for (int64_t t = 0; t < n_vis; ++t) {
+    // QServe converts the QK product to FP16 (§5.3); the baseline keeps FP32.
+    const float dot = scores[t] * scale;
+    scores[t] = fp16_accum ? to_half_precision(dot) : dot;
+  }
+  softmax_inplace(scores, static_cast<int>(n_vis));
+  for (int d = 0; d < head_dim; ++d) out[d] = 0.0f;
+  if (a > 0)
+    ker.sv_accum(scores, f32_run(v, 0, kv_head, head_dim, a), head_dim, out);
+  if (cnt2 > 0)
+    ker.sv_accum(scores + a, f32_run(v, row2, kv_head, head_dim, cnt2),
+                 head_dim, out);
+  if (fp16_accum) {
+    for (int d = 0; d < head_dim; ++d) out[d] = to_half_precision(out[d]);
+  }
 }
 
 // One head, one query vector, keys rows [0, s_visible). Scores buffer must
@@ -53,20 +89,8 @@ void head_attention(const cpu::AttentionKernels& ker, const float* qh,
                     const Tensor& k, const Tensor& v, int64_t kv_head,
                     int head_dim, int64_t s_visible, bool fp16_accum,
                     float* scores, float* out) {
-  const float scale = 1.0f / std::sqrt(float(head_dim));
-  ker.qk_dot(qh, f32_run(k, kv_head, head_dim, s_visible), head_dim, scores);
-  for (int64_t t = 0; t < s_visible; ++t) {
-    // QServe converts the QK product to FP16 (§5.3); the baseline keeps FP32.
-    const float dot = scores[t] * scale;
-    scores[t] = fp16_accum ? to_half_precision(dot) : dot;
-  }
-  softmax_inplace(scores, static_cast<int>(s_visible));
-  for (int d = 0; d < head_dim; ++d) out[d] = 0.0f;
-  ker.sv_accum(scores, f32_run(v, kv_head, head_dim, s_visible), head_dim,
-               out);
-  if (fp16_accum) {
-    for (int d = 0; d < head_dim; ++d) out[d] = to_half_precision(out[d]);
-  }
+  head_attention_ranges(ker, qh, k, v, kv_head, head_dim, s_visible, 0, 0,
+                        fp16_accum, scores, out);
 }
 
 }  // namespace
@@ -96,6 +120,56 @@ Tensor attention_prefill(const Tensor& q, const Tensor& k, const Tensor& v,
         float* oh = out.row(i) + int64_t(h) * cfg.head_dim;
         head_attention(ker, qh, k, v, h / group, cfg.head_dim, visible,
                        cfg.fp16_accum, scores.data(), oh);
+      }
+    }
+  });
+  return out;
+}
+
+Tensor attention_prefill_windowed(const Tensor& q, const Tensor& k,
+                                  const Tensor& v, const AttentionConfig& cfg,
+                                  int64_t s_total, int64_t sink,
+                                  int64_t window, int64_t tail0) {
+  cfg.validate();
+  QS_CHECK_EQ(q.cols(), int64_t(cfg.n_heads) * cfg.head_dim);
+  QS_CHECK_EQ(k.cols(), int64_t(cfg.n_kv_heads) * cfg.head_dim);
+  QS_CHECK(k.same_shape(v));
+  QS_CHECK_GT(window, 0);
+  QS_CHECK_GE(sink, 0);
+  const int64_t n = q.rows();
+  QS_CHECK_LE(n, s_total);
+  const int64_t sink_eff = std::min(sink, s_total);
+  QS_CHECK(tail0 >= sink_eff && tail0 <= s_total);
+  QS_CHECK_EQ(k.rows(), sink_eff + (s_total - tail0));
+  // Residency: the earliest query row's window lower bound must still be in
+  // the gathered tail (the cache's slack discipline guarantees this; a
+  // violation means the caller recycled pages a pending query still needs).
+  QS_CHECK_MSG(s_total - n + 1 <= sink ||
+                   std::max(sink, s_total - n + 1 - window) >= tail0,
+               "attention_prefill_windowed: earliest query row (position "
+                   << s_total - n << ") needs tokens below the resident tail "
+                   << tail0);
+  const int group = cfg.n_heads / cfg.n_kv_heads;
+  const cpu::AttentionKernels& ker = cpu::attention_kernel_for(cpu::active_isa());
+
+  Tensor out({n, q.cols()});
+  // Parallel over query positions; every (position, head) pair is
+  // independent, so the result is bitwise identical to the serial loop.
+  parallel_for(0, n, 1, [&](int64_t i0, int64_t i1) {
+    // Reused per pool thread to keep per-row heap traffic off the hot path.
+    thread_local std::vector<float> scores;
+    scores.resize(static_cast<size_t>(std::min(s_total, sink + window)));
+    for (int64_t i = i0; i < i1; ++i) {
+      const int64_t p = s_total - n + i;            // logical position
+      const int64_t a = std::min(p + 1, sink_eff);  // sink rows [0, a)
+      const int64_t lo2 = std::max(sink, p + 1 - window);
+      const int64_t cnt2 = std::max<int64_t>(0, p + 1 - lo2);
+      const int64_t row2 = cnt2 > 0 ? sink_eff + (lo2 - tail0) : 0;
+      for (int h = 0; h < cfg.n_heads; ++h) {
+        const float* qh = q.row(i) + int64_t(h) * cfg.head_dim;
+        float* oh = out.row(i) + int64_t(h) * cfg.head_dim;
+        head_attention_ranges(ker, qh, k, v, h / group, cfg.head_dim, a, row2,
+                              cnt2, cfg.fp16_accum, scores.data(), oh);
       }
     }
   });

@@ -33,6 +33,29 @@ struct AttentionConfig {
 Tensor attention_prefill(const Tensor& q, const Tensor& k, const Tensor& v,
                          const AttentionConfig& cfg);
 
+// Sliding-window + attention-sink variant of attention_prefill for sequences
+// whose KV cache has begun recycling pages (StreamingLLM-style eviction).
+//
+// K/V hold only the *visible* gathered rows of a logically `s_total`-token
+// sequence — exactly what PagedKvCache::gather_visible produces:
+//   rows [0, sink_eff)                    = logical tokens [0, sink_eff)
+//   rows [sink_eff, k.rows())             = logical tokens [tail0, s_total)
+// with sink_eff = min(sink, s_total) and tail0 the oldest resident post-sink
+// logical position. The `n` query rows are logical positions
+// s_total-n .. s_total-1; row at position p attends the per-row visible set
+//   [0, min(p+1, sink))  ∪  [max(sink, p+1-window), p+1)
+// i.e. every row sees its *own* trailing window into history, not a shared
+// cut — this is what makes recompute-on-resume re-derive bitwise-identical
+// prefill results after preemption. When the two intervals are adjacent
+// (p+1 <= sink+window) the row degenerates to full causal attention, and the
+// split QK/SV kernel calls over adjacent gathered rows are bitwise identical
+// to the single-range attention_prefill path — so window >= context is
+// bit-for-bit today's full attention by construction.
+Tensor attention_prefill_windowed(const Tensor& q, const Tensor& k,
+                                  const Tensor& v, const AttentionConfig& cfg,
+                                  int64_t s_total, int64_t sink,
+                                  int64_t window, int64_t tail0);
+
 // Decode: one query token against `s` cached keys/values. q is [H*D],
 // K, V are [s, HKV*D]. Writes H*D floats to `out`.
 void attention_decode_token(const float* q, const Tensor& k, const Tensor& v,

@@ -19,29 +19,35 @@ namespace {
 // scratch copies. The scale/softmax/rounding sequence between the two kernel
 // calls is written exactly like attention.cpp's head_attention so the fused
 // and gather paths stay bitwise identical.
+//
+// Scores are indexed by the view's compact score offsets (`run_score0`), not
+// logical positions: a sliding-window view exposes only the sink + window
+// runs, so the score buffer holds `visible_tokens()` entries. For a
+// full-attention view run_score0 == run_token0 and visible_tokens() ==
+// length(), making this byte-for-byte the pre-window code path.
 void view_head_attention(const PagedKvCache::SeqView& kv,
                          const cpu::AttentionKernels& ker,
                          const AttentionConfig& cfg, int kv_head,
                          const float* qh, float* scores, float* oh) {
   const float scale = 1.0f / std::sqrt(float(cfg.head_dim));
-  const int64_t s_len = kv.length();
+  const int64_t s_vis = kv.visible_tokens();
   const int n_runs = kv.num_page_runs();
 
   // Pass 1: QK scores with inline K dequantization, page run by page run.
   for (int r = 0; r < n_runs; ++r)
     ker.qk_dot(qh, kv.k_run(r, kv_head), cfg.head_dim,
-               scores + kv.run_token0(r));
-  for (int64_t t = 0; t < s_len; ++t) {
+               scores + kv.run_score0(r));
+  for (int64_t t = 0; t < s_vis; ++t) {
     // QServe converts the QK product to FP16 (§5.3); the baseline keeps FP32.
     const float dot = scores[t] * scale;
     scores[t] = cfg.fp16_accum ? to_half_precision(dot) : dot;
   }
-  softmax_inplace(scores, static_cast<int>(s_len));
+  softmax_inplace(scores, static_cast<int>(s_vis));
 
   // Pass 2: SV accumulation with inline V dequantization.
   for (int d = 0; d < cfg.head_dim; ++d) oh[d] = 0.0f;
   for (int r = 0; r < n_runs; ++r)
-    ker.sv_accum(scores + kv.run_token0(r), kv.v_run(r, kv_head),
+    ker.sv_accum(scores + kv.run_score0(r), kv.v_run(r, kv_head),
                  cfg.head_dim, oh);
   if (cfg.fp16_accum) {
     for (int d = 0; d < cfg.head_dim; ++d) oh[d] = to_half_precision(oh[d]);
@@ -75,7 +81,7 @@ void fused_decode_attention(const PagedKvCache& cache, int seq,
   parallel_for(0, cfg.n_heads, 1, [&](int64_t h0, int64_t h1) {
     // Reused per pool thread to keep per-head heap traffic off the hot path.
     thread_local std::vector<float> scores;
-    scores.resize(static_cast<size_t>(s_len));
+    scores.resize(static_cast<size_t>(kv.visible_tokens()));
     for (int64_t h = h0; h < h1; ++h) {
       view_head_attention(kv, ker, cfg, static_cast<int>(h) / group,
                           q + h * cfg.head_dim, scores.data(),
@@ -123,7 +129,7 @@ void batched_fused_decode_attention(
       const size_t i = static_cast<size_t>(w / n_q_heads);
       const int l = static_cast<int>(w % n_q_heads);
       const PagedKvCache::SeqView& kv = views[i];
-      scores.resize(static_cast<size_t>(kv.length()));
+      scores.resize(static_cast<size_t>(kv.visible_tokens()));
       view_head_attention(kv, ker, cfg, (q_head0 + l) / group,
                           items[i].q + int64_t(l) * cfg.head_dim,
                           scores.data(),

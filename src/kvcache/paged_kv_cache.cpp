@@ -96,7 +96,122 @@ int PagedKvCache::alloc_sequence() {
   s.page_table.clear();
   s.length = 0;
   s.live = true;
+  s.sink = 0;
+  s.window = 0;
+  s.slack = 0;
+  s.ring_pages = 0;
+  s.tail0 = 0;
   return id;
+}
+
+int64_t PagedKvCache::window_page_cap(const KvCacheConfig& cfg,
+                                      int64_t sink_tokens,
+                                      int64_t window_tokens,
+                                      int64_t slack_tokens) {
+  const int64_t p = cfg.page_size;
+  return sink_tokens / p + window_tokens / p + ceil_div(slack_tokens, p) + 1;
+}
+
+void PagedKvCache::set_window(int seq, int64_t sink_tokens,
+                              int64_t window_tokens, int64_t slack_tokens) {
+  std::lock_guard<std::mutex> lk(mu_);
+  QS_CHECK(is_live_locked(seq));
+  auto& s = seqs_[static_cast<size_t>(seq)];
+  const int64_t p = cfg_.page_size;
+  QS_CHECK_MSG(window_tokens > 0, "attention window must be positive (got "
+                                      << window_tokens << ")");
+  QS_CHECK_MSG(window_tokens % p == 0,
+               "attention window " << window_tokens
+                                   << " must be a multiple of the KV page "
+                                      "size "
+                                   << p << " (the ring recycles whole pages)");
+  QS_CHECK_MSG(sink_tokens >= 0 && sink_tokens % p == 0,
+               "sink_tokens " << sink_tokens
+                              << " must be a non-negative multiple of the KV "
+                                 "page size "
+                              << p);
+  QS_CHECK_GE(slack_tokens, 0);
+  QS_CHECK_MSG(s.window == 0,
+               "sequence already has a window installed");
+  const int64_t ring_pages =
+      window_tokens / p + ceil_div(slack_tokens, p) + 1;
+  // The existing pages must land on identity slots of the new layout: the
+  // window has to be installed before the sequence outgrows sinks + ring.
+  QS_CHECK_MSG(s.length <= sink_tokens + ring_pages * p,
+               "set_window: sequence length " << s.length
+                                              << " already exceeds sinks + "
+                                                 "window + slack");
+  s.sink = sink_tokens;
+  s.window = window_tokens;
+  s.slack = slack_tokens;
+  s.ring_pages = ring_pages;
+  s.tail0 = sink_tokens;
+}
+
+int64_t PagedKvCache::grow_need_locked(const Sequence& s, int64_t n) const {
+  if (n <= 0) return 0;
+  int64_t need = 0;
+  // CoW copy of a shared tail page the first token would land in.
+  if (s.length % cfg_.page_size != 0) {
+    const int64_t tslot = page_slot(s, s.length / cfg_.page_size);
+    if (pages_[static_cast<size_t>(
+                   s.page_table[static_cast<size_t>(tslot)])].refcount > 1)
+      ++need;
+  }
+  // Page-boundary crossings: growth slots and holes take a fresh page; a
+  // ring slot whose occupant is shared is replaced by a fresh page (the
+  // shared bytes stay with their other owners); a privately-owned ring slot
+  // is reused in place for free.
+  int64_t table_size = static_cast<int64_t>(s.page_table.size());
+  for (int64_t pos = round_up(s.length, cfg_.page_size);
+       pos < s.length + n; pos += cfg_.page_size) {
+    const int64_t slot = page_slot(s, pos / cfg_.page_size);
+    if (slot >= table_size) {
+      ++need;
+      table_size = slot + 1;
+    } else {
+      const int pid = s.page_table[static_cast<size_t>(slot)];
+      if (pid < 0 || pages_[static_cast<size_t>(pid)].refcount > 1) ++need;
+    }
+  }
+  return need;
+}
+
+int PagedKvCache::ring_advance_locked(Sequence& s, int64_t pi) {
+  const int64_t slot = page_slot(s, pi);
+  if (slot == static_cast<int64_t>(s.page_table.size())) {
+    s.page_table.push_back(alloc_page_locked());
+    return s.page_table.back();
+  }
+  QS_CHECK_LT(slot, static_cast<int64_t>(s.page_table.size()));
+  int& pid = s.page_table[static_cast<size_t>(slot)];
+  // The slot's previous occupant was logical page pi - ring_pages; its
+  // tokens leave residency now (they are already outside every future row's
+  // window by the ring-sizing argument in the header).
+  s.tail0 = std::max(s.tail0, (pi - s.ring_pages + 1) * cfg_.page_size);
+  if (pid < 0) {
+    // Hole left by a truncation across the ring: take a fresh page.
+    pid = alloc_page_locked();
+    return pid;
+  }
+  Page& p = pages_[static_cast<size_t>(pid)];
+  QS_CHECK_GT(p.refcount, 0);
+  if (p.refcount == 1) {
+    // In-place reuse: same physical page, new logical tokens. Outstanding
+    // views of the departed logical page must go stale.
+    p.generation.fetch_add(1, std::memory_order_relaxed);
+    recycled_.fetch_add(1, std::memory_order_relaxed);
+    return pid;
+  }
+  // Shared with a fork or prefix-cache entry: those owners keep the bytes
+  // (immutable, generation untouched); this sequence swaps in a fresh page.
+  // Allocate first — it may throw (pool exhausted / injected fault) with
+  // nothing mutated yet.
+  const int npid = alloc_page_locked();
+  release_page_locked(pid);
+  pid = npid;
+  recycled_.fetch_add(1, std::memory_order_relaxed);
+  return pid;
 }
 
 void PagedKvCache::release_page_locked(int pid) {
@@ -140,7 +255,8 @@ void PagedKvCache::free_sequence(int seq) {
   std::lock_guard<std::mutex> lk(mu_);
   QS_CHECK(is_live_locked(seq));
   auto& s = seqs_[static_cast<size_t>(seq)];
-  for (int pid : s.page_table) release_page_locked(pid);
+  for (int pid : s.page_table)
+    if (pid >= 0) release_page_locked(pid);
   s.page_table.clear();
   s.length = 0;
   s.live = false;
@@ -154,6 +270,15 @@ int PagedKvCache::fork_sequence(int src, int64_t upto_len) {
   QS_CHECK_MSG(upto_len >= 0 && upto_len <= source.length,
                "fork_sequence upto_len " << upto_len << " outside [0, "
                                          << source.length << "]");
+  // A windowed source is forkable only over pages that can never have been
+  // recycled: the sinks always qualify, and any prefix qualifies while the
+  // ring has not recycled yet (tail0 still at the sink boundary — then every
+  // logical page still sits at its identity slot with its original bytes).
+  QS_CHECK_MSG(source.window == 0 || upto_len <= source.sink ||
+                   source.tail0 == source.sink,
+               "fork_sequence on a windowed sequence may only cover "
+               "never-recycled pages (sinks, or any prefix before the first "
+               "recycle)");
   int id;
   if (!free_seq_ids_.empty()) {
     id = free_seq_ids_.back();
@@ -177,6 +302,11 @@ int PagedKvCache::fork_sequence(int src, int64_t upto_len) {
   }
   d.length = upto_len;
   d.live = true;
+  d.sink = 0;
+  d.window = 0;
+  d.slack = 0;
+  d.ring_pages = 0;
+  d.tail0 = 0;
   return id;
 }
 
@@ -185,7 +315,7 @@ int64_t PagedKvCache::seq_shared_pages(int seq) const {
   QS_CHECK(is_live_locked(seq));
   int64_t n = 0;
   for (int pid : seqs_[static_cast<size_t>(seq)].page_table)
-    if (pages_[static_cast<size_t>(pid)].refcount > 1) ++n;
+    if (pid >= 0 && pages_[static_cast<size_t>(pid)].refcount > 1) ++n;
   return n;
 }
 
@@ -195,9 +325,11 @@ std::vector<uint32_t> PagedKvCache::page_generations(int seq) const {
   const auto& s = seqs_[static_cast<size_t>(seq)];
   std::vector<uint32_t> gens;
   gens.reserve(s.page_table.size());
-  for (int pid : s.page_table)
+  for (int pid : s.page_table) {
+    QS_CHECK_GE(pid, 0);  // never called on a sequence with ring holes
     gens.push_back(pages_[static_cast<size_t>(pid)].generation.load(
         std::memory_order_relaxed));
+  }
   return gens;
 }
 
@@ -211,10 +343,37 @@ void PagedKvCache::truncate_sequence(int seq, int64_t new_len) {
                                            << "]");
   if (new_len == s.length) return;
   const int64_t keep_pages = ceil_div(new_len, cfg_.page_size);
-  for (int64_t pi = keep_pages;
-       pi < static_cast<int64_t>(s.page_table.size()); ++pi)
-    release_page_locked(s.page_table[static_cast<size_t>(pi)]);
-  s.page_table.resize(static_cast<size_t>(keep_pages));
+  if (s.window == 0) {
+    for (int64_t pi = keep_pages;
+         pi < static_cast<int64_t>(s.page_table.size()); ++pi)
+      release_page_locked(s.page_table[static_cast<size_t>(pi)]);
+    s.page_table.resize(static_cast<size_t>(keep_pages));
+  } else {
+    // Windowed rollback: the ring's slack covers exactly the speculative
+    // rollback depth — a deeper cut would expose positions whose pages were
+    // already recycled.
+    QS_CHECK_MSG(s.length - new_len <= s.slack,
+                 "truncate_sequence rollback of " << (s.length - new_len)
+                                                  << " tokens exceeds the "
+                                                     "window slack "
+                                                  << s.slack);
+    // Release the removed logical pages' slots. Each is the slot's CURRENT
+    // occupant (the slack bound keeps the removed span well inside one ring
+    // revolution), and the slot's previous occupant was overwritten long
+    // ago, so the slot becomes a hole until an append reaches it again. A
+    // hole at the table's tail is popped instead, so a sequence still in
+    // pure growth keeps today's dense-table behavior (and bitwise replay:
+    // truncate-then-append re-allocates exactly as an untruncated run).
+    const int64_t cur_pages = ceil_div(s.length, cfg_.page_size);
+    for (int64_t pi = keep_pages; pi < cur_pages; ++pi) {
+      const int64_t slot = page_slot(s, pi);
+      int& pid = s.page_table[static_cast<size_t>(slot)];
+      if (pid >= 0) release_page_locked(pid);
+      pid = -1;
+    }
+    while (!s.page_table.empty() && s.page_table.back() < 0)
+      s.page_table.pop_back();
+  }
   // The last kept page loses its tail slots (and the next append rewrites
   // them), so pre-truncate views of it must go stale too. A new view() taken
   // after the rollback snapshots the bumped value and reads fine. A SHARED
@@ -223,7 +382,8 @@ void PagedKvCache::truncate_sequence(int seq, int64_t new_len) {
   // other owners' views — and even this sequence's pre-truncate views of the
   // still-unchanged bytes — stay valid.
   if (new_len % cfg_.page_size != 0) {
-    Page& last = pages_[static_cast<size_t>(s.page_table.back())];
+    Page& last = pages_[static_cast<size_t>(
+        s.page_table[static_cast<size_t>(page_slot(s, keep_pages - 1))])];
     if (last.refcount == 1)
       last.generation.fetch_add(1, std::memory_order_relaxed);
   }
@@ -274,15 +434,7 @@ bool PagedKvCache::can_grow(int seq, int64_t tokens) const {
   std::lock_guard<std::mutex> lk(mu_);
   QS_CHECK(is_live_locked(seq));
   const auto& s = seqs_[static_cast<size_t>(seq)];
-  const int64_t have =
-      int64_t(s.page_table.size()) * cfg_.page_size - s.length;
-  int64_t need_pages = ceil_div(std::max<int64_t>(tokens - have, 0),
-                                cfg_.page_size);
-  // A shared tail page is copied on the first write into it.
-  if (tokens > 0 && s.length % cfg_.page_size != 0 &&
-      pages_[static_cast<size_t>(s.page_table.back())].refcount > 1)
-    ++need_pages;
-  return need_pages <= free_pages();
+  return grow_need_locked(s, tokens) <= free_pages();
 }
 
 void PagedKvCache::append(int seq, const float* k, const float* v) {
@@ -295,13 +447,13 @@ void PagedKvCache::append(int seq, const float* k, const float* v) {
     QS_CHECK(is_live_locked(seq));
     auto& s = seqs_[static_cast<size_t>(seq)];
     if (s.length % cfg_.page_size == 0) {
-      s.page_table.push_back(alloc_page_locked());
-      page_ptr = &pages_[static_cast<size_t>(s.page_table.back())];
+      page_ptr = &pages_[static_cast<size_t>(
+          ring_advance_locked(s, s.length / cfg_.page_size))];
     } else {
       // Writing into the existing tail page: if it is shared (this sequence
       // was forked mid-page), copy it on write first.
       page_ptr = &ensure_private_locked(
-          s, static_cast<int64_t>(s.page_table.size()) - 1);
+          s, page_slot(s, s.length / cfg_.page_size));
     }
     slot = s.length % cfg_.page_size;
     ++s.length;
@@ -311,23 +463,24 @@ void PagedKvCache::append(int seq, const float* k, const float* v) {
 
 int64_t PagedKvCache::append_reserve_locked(int seq, int64_t n) {
   auto& s = seqs_[static_cast<size_t>(seq)];
-  // Capacity up front: growth pages, plus one for the copy-on-write of a
-  // shared tail page the first token would land in. Checked before any
-  // sequence state mutates — seq_len never claims tokens whose slots were
-  // not written.
-  int64_t need = ceil_div(s.length + n, cfg_.page_size) -
-                 ceil_div(s.length, cfg_.page_size);
-  if (s.length % cfg_.page_size != 0 &&
-      pages_[static_cast<size_t>(s.page_table.back())].refcount > 1)
-    ++need;
-  QS_CHECK_MSG(need <= free_pages(), "KV cache pool exhausted");
+  // The ring's dry-run capacity simulation (and its recycling) assumes a
+  // span stays inside one ring revolution — the slack the window was
+  // installed with must cover every append span.
+  QS_CHECK_MSG(s.window == 0 || n <= s.slack,
+               "append span of " << n << " tokens exceeds the windowed "
+                                 << "sequence's slack " << s.slack);
+  // Capacity up front: growth pages, shared-slot replacements, plus one for
+  // the copy-on-write of a shared tail page the first token would land in.
+  // Checked before any sequence state mutates — seq_len never claims tokens
+  // whose slots were not written.
+  QS_CHECK_MSG(grow_need_locked(s, n) <= free_pages(),
+               "KV cache pool exhausted");
   const int64_t pos0 = s.length;
   for (int64_t t = 0; t < n; ++t) {
     if (s.length % cfg_.page_size == 0) {
-      s.page_table.push_back(alloc_page_locked());
+      ring_advance_locked(s, s.length / cfg_.page_size);
     } else {
-      ensure_private_locked(s,
-                            static_cast<int64_t>(s.page_table.size()) - 1);
+      ensure_private_locked(s, page_slot(s, s.length / cfg_.page_size));
     }
     ++s.length;
   }
@@ -367,8 +520,8 @@ void PagedKvCache::append_write_heads(int seq, int64_t pos0, const float* k,
     QS_CHECK_LE(pos0 + n, s.length);
     for (int64_t t = 0; t < n; ++t) {
       const int64_t tok = pos0 + t;
-      Page& p = pages_[static_cast<size_t>(
-          s.page_table[static_cast<size_t>(tok / cfg_.page_size)])];
+      Page& p = pages_[static_cast<size_t>(s.page_table[static_cast<size_t>(
+          page_slot(s, tok / cfg_.page_size))])];
       QS_DCHECK(p.refcount == 1);  // reserve left the range privately owned
       dests[static_cast<size_t>(t)] = {&p, tok % cfg_.page_size};
     }
@@ -405,8 +558,8 @@ void PagedKvCache::append_batch(int seq, const float* k, const float* v,
     for (int64_t t = 0; t < n; ++t) {
       const int64_t tok = pos0 + t;
       dests[static_cast<size_t>(t)] = {
-          &pages_[static_cast<size_t>(
-              s.page_table[static_cast<size_t>(tok / cfg_.page_size)])],
+          &pages_[static_cast<size_t>(s.page_table[static_cast<size_t>(
+              page_slot(s, tok / cfg_.page_size))])],
           tok % cfg_.page_size};
     }
   }
@@ -486,8 +639,15 @@ const PagedKvCache::Page* PagedKvCache::locate(int seq, int64_t token,
   const auto& s = seqs_[static_cast<size_t>(seq)];
   QS_CHECK(token >= 0 && token < s.length);
   QS_CHECK(head >= 0 && head < cfg_.n_kv_heads);
+  // A windowed sequence only holds the sinks and the retained tail; reading
+  // a recycled position is a caller bug, not a silent garbage read.
+  QS_CHECK_MSG(s.window == 0 || token < s.sink || token >= s.tail0,
+               "read of recycled position " << token
+                                            << " (resident: [0, " << s.sink
+                                            << ") and [" << s.tail0 << ", "
+                                            << s.length << "))");
   return &pages_[static_cast<size_t>(
-      s.page_table[static_cast<size_t>(token / cfg_.page_size)])];
+      s.page_table[static_cast<size_t>(page_slot(s, token / cfg_.page_size))])];
 }
 
 void PagedKvCache::read_head(const Page& page, int64_t token, int head,
@@ -539,40 +699,85 @@ PagedKvCache::SeqView PagedKvCache::view(int seq) const {
   QS_CHECK(is_live_locked(seq));
   const auto& s = seqs_[static_cast<size_t>(seq)];
   v.length_ = s.length;
-  v.pages_.reserve(s.page_table.size());
-  v.generations_.reserve(s.page_table.size());
-  for (int pid : s.page_table) {
-    const Page& p = pages_[static_cast<size_t>(pid)];
-    v.pages_.push_back(&p);
-    v.generations_.push_back(p.generation.load(std::memory_order_relaxed));
+  auto add_range = [&](int64_t t0, int64_t t1) {
+    // Emit per-page runs covering logical positions [t0, t1).
+    int64_t t = t0;
+    while (t < t1) {
+      const int64_t slot0 = t % cfg_.page_size;
+      const int64_t n = std::min(cfg_.page_size - slot0, t1 - t);
+      const int pid = s.page_table[static_cast<size_t>(
+          page_slot(s, t / cfg_.page_size))];
+      QS_CHECK_GE(pid, 0);
+      const Page& p = pages_[static_cast<size_t>(pid)];
+      v.runs_.push_back({&p, p.generation.load(std::memory_order_relaxed), t,
+                         slot0, n, v.visible_});
+      v.visible_ += n;
+      t += n;
+    }
+  };
+  if (s.window == 0 || s.length <= s.sink + s.window) {
+    // Full attention (or a windowed sequence still inside sinks + window —
+    // nothing recycled, every position visible): one run per page, exactly
+    // the pre-window view. `window >= context` is bit-identical to full
+    // attention because it takes THIS path.
+    add_range(0, s.length);
+  } else {
+    // Sinks, then the trailing window. The first tail run may start
+    // mid-page; the positions between the sinks and the window's left edge
+    // are invisible to the NEXT query even when still resident.
+    add_range(0, s.sink);
+    add_range(s.length - s.window, s.length);
   }
   return v;
 }
 
+const PagedKvCache::SeqView::Run& PagedKvCache::SeqView::run_for(
+    int64_t token) const {
+  QS_CHECK(token >= 0 && token < length_);
+  // Runs are ordered by token0; find the last run starting at or before
+  // `token` and check it actually covers it (a windowed view has a gap
+  // between the sinks and the window).
+  size_t lo = 0, hi = runs_.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (runs_[mid].token0 <= token) lo = mid;
+    else hi = mid;
+  }
+  QS_CHECK_MSG(!runs_.empty() && runs_[lo].token0 <= token &&
+                   token < runs_[lo].token0 + runs_[lo].n_tokens,
+               "position " << token << " is not visible in this view");
+  return runs_[lo];
+}
+
 void PagedKvCache::SeqView::read_k(int64_t token, int head,
                                    float* out) const {
-  QS_CHECK(token >= 0 && token < length_);
   QS_CHECK(head >= 0 && head < cache_->cfg_.n_kv_heads);
-  const size_t pi = static_cast<size_t>(token / cache_->cfg_.page_size);
+  const Run& r = run_for(token);
   // Stale view: the sequence was freed (e.g. preempted) after view().
-  QS_DCHECK(pages_[pi]->generation.load(std::memory_order_relaxed) ==
-            generations_[pi]);
-  cache_->read_head(*pages_[pi], token, head, /*is_k=*/true, out);
+  QS_DCHECK(r.page->generation.load(std::memory_order_relaxed) ==
+            r.generation);
+  cache_->read_head(*r.page, r.slot0 + (token - r.token0), head,
+                    /*is_k=*/true, out);
 }
 
 void PagedKvCache::SeqView::read_v(int64_t token, int head,
                                    float* out) const {
-  QS_CHECK(token >= 0 && token < length_);
   QS_CHECK(head >= 0 && head < cache_->cfg_.n_kv_heads);
-  const size_t pi = static_cast<size_t>(token / cache_->cfg_.page_size);
-  QS_DCHECK(pages_[pi]->generation.load(std::memory_order_relaxed) ==
-            generations_[pi]);
-  cache_->read_head(*pages_[pi], token, head, /*is_k=*/false, out);
+  const Run& r = run_for(token);
+  QS_DCHECK(r.page->generation.load(std::memory_order_relaxed) ==
+            r.generation);
+  cache_->read_head(*r.page, r.slot0 + (token - r.token0), head,
+                    /*is_k=*/false, out);
 }
 
 int64_t PagedKvCache::SeqView::run_token0(int run) const {
   QS_CHECK(run >= 0 && run < num_page_runs());
-  return int64_t(run) * cache_->cfg_.page_size;
+  return runs_[static_cast<size_t>(run)].token0;
+}
+
+int64_t PagedKvCache::SeqView::run_score0(int run) const {
+  QS_CHECK(run >= 0 && run < num_page_runs());
+  return runs_[static_cast<size_t>(run)].score0;
 }
 
 cpu::KvHeadRun PagedKvCache::SeqView::head_run(int run, int head,
@@ -580,25 +785,26 @@ cpu::KvHeadRun PagedKvCache::SeqView::head_run(int run, int head,
   QS_CHECK(run >= 0 && run < num_page_runs());
   QS_CHECK(head >= 0 && head < cache_->cfg_.n_kv_heads);
   const KvCacheConfig& cfg = cache_->cfg_;
-  const size_t pi = static_cast<size_t>(run);
-  // Stale view: the sequence was freed (e.g. preempted) after view().
-  QS_DCHECK(pages_[pi]->generation.load(std::memory_order_relaxed) ==
-            generations_[pi]);
-  const Page& page = *pages_[pi];
+  const Run& ri = runs_[static_cast<size_t>(run)];
+  // Stale view: the sequence was freed (e.g. preempted) or the ring
+  // recycled this page after view().
+  QS_DCHECK(ri.page->generation.load(std::memory_order_relaxed) ==
+            ri.generation);
+  const Page& page = *ri.page;
 
   cpu::KvHeadRun r;
-  r.n_tokens = std::min<int64_t>(
-      cfg.page_size, length_ - int64_t(run) * cfg.page_size);
+  r.n_tokens = ri.n_tokens;
   const int64_t span = cache_->head_span();
   if (cfg.precision == KvPrecision::kFp16) {
     r.kind = cpu::KvRunKind::kFp16;
     const auto& half = is_k ? page.k_half : page.v_half;
-    r.half_bits = half.data() + int64_t(head) * cfg.head_dim;
+    r.half_bits =
+        half.data() + ri.slot0 * span + int64_t(head) * cfg.head_dim;
     r.stride = span;  // elements
   } else if (cfg.static_scales) {
     r.kind = cpu::KvRunKind::kInt8Static;
     const auto& codes = is_k ? page.k_codes : page.v_codes;
-    r.codes = codes.data() + cache_->code_offset(0, head);
+    r.codes = codes.data() + cache_->code_offset(ri.slot0, head);
     r.stride = span;  // bytes (one INT8 code per element)
     r.static_scale = is_k ? cfg.static_scale_k : cfg.static_scale_v;
   } else {
@@ -606,11 +812,12 @@ cpu::KvHeadRun PagedKvCache::SeqView::head_run(int run, int head,
                                                  : cpu::KvRunKind::kInt8Dyn;
     const auto& codes = is_k ? page.k_codes : page.v_codes;
     const auto& params = is_k ? page.k_params : page.v_params;
-    r.codes = codes.data() + cache_->code_offset(0, head);
+    r.codes = codes.data() + cache_->code_offset(ri.slot0, head);
     r.stride = span * static_cast<int>(cfg.precision) / 8;  // bytes
     // Token t's {scale_bits, zero_bits} pair sits at params[t*HKV + head];
     // PackedKvParams is exactly two uint16s, so expose it as a uint16 view.
-    r.params = reinterpret_cast<const uint16_t*>(params.data() + head);
+    r.params = reinterpret_cast<const uint16_t*>(
+        params.data() + ri.slot0 * cfg.n_kv_heads + head);
     r.param_stride = 2 * cfg.n_kv_heads;
   }
   return r;
@@ -626,6 +833,62 @@ cpu::KvHeadRun PagedKvCache::SeqView::v_run(int run, int head) const {
 
 void PagedKvCache::gather(int seq, Tensor& k_out, Tensor& v_out) const {
   gather_heads(seq, k_out, v_out, 0, cfg_.n_kv_heads);
+}
+
+int64_t PagedKvCache::gather_visible(int seq, Tensor& k_out,
+                                     Tensor& v_out) const {
+  return gather_visible_heads(seq, k_out, v_out, 0, cfg_.n_kv_heads);
+}
+
+int64_t PagedKvCache::gather_visible_heads(int seq, Tensor& k_out,
+                                           Tensor& v_out, int head0,
+                                           int head1) const {
+  QS_CHECK(head0 >= 0 && head0 <= head1 && head1 <= cfg_.n_kv_heads);
+  // One locked pass resolves (page, slot) for every resident token — the
+  // sinks and the retained tail, NOT just the last query's window, so a
+  // prefill span's earliest row still finds its whole trailing window — then
+  // the dequantization runs unlocked (same arithmetic as gather()).
+  struct Src {
+    const Page* page;
+    int64_t slot;
+  };
+  std::vector<Src> srcs;
+  int64_t tail0 = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    QS_CHECK(is_live_locked(seq));
+    const auto& s = seqs_[static_cast<size_t>(seq)];
+    QS_CHECK_MSG(s.window > 0,
+                 "gather_visible on a full-attention sequence");
+    const int64_t sink_eff = std::min(s.sink, s.length);
+    tail0 = std::min(std::max(s.tail0, sink_eff), s.length);
+    srcs.reserve(static_cast<size_t>(sink_eff + s.length - tail0));
+    auto push_tok = [&](int64_t t) {
+      const int pid = s.page_table[static_cast<size_t>(
+          page_slot(s, t / cfg_.page_size))];
+      QS_CHECK_GE(pid, 0);
+      srcs.push_back(
+          {&pages_[static_cast<size_t>(pid)], t % cfg_.page_size});
+    };
+    for (int64_t t = 0; t < sink_eff; ++t) push_tok(t);
+    for (int64_t t = tail0; t < s.length; ++t) push_tok(t);
+  }
+  const int64_t span = int64_t(head1 - head0) * cfg_.head_dim;
+  const int64_t rows = static_cast<int64_t>(srcs.size());
+  k_out = Tensor({rows, span});
+  v_out = Tensor({rows, span});
+  for (int64_t r = 0; r < rows; ++r) {
+    const Src& src = srcs[static_cast<size_t>(r)];
+    float* kr = k_out.row(r);
+    float* vr = v_out.row(r);
+    for (int h = head0; h < head1; ++h) {
+      read_head(*src.page, src.slot, h, /*is_k=*/true,
+                kr + int64_t(h - head0) * cfg_.head_dim);
+      read_head(*src.page, src.slot, h, /*is_k=*/false,
+                vr + int64_t(h - head0) * cfg_.head_dim);
+    }
+  }
+  return tail0;
 }
 
 void PagedKvCache::gather_heads(int seq, Tensor& k_out, Tensor& v_out,

@@ -78,8 +78,57 @@ class PagedKvCache {
   // only then writes — the other owners' data, and their SeqViews, stay
   // valid (a CoW copy does NOT bump the shared page's generation; only a
   // true free does). pages_in_use() counts physical pages, so a fork leaves
-  // it unchanged and a CoW copy raises it by one.
+  // it unchanged and a CoW copy raises it by one. A windowed source may only
+  // be forked over pages that can never have been recycled: the sinks, or
+  // any prefix while the source has not yet recycled a page.
   int fork_sequence(int src, int64_t upto_len);
+
+  // --- sliding-window attention with sinks (page ring) -----------------------
+  //
+  // Installs a StreamingLLM-style attention policy on a live sequence: every
+  // token keeps attending to the first `sink_tokens` positions plus the most
+  // recent `window_tokens` positions, and once the sequence grows past
+  // sinks + window the cache stops allocating — the page table becomes
+  // [sink pages | ring of ring_pages slots] and each new page REUSES the slot
+  // of the oldest non-sink page. Logical positions keep advancing (RoPE and
+  // causal masking are untouched); only the physical footprint is bounded at
+  // window_page_cap() pages. Recycling a privately-owned page bumps its
+  // generation (stale SeqViews trip QS_DCHECK) and reuses it in place — zero
+  // pool traffic; recycling a page still shared with a fork or prefix-cache
+  // entry releases this sequence's reference (no generation bump — the other
+  // owners' bytes stay live and valid) and takes a fresh page instead.
+  //
+  // `slack_tokens` sizes the ring's safety margin beyond the window: it must
+  // cover BOTH the deepest truncate_sequence rollback (speculative k+1) and
+  // the largest single append span (prefill chunk / verify span), because a
+  // span's earliest row still attends to its own trailing window and a
+  // rollback re-exposes up to slack tokens of it. Appends of more than
+  // slack_tokens tokens, and truncations deeper than slack_tokens, QS_CHECK.
+  //
+  // Constraints (all QS_CHECKed loudly): window_tokens > 0 and a multiple of
+  // page_size, sink_tokens >= 0 and a multiple of page_size (partial pages
+  // are NOT supported — the ring recycles whole pages, so both boundaries
+  // must be page-aligned), the sequence must not already have a window, and
+  // its current length must still fit the identity-mapped prefix of the ring
+  // (<= sinks + window + slack rounded up one page), i.e. install the window
+  // before the sequence grows past it. Deterministic by construction: ring
+  // geometry is a pure function of (sink, window, slack, page_size), so a
+  // preempted request that re-prefills its context re-derives the identical
+  // ring state.
+  void set_window(int seq, int64_t sink_tokens, int64_t window_tokens,
+                  int64_t slack_tokens);
+
+  // Bounded per-sequence footprint of that policy, in pages: sink pages plus
+  // the ring slots (window pages + slack pages + 1 boundary page). What the
+  // scheduler charges a windowed request per layer instead of ceil(len/page).
+  static int64_t window_page_cap(const KvCacheConfig& cfg, int64_t sink_tokens,
+                                 int64_t window_tokens, int64_t slack_tokens);
+
+  // Cumulative pages recycled through the ring (in-place reuses + shared-slot
+  // replacements).
+  int64_t recycled_pages() const {
+    return recycled_.load(std::memory_order_relaxed);
+  }
 
   // Cumulative copy-on-write page copies (a writer hit a shared page).
   int64_t cow_page_copies() const {
@@ -168,6 +217,20 @@ class PagedKvCache {
   void gather_heads(int seq, Tensor& k_out, Tensor& v_out, int head0,
                     int head1) const;
 
+  // Windowed gather: dequantize every RESIDENT token of a windowed sequence —
+  // the sinks [0, min(sink, len)) followed by the retained tail [tail0, len)
+  // — into [sink_eff + len - tail0, span] matrices, and return tail0 (the
+  // oldest post-sink logical position whose page has not been recycled;
+  // equals the sink boundary while nothing has been recycled yet). The
+  // retained tail is a superset of any row's attention window, including
+  // every row of an append span up to slack tokens, so a windowed prefill
+  // kernel can mask per row against logical positions: gathered row of
+  // logical t is t for t < sink_eff and sink_eff + (t - tail0) for
+  // t >= tail0. QS_CHECKs that the sequence actually has a window.
+  int64_t gather_visible(int seq, Tensor& k_out, Tensor& v_out) const;
+  int64_t gather_visible_heads(int seq, Tensor& k_out, Tensor& v_out,
+                               int head0, int head1) const;
+
   // Dequantize a single (token, head) K or V vector into out[head_dim] —
   // the inline access pattern of the fused attention kernel (§5.3). Exactly
   // the same arithmetic as gather().
@@ -187,28 +250,48 @@ class PagedKvCache {
   class SeqView {
    public:
     int64_t length() const { return length_; }
+    // Tokens a decode-attention pass over this view visits: length() for a
+    // full-attention sequence; sinks + trailing window once a windowed
+    // sequence grows past them. This is the compact score-buffer size.
+    int64_t visible_tokens() const { return visible_; }
     void read_k(int64_t token, int head, float* out) const;
     void read_v(int64_t token, int head, float* out) const;
 
-    // Page-run API: the sequence's tokens as contiguous per-page spans the
-    // attention microkernels walk directly — raw code/param pointers into the
-    // page, no per-(token, head) dequant copies. Run r covers tokens
-    // [run_token0(r), run_token0(r) + k_run(r, h).n_tokens). The returned
-    // KvHeadRun's kind reflects the cache precision (kFp16 / kInt8Dyn /
-    // kInt8Static / kInt4Dyn); pointers stay valid under the same
+    // Page-run API: the sequence's attended tokens as contiguous in-page
+    // spans the attention microkernels walk directly — raw code/param
+    // pointers into the page, no per-(token, head) dequant copies. Run r
+    // covers logical positions [run_token0(r), run_token0(r) + n_tokens)
+    // and rows [run_score0(r), run_score0(r) + n_tokens) of the compact
+    // score buffer; for a full-attention sequence the two coincide (one run
+    // per page, score buffer indexed by position). A windowed view's runs
+    // cover exactly [0, sink) then [length - window', length) — the first
+    // tail run may start mid-page — so kernels never touch recycled pages.
+    // The returned KvHeadRun's kind reflects the cache precision (kFp16 /
+    // kInt8Dyn / kInt8Static / kInt4Dyn); pointers stay valid under the same
     // snapshot/staleness contract as read_k/read_v (generation-checked).
-    int num_page_runs() const { return static_cast<int>(pages_.size()); }
+    int num_page_runs() const { return static_cast<int>(runs_.size()); }
     int64_t run_token0(int run) const;
+    int64_t run_score0(int run) const;
     cpu::KvHeadRun k_run(int run, int head) const;
     cpu::KvHeadRun v_run(int run, int head) const;
 
    private:
+    // One contiguous span of resident tokens inside a single page.
+    struct Run {
+      const Page* page = nullptr;
+      uint32_t generation = 0;
+      int64_t token0 = 0;    // logical position of the run's first token
+      int64_t slot0 = 0;     // its in-page slot
+      int64_t n_tokens = 0;
+      int64_t score0 = 0;    // offset into the compact score buffer
+    };
     cpu::KvHeadRun head_run(int run, int head, bool is_k) const;
+    const Run& run_for(int64_t token) const;
     friend class PagedKvCache;
     const PagedKvCache* cache_ = nullptr;
-    std::vector<const Page*> pages_;
-    std::vector<uint32_t> generations_;
+    std::vector<Run> runs_;
     int64_t length_ = 0;
+    int64_t visible_ = 0;
   };
   SeqView view(int seq) const;
 
@@ -239,9 +322,18 @@ class PagedKvCache {
   };
 
   struct Sequence {
+    // For a windowed sequence the table is [sink pages | ring slots]; a -1
+    // entry is a hole (slot vacated by a truncation across the ring, refilled
+    // by the next append that reaches it). Plain sequences never hold -1.
     std::vector<int> page_table;
     int64_t length = 0;
     bool live = false;
+    // Sliding-window state (set_window; all zero = full attention).
+    int64_t sink = 0;        // sink tokens, page multiple
+    int64_t window = 0;      // window tokens, page multiple; 0 = no window
+    int64_t slack = 0;       // max rollback / append-span overshoot, tokens
+    int64_t ring_pages = 0;  // window/P + ceil(slack/P) + 1
+    int64_t tail0 = 0;       // oldest post-sink logical token still resident
   };
 
   int64_t head_span() const { return int64_t(cfg_.n_kv_heads) * cfg_.head_dim; }
@@ -251,6 +343,23 @@ class PagedKvCache {
            static_cast<int>(cfg_.precision) / 8;
   }
   bool is_live_locked(int seq) const;
+  // Physical page-table slot of logical page `pi`: identity for plain
+  // sequences and for the sink pages; ring arithmetic beyond them.
+  int64_t page_slot(const Sequence& s, int64_t pi) const {
+    if (s.window == 0) return pi;
+    const int64_t sink_pages = s.sink / cfg_.page_size;
+    if (pi < sink_pages) return pi;
+    return sink_pages + (pi - sink_pages) % s.ring_pages;
+  }
+  // Pages a (simulated) n-token append would take from the free pool: growth
+  // slots, ring slots whose occupant is shared (fresh page replaces it) or a
+  // hole, plus the CoW copy of a shared tail page. Caller holds mu_.
+  int64_t grow_need_locked(const Sequence& s, int64_t n) const;
+  // Resolve logical page `pi` for an append crossing into it: grow the
+  // table, refill a hole, or recycle the slot's previous occupant (in-place
+  // reuse with a generation bump when private; release + fresh page when
+  // shared). Returns the page id now at the slot. Caller holds mu_.
+  int ring_advance_locked(Sequence& s, int64_t pi);
   int alloc_page_locked();
   // Drop one reference to page `pid`; frees it (generation bump + free list)
   // only when the last reference goes.
@@ -290,6 +399,7 @@ class PagedKvCache {
   std::atomic<int64_t> used_pages_{0};
   std::atomic<int64_t> cow_copies_{0};
   std::atomic<int64_t> shared_pages_{0};
+  std::atomic<int64_t> recycled_{0};
 };
 
 }  // namespace qserve

@@ -45,4 +45,17 @@ ModelConfig toy_config_mha(int n_layers) {
   return cfg;
 }
 
+ModelConfig toy_config_gqa4(int n_layers) {
+  ModelConfig cfg;
+  cfg.name = "toy-gqa4";
+  cfg.hidden = 256;
+  cfg.n_layers = n_layers;
+  cfg.n_heads = 8;
+  cfg.n_kv_heads = 2;
+  cfg.head_dim = 32;
+  cfg.ffn_dim = 512;
+  cfg.vocab = 512;
+  return cfg;
+}
+
 }  // namespace qserve

@@ -55,5 +55,9 @@ ModelConfig model_by_name(const std::string& name);
 ModelConfig toy_config(int n_layers = 2);
 // GQA-free variant (Llama-2-7B-like structure).
 ModelConfig toy_config_mha(int n_layers = 2);
+// Deeper grouping: 8 query heads sharing 2 KV heads (group = 4, the
+// Llama-3-70B ratio), same hidden size as toy_config via head_dim=32. Two
+// KV heads keep 2-way tensor parallelism exercisable.
+ModelConfig toy_config_gqa4(int n_layers = 2);
 
 }  // namespace qserve

@@ -42,8 +42,12 @@ int resolve_tp_shards(const ModelConfig& cfg, const QuantSchemeConfig& qcfg,
                  "tensor parallelism requires an INT8-path weight scheme "
                  "(W8A8 or W4A8)");
     QS_CHECK_MSG(tp.n_shards <= cfg.n_kv_heads,
-                 "TpConfig.n_shards " << tp.n_shards << " exceeds n_kv_heads "
-                                      << cfg.n_kv_heads);
+                 "TpConfig.n_shards "
+                     << tp.n_shards << " exceeds n_kv_heads "
+                     << cfg.n_kv_heads << " (GQA group "
+                     << cfg.n_heads / cfg.n_kv_heads
+                     << ": each shard must carry at least one KV head with "
+                        "its whole query-head group)");
   }
   return tp.n_shards;
 }
@@ -389,8 +393,21 @@ int QuantizedModel::begin_sequence() {
   for (int l = 0; l < cfg_.n_layers; ++l)
     s.layer_seqs.push_back(kv_->alloc_sequence());
   s.next_pos = 0;
+  s.sink = 0;
+  s.window = 0;
   s.live = true;
   return id;
+}
+
+void QuantizedModel::set_sequence_window(int seq, int64_t sink_tokens,
+                                         int64_t window_tokens,
+                                         int64_t slack_tokens) {
+  auto& state = seqs_[static_cast<size_t>(seq)];
+  QS_CHECK(state.live);
+  for (int ls : state.layer_seqs)
+    kv_->set_window(ls, sink_tokens, window_tokens, slack_tokens);
+  state.sink = sink_tokens;
+  state.window = window_tokens;
 }
 
 void QuantizedModel::end_sequence(int seq) {
@@ -446,11 +463,13 @@ Tensor QuantizedModel::run_blocks_batched(const std::vector<SeqSpan>& spans,
       // Single multi-row span (a plain prefill chunk): q already is exactly
       // this span's rows, so attend on it directly — no scratch copies.
       const SeqSpan& sp = spans[0];
-      const int lseq = seqs_[static_cast<size_t>(sp.seq)].layer_seqs[li];
+      const auto& st = seqs_[static_cast<size_t>(sp.seq)];
+      const int lseq = st.layer_seqs[li];
       kv_->append_batch(lseq, k.row(0), v.row(0), sp.n);
-      Tensor kd, vd;
-      kv_->gather(lseq, kd, vd);
-      attn = attention_prefill(q, kd, vd, acfg);
+      attn = span_attention(lseq, st, q,
+                            int64_t(positions[static_cast<size_t>(sp.row0)]) +
+                                sp.n,
+                            acfg, 0, cfg_.n_kv_heads);
     } else {
       attn = Tensor({n, q.cols()});
       // Pass 1: appends. Distinct sequences may scatter concurrently (the
@@ -494,14 +513,15 @@ Tensor QuantizedModel::run_blocks_batched(const std::vector<SeqSpan>& spans,
             [&](int64_t lo, int64_t hi) {
               for (int64_t mi = lo; mi < hi; ++mi) {
                 const SeqSpan& sp = spans[multi[static_cast<size_t>(mi)]];
-                const int lseq =
-                    seqs_[static_cast<size_t>(sp.seq)].layer_seqs[li];
-                Tensor kd, vd;
-                kv_->gather(lseq, kd, vd);
+                const auto& st = seqs_[static_cast<size_t>(sp.seq)];
+                const int lseq = st.layer_seqs[li];
                 Tensor qs({sp.n, q.cols()});
                 std::copy(q.row(sp.row0), q.row(sp.row0) + sp.n * q.cols(),
                           qs.data());
-                const Tensor a = attention_prefill(qs, kd, vd, acfg);
+                const Tensor a = span_attention(
+                    lseq, st, qs,
+                    int64_t(positions[static_cast<size_t>(sp.row0)]) + sp.n,
+                    acfg, 0, cfg_.n_kv_heads);
                 std::copy(a.data(), a.data() + a.numel(), attn.row(sp.row0));
               }
             });
@@ -651,15 +671,16 @@ Tensor QuantizedModel::run_blocks_batched_tp(const std::vector<SeqSpan>& spans,
             scfg.n_kv_heads = sh.kh1 - sh.kh0;
             for (size_t mi : multi) {
               const SeqSpan& sp = spans[mi];
-              const int lseq =
-                  seqs_[static_cast<size_t>(sp.seq)].layer_seqs[li];
-              Tensor kd, vd;
-              kv_->gather_heads(lseq, kd, vd, sh.kh0, sh.kh1);
+              const auto& st = seqs_[static_cast<size_t>(sp.seq)];
+              const int lseq = st.layer_seqs[li];
               Tensor qspan({sp.n, attn_s.cols()});
               std::copy(qsl.row(sp.row0),
                         qsl.row(sp.row0) + sp.n * qspan.cols(),
                         qspan.data());
-              const Tensor a = attention_prefill(qspan, kd, vd, scfg);
+              const Tensor a = span_attention(
+                  lseq, st, qspan,
+                  int64_t(positions[static_cast<size_t>(sp.row0)]) + sp.n,
+                  scfg, sh.kh0, sh.kh1);
               std::copy(a.data(), a.data() + a.numel(),
                         attn_s.row(sp.row0));
             }
@@ -757,6 +778,24 @@ Tensor QuantizedModel::run_blocks_batched_tp(const std::vector<SeqSpan>& spans,
     add_inplace(x, down);
   }
   return x;
+}
+
+Tensor QuantizedModel::span_attention(int lseq, const SeqState& st,
+                                      const Tensor& qspan, int64_t s_total,
+                                      const AttentionConfig& acfg, int kh0,
+                                      int kh1) const {
+  Tensor kd, vd;
+  if (st.window > 0) {
+    const int64_t tail0 = kv_->gather_visible_heads(lseq, kd, vd, kh0, kh1);
+    return attention_prefill_windowed(qspan, kd, vd, acfg, s_total, st.sink,
+                                      st.window, tail0);
+  }
+  if (kh0 == 0 && kh1 == cfg_.n_kv_heads) {
+    kv_->gather(lseq, kd, vd);
+  } else {
+    kv_->gather_heads(lseq, kd, vd, kh0, kh1);
+  }
+  return attention_prefill(qspan, kd, vd, acfg);
 }
 
 Tensor QuantizedModel::logits_from_hidden(const Tensor& h) const {
@@ -902,6 +941,11 @@ int QuantizedModel::fork_sequence(int src, int64_t upto_len) {
   for (int ls : sp.layer_seqs)
     s.layer_seqs.push_back(kv_->fork_sequence(ls, upto_len));
   s.next_pos = upto_len;
+  // Forks start full-attention regardless of the source's policy (the cache
+  // enforces that only never-recycled pages were aliased); the caller
+  // installs its own window if it wants one.
+  s.sink = 0;
+  s.window = 0;
   s.live = true;
   return id;
 }

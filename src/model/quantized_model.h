@@ -202,6 +202,19 @@ class QuantizedModel {
   // position is upto_len. This is the prefix-cache / parallel-sampling
   // primitive: requests sharing a prompt prefix share its KV pages.
   int fork_sequence(int src, int64_t upto_len);
+  // Install a sliding window with attention sinks on `seq` across every
+  // layer's KV sequence (PagedKvCache::set_window). From then on the
+  // sequence's attention — decode rows via the paged SeqView, prefill chunks
+  // via gather_visible + attention_prefill_windowed — walks only the sink
+  // runs plus each row's trailing window, and the cache recycles the oldest
+  // non-sink page in place once the ring fills, so a 32k generation holds a
+  // constant page footprint. Must be called before the sequence grows past
+  // sinks + window + slack; `slack_tokens` must cover both the deepest
+  // truncate_sequence rollback and the largest single append span (the
+  // engine passes max(prefill chunk, speculative span)). window == context
+  // or larger never recycles and is bitwise identical to full attention.
+  void set_sequence_window(int seq, int64_t sink_tokens, int64_t window_tokens,
+                           int64_t slack_tokens);
   // Tokens appended to `seq` so far (next position to prefill/decode).
   int64_t seq_pos(int seq) const;
   // Page-generation snapshot across every layer's KV sequence, concatenated
@@ -272,6 +285,17 @@ class QuantizedModel {
   Tensor run_blocks_batched_tp(const std::vector<SeqSpan>& spans,
                                const Tensor& embedded,
                                const std::vector<int>& positions);
+  struct SeqState;  // defined below with the data members
+  // Multi-row span attention against the paged cache: full-attention spans
+  // gather every cached K/V row and run attention_prefill; windowed spans
+  // gather only the visible rows (sinks + retained tail) and run
+  // attention_prefill_windowed. [kh0, kh1) selects the KV head range — TP
+  // shards pass their slice together with a head-sliced AttentionConfig;
+  // the single-shard path passes the full range. `s_total` is the sequence
+  // length after the span's rows were appended.
+  Tensor span_attention(int lseq, const SeqState& st, const Tensor& qspan,
+                        int64_t s_total, const AttentionConfig& acfg, int kh0,
+                        int kh1) const;
   Tensor logits_from_hidden(const Tensor& h) const;
   // Fold one shard region's per-shard wall times into the imbalance
   // accumulators.
@@ -313,6 +337,11 @@ class QuantizedModel {
   struct SeqState {
     std::vector<int> layer_seqs;
     int64_t next_pos = 0;
+    // Sliding-window attention parameters (0 = full attention); mirrors the
+    // per-layer cache state so the executors can route multi-row spans to
+    // the windowed gather/prefill path without a cache query.
+    int64_t sink = 0;
+    int64_t window = 0;
     bool live = false;
   };
   std::vector<SeqState> seqs_;

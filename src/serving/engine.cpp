@@ -76,6 +76,9 @@ ServingEngine::ServingEngine(QuantizedModel* model, QuantizedModel* draft,
                  model->kv_cache().config().page_size,
                  model->config().n_layers),
       rng_(cfg.sample_seed) {
+  const SchedulerConfig sc = scheduler_config(cfg, draft != nullptr);
+  window_slack_ = std::max<int64_t>(sc.prefill_chunk,
+                                    sc.decode_tokens_per_step);
   if (cfg_.prefix_caching) {
     QS_CHECK_MSG(cfg_.prefix_cache_max_entries >= 1,
                  "prefix_cache_max_entries must be >= 1 when caching is on");
@@ -111,6 +114,7 @@ int ServingEngine::submit_impl(std::vector<int> prompt,
                                bool create_on_shed) {
   // Rejection: conditions retrying can never fix. Checked before the queue
   // caps so an unservable request is reported as kRejected, not shed.
+  const KvCacheConfig& kv = model_->kv_cache().config();
   const char* reject = nullptr;
   if (prompt.empty()) {
     reject = "empty prompt";
@@ -118,15 +122,35 @@ int ServingEngine::submit_impl(std::vector<int> prompt,
     reject = "max_new_tokens must be >= 1";
   } else if (opts.n < 1) {
     reject = "parallel sampling needs n >= 1";
+  } else if (opts.attention_window < 0 || opts.sink_tokens < 0) {
+    reject = "attention_window and sink_tokens must be >= 0";
+  } else if (opts.sink_tokens > 0 && opts.attention_window == 0) {
+    reject = "sink_tokens requires a non-zero attention_window";
+  } else if (opts.attention_window % kv.page_size != 0 ||
+             opts.sink_tokens % kv.page_size != 0) {
+    // The ring recycles whole pages; partial-page windows are not supported.
+    reject = "attention_window and sink_tokens must be multiples of the KV "
+             "page size";
   } else {
     // Larger than the whole KV pool: prefill plus the first decode token can
-    // never fit, even with every other request evicted.
-    const KvCacheConfig& kv = model_->kv_cache().config();
-    const int64_t need =
-        ceil_div(static_cast<int64_t>(prompt.size()) + 1,
-                 static_cast<int64_t>(kv.page_size)) *
-        model_->config().n_layers;
-    if (need > kv.max_pages) reject = "request KV footprint exceeds the pool";
+    // never fit, even with every other request evicted. A windowed request's
+    // footprint is bounded by its ring cap (sinks + window + slack) instead
+    // of its context length — that bound is what must fit.
+    int64_t need = ceil_div(static_cast<int64_t>(prompt.size()) + 1,
+                            static_cast<int64_t>(kv.page_size)) *
+                   model_->config().n_layers;
+    if (opts.attention_window > 0) {
+      need = std::min(need, PagedKvCache::window_page_cap(
+                                kv, opts.sink_tokens, opts.attention_window,
+                                window_slack_) *
+                                model_->config().n_layers);
+    }
+    if (need > kv.max_pages) {
+      reject = opts.attention_window > 0
+                   ? "windowed KV footprint (sinks + window + scheduling "
+                     "slack) exceeds the pool"
+                   : "request KV footprint exceeds the pool";
+    }
   }
   const bool shed =
       reject == nullptr &&
@@ -145,6 +169,12 @@ int ServingEngine::submit_impl(std::vector<int> prompt,
   req->deadline_steps = opts.deadline_steps;
   req->ttft_deadline_steps = opts.ttft_deadline_steps;
   req->n_samples = opts.n;
+  if (reject == nullptr && opts.attention_window > 0) {
+    req->attention_window = opts.attention_window;
+    req->sink_tokens = opts.sink_tokens;
+    req->window_page_cap = PagedKvCache::window_page_cap(
+        kv, opts.sink_tokens, opts.attention_window, window_slack_);
+  }
   req->on_token = std::move(on_token);
   req->on_finish = std::move(on_finish);
   req->submitted_step = stats_.steps;
@@ -155,6 +185,7 @@ int ServingEngine::submit_impl(std::vector<int> prompt,
   } else if (shed) {
     finish_with(*ptr, FinishReason::kShedOverload, "admission queue full");
   } else {
+    if (ptr->attention_window > 0) ++stats_.windowed_requests;
     scheduler_.enqueue(ptr);
     stats_.queue_depth_high_water =
         std::max(stats_.queue_depth_high_water, scheduler_.queued());
@@ -333,6 +364,12 @@ void ServingEngine::bind_prefix(Request& r) {
   // tokens are recomputed), and always leave >= 1 token to prefill so the
   // completing chunk produces the first-token logits.
   int64_t m = std::min(hit->match_len, r.context_len() - 1);
+  // A windowed consumer may only fork positions that are full-causal under
+  // its own policy: rows at p < sinks + window attend [0, p+1) exactly like
+  // full attention, so their KV bytes are policy-independent and shareable.
+  // Beyond that the hidden states (and thus KV bytes) diverge — recompute.
+  if (r.attention_window > 0)
+    m = std::min(m, r.sink_tokens + r.attention_window);
   m = m / page * page;
   if (m <= 0) return;
   prefix_index_.pin(hit->uid);
@@ -349,8 +386,18 @@ void ServingEngine::bind_prefix(Request& r) {
 void ServingEngine::maybe_insert_prefix(Request& r) {
   if (!cfg_.prefix_caching) return;
   const int64_t page = model_->kv_cache().config().page_size;
-  const int64_t cached_len =
-      static_cast<int64_t>(r.prompt.size()) / page * page;
+  int64_t cached_len = static_cast<int64_t>(r.prompt.size()) / page * page;
+  if (r.attention_window > 0) {
+    // A windowed donor can only share pages whose KV bytes match what full
+    // attention would have produced (rows at p < sinks + window), and whose
+    // pages the ring will never recycle under the donor. If the whole prompt
+    // fits under sinks + window nothing has been recycled yet and the full
+    // aligned prompt is donatable; otherwise only the sink pages are — they
+    // are pinned outside the ring for the donor's lifetime.
+    const int64_t prompt_len = static_cast<int64_t>(r.prompt.size());
+    if (prompt_len > r.sink_tokens + r.attention_window)
+      cached_len = std::min(cached_len, r.sink_tokens);
+  }
   if (cached_len <= 0) return;                     // prompt shorter than a page
   if (prefix_index_.contains(r.prompt)) return;    // identical key cached
   while (prefix_index_.size() >= cfg_.prefix_cache_max_entries) {
@@ -413,6 +460,9 @@ void ServingEngine::spawn_siblings(Request& r, const float* logits) {
     req->max_new_tokens = r.max_new_tokens;
     req->deadline_steps = r.deadline_steps;
     req->ttft_deadline_steps = r.ttft_deadline_steps;
+    req->attention_window = r.attention_window;
+    req->sink_tokens = r.sink_tokens;
+    req->window_page_cap = r.window_page_cap;
     req->on_token = r.on_token;
     req->on_finish = r.on_finish;
     req->n_samples = r.n_samples;
@@ -732,6 +782,15 @@ bool ServingEngine::step() {
     } else {
       r->seq_handle = model_->begin_sequence();
     }
+    // Install the sliding window before any token is appended (bind_prefix
+    // clamps a forked prefix under sinks + window, so the cache's
+    // before-exceeding-the-ring precondition always holds). Re-admission
+    // after preemption reinstalls the identical geometry, so the recomputed
+    // ring state — and the token stream — is bitwise the uninterrupted run's.
+    // The draft model (speculative decoding) stays full-attention.
+    if (r->attention_window > 0)
+      model_->set_sequence_window(r->seq_handle, r->sink_tokens,
+                                  r->attention_window, window_slack_);
     if (speculative()) r->draft_seq_handle = draft_->begin_sequence();
     running_.push_back(r);
   }
@@ -934,6 +993,7 @@ void ServingEngine::refresh_derived_stats() {
   stats_.shard_imbalance = shard_mean > 0 ? shard_max / shard_mean : 0;
   stats_.cow_page_copies = model_->kv_cache().cow_page_copies();
   stats_.shared_pages = model_->kv_cache().shared_pages();
+  stats_.kv_recycled_pages = model_->kv_cache().recycled_pages();
   stats_.prefix_cache_entries = prefix_index_.size();
   stats_.prefix_cache_pages = prefix_index_.pages();
 }

@@ -191,6 +191,14 @@ struct EngineStats {
   int64_t shared_pages = 0;
   int64_t prefix_cache_entries = 0;
   int64_t prefix_cache_pages = 0;
+  // --- sliding-window attention -------------------------------------------
+  // Requests submitted with a non-zero attention_window (counted once at
+  // submit, not per re-admission).
+  int64_t windowed_requests = 0;
+  // Cumulative pages the KV cache recycled in place for windowed sequences
+  // (PagedKvCache::recycled_pages; every recycle is an allocation a full-
+  // attention run would have needed).
+  int64_t kv_recycled_pages = 0;
 };
 
 class ServingEngine {
@@ -357,6 +365,14 @@ class ServingEngine {
   QuantizedModel* model_;
   QuantizedModel* draft_ = nullptr;  // speculative decoding draft model
   EngineConfig cfg_;
+  // Ring slack passed to PagedKvCache::set_window for every windowed
+  // request: the largest single append span the engine can produce — a full
+  // prefill chunk or a speculative verify span (k+1 tokens, which is also
+  // the deepest rollback) — so the ring never recycles a page a pending
+  // span or rollback still needs. Fixed at construction; identical across
+  // preemption round trips, which keeps recompute-on-resume ring geometry
+  // (and therefore the token streams) bitwise stable.
+  int64_t window_slack_ = 0;
   Scheduler scheduler_;
   PrefixIndex prefix_index_;
   std::vector<std::unique_ptr<Request>> requests_;

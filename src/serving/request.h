@@ -68,6 +68,18 @@ struct RequestOptions {
   // pages are freed before any new work is admitted that step.
   int64_t deadline_steps = 0;
   int64_t ttft_deadline_steps = 0;
+  // Sliding-window attention with attention sinks (StreamingLLM-style;
+  // 0 = full attention). Each attention row sees the first `sink_tokens`
+  // positions plus its own trailing `attention_window` positions; once the
+  // sequence exceeds sinks + window (+ scheduling slack) the KV cache
+  // recycles the oldest non-sink page in place, so the request's page
+  // footprint stays constant no matter how long it generates. Both values
+  // must be multiples of the KV page size (16) — the ring recycles whole
+  // pages — and sink_tokens requires a non-zero window; violations reject
+  // the request (FinishReason::kRejected) rather than crash the engine.
+  // window >= context behaves bitwise identically to full attention.
+  int64_t attention_window = 0;
+  int64_t sink_tokens = 0;
 };
 
 struct Request {
@@ -76,6 +88,12 @@ struct Request {
   int max_new_tokens = 16;
   int64_t deadline_steps = 0;       // see RequestOptions
   int64_t ttft_deadline_steps = 0;  // see RequestOptions
+  int64_t attention_window = 0;     // see RequestOptions
+  int64_t sink_tokens = 0;          // see RequestOptions
+  // Per-layer page-footprint bound once the window's ring is installed
+  // (PagedKvCache::window_page_cap; 0 = unbounded). Precomputed at submit;
+  // the scheduler clamps this request's held/growth page arithmetic to it.
+  int64_t window_page_cap = 0;
 
   // Streaming callbacks (either may be empty). on_token fires once per
   // generated token — the first token included — in stream order, during the

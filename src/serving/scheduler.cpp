@@ -1,6 +1,7 @@
 #include "serving/scheduler.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.h"
 #include "common/math_util.h"
@@ -35,19 +36,48 @@ int64_t Scheduler::grow_pages(int64_t len, int64_t tokens) const {
          n_layers_;
 }
 
+int64_t Scheduler::grow_pages(const Request& r, int64_t tokens) const {
+  const int64_t len = kv_len(r);
+  const int64_t cap = r.window_page_cap;
+  if (cap <= 0) return grow_pages(len, tokens);
+  // Page count is clamped at the ring cap: once the sequence holds cap pages
+  // per layer, further tokens recycle the oldest non-sink page in place.
+  const int64_t now = std::min(ceil_div(len, int64_t(page_size_)), cap);
+  const int64_t then =
+      std::min(ceil_div(len + tokens, int64_t(page_size_)), cap);
+  return (then - now) * n_layers_;
+}
+
 int64_t Scheduler::held_pages(const Request& r) const {
   // Pages freed if this request's sequence goes away. Pages shared with a
   // prefix-cache entry or a sibling fork (prefix_shared_pages per layer)
   // only drop a refcount, so they are excluded — the credit is conservative
   // (never over-counts; sharing that has since dissolved just under-counts).
-  const int64_t per_layer = ceil_div(kv_len(r), int64_t(page_size_)) -
-                            r.prefix_shared_pages;
+  // A windowed request's footprint is clamped at its ring cap regardless of
+  // logical length.
+  int64_t per_layer = ceil_div(kv_len(r), int64_t(page_size_));
+  if (r.window_page_cap > 0)
+    per_layer = std::min(per_layer, r.window_page_cap);
+  per_layer -= r.prefix_shared_pages;
   return std::max<int64_t>(per_layer, 0) * n_layers_;
 }
 
 int64_t Scheduler::token_capacity(int64_t len, int64_t free) const {
   const int64_t slack = len % page_size_ ? page_size_ - len % page_size_ : 0;
   return slack + std::max<int64_t>(free, 0) / n_layers_ * page_size_;
+}
+
+int64_t Scheduler::token_capacity(const Request& r, int64_t free) const {
+  const int64_t len = kv_len(r);
+  const int64_t cap = r.window_page_cap;
+  if (cap > 0) {
+    // Remaining allocations before the ring is full; past that, every append
+    // recycles in place and the request can absorb any number of tokens.
+    const int64_t now = std::min(ceil_div(len, int64_t(page_size_)), cap);
+    if (std::max<int64_t>(free, 0) / n_layers_ >= cap - now)
+      return std::numeric_limits<int64_t>::max() / 4;
+  }
+  return token_capacity(len, free);
 }
 
 bool Scheduler::past_deadline(const Request& r, int64_t current_step) {
@@ -105,7 +135,7 @@ StepPlan Scheduler::plan(const std::vector<Request*>& running,
     int64_t need = 0;
     for (Request* r : live)
       if (r->state == RequestState::kDecoding)
-        need += grow_pages(kv_len(*r), cfg_.decode_tokens_per_step);
+        need += grow_pages(*r, cfg_.decode_tokens_per_step);
     return need;
   };
   int64_t need = decode_need();
@@ -177,10 +207,10 @@ StepPlan Scheduler::plan(const std::vector<Request*>& running,
       const int64_t cap =
           r == oldest ? budget : std::min(budget, other_budget);
       int64_t t = std::min(remaining(r), cap);
-      t = std::min(t, token_capacity(kv_len(*r), free));
+      t = std::min(t, token_capacity(*r, free));
       if (t <= 0) continue;
       plan.prefills.push_back({r, static_cast<int>(t)});
-      free -= grow_pages(kv_len(*r), t);
+      free -= grow_pages(*r, t);
       budget -= t;
       if (r != oldest) other_budget -= t;
     }

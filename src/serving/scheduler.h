@@ -133,9 +133,18 @@ class Scheduler {
 
  private:
   int64_t grow_pages(int64_t len, int64_t tokens) const;
+  // Bounded-footprint variant: a request with a sliding window
+  // (window_page_cap > 0) never holds more than cap pages per layer — once
+  // the ring is full, appends recycle pages in place instead of allocating,
+  // so growth beyond the cap costs nothing. This is what lets a 32k
+  // generation admit into a pool sized for ~5k tokens.
+  int64_t grow_pages(const Request& r, int64_t tokens) const;
   int64_t held_pages(const Request& r) const;
   // Tokens that fit in the last partially-filled page plus `free` new pages.
   int64_t token_capacity(int64_t len, int64_t free) const;
+  // Per-request variant: a windowed request whose remaining page growth fits
+  // in `free` can absorb any number of tokens (the ring recycles from there).
+  int64_t token_capacity(const Request& r, int64_t free) const;
   static bool past_deadline(const Request& r, int64_t current_step);
 
   SchedulerConfig cfg_;

@@ -75,7 +75,10 @@ AttentionShape attn_shape(const qserve::ModelConfig& m, int batch,
 
 double kv_pool_bytes(const SystemProfile& sys, const qserve::ModelConfig& model,
                      const ServingWorkload& wl, int batch) {
-  const double tokens = double(batch) * (wl.input_len + wl.output_len);
+  // A windowed sequence's footprint is capped at sinks + window — the page
+  // ring recycles everything older in place.
+  const double tokens =
+      double(batch) * double(wl.visible_len(wl.input_len + wl.output_len));
   double per_token = double(model.kv_bytes_per_token(sys.kv_bits));
   if (sys.attention.dynamic_scales) {
     per_token += 2.0 * model.n_layers * model.n_kv_heads * 4.0;
@@ -130,7 +133,9 @@ ServingEstimate estimate_throughput(const DeviceSpec& dev,
   AttentionKernelConfig attn_cfg = sys.attention;
   attn_cfg.kv_bits = sys.kv_bits;
   for (int step = 0; step < wl.output_len; ++step) {
-    const int s_len = wl.input_len + step;
+    // A windowed decode reads only the sink + trailing-window KV rows, so its
+    // attention term stops growing once the context passes sinks + window.
+    const int s_len = int(wl.visible_len(wl.input_len + step));
     const double gemms =
         double(model.n_layers) * layer_gemm_seconds(dev, sys, model, batch);
     const double attn =

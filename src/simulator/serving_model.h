@@ -9,6 +9,9 @@
 // input_len + output_len tokens.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+
 #include "model/config.h"
 #include "simulator/system_config.h"
 
@@ -17,6 +20,20 @@ namespace qserve::sim {
 struct ServingWorkload {
   int input_len = 1024;
   int output_len = 512;
+  // Sliding-window attention with sinks (0 = full attention), mirroring
+  // RequestOptions: each decode step reads at most sink_tokens + window KV
+  // positions, and the KV pool holds at most that many tokens per sequence
+  // (the engine's page ring recycles the rest in place). Bounds both the
+  // decode attention term and kv_pool_bytes, which is what makes the
+  // estimated decode curve flatten past sinks + window instead of growing
+  // linearly with context.
+  int attention_window = 0;
+  int sink_tokens = 0;
+  // KV positions a step at sequence length `s_len` actually reads/retains.
+  int64_t visible_len(int64_t s_len) const {
+    if (attention_window <= 0) return s_len;
+    return std::min<int64_t>(s_len, sink_tokens + attention_window);
+  }
 };
 
 struct StepBreakdown {

@@ -1,0 +1,200 @@
+// Grouped-query attention end to end: a g=4 model (8 query heads sharing 2
+// KV heads, the Llama-3-70B ratio) must stream bitwise identically across
+// ISAs, thread counts, and tensor-parallel shard counts; its KV cache must
+// cost 4x fewer bytes per token than the MHA layout at the same query width;
+// and head-layout validation must reject indivisible configurations loudly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "kernels/cpu/isa.h"
+#include "serving/engine.h"
+
+namespace qserve {
+namespace {
+
+struct Fixture {
+  ModelWeights weights;
+  Fixture() : weights(make_synthetic_weights(toy_config_gqa4(1))) {}
+};
+
+const Fixture& fixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+struct EnvGuard {
+  ~EnvGuard() {
+    set_num_threads(0);
+    set_tp_shards(0);
+    cpu::clear_isa_override();
+  }
+};
+
+struct Workload {
+  std::vector<std::vector<int>> prompts;
+  std::vector<int> max_new;
+};
+
+Workload random_workload(Rng& rng, int n_requests) {
+  Workload w;
+  for (int i = 0; i < n_requests; ++i) {
+    std::vector<int> prompt(static_cast<size_t>(rng.uniform_int(1, 24)));
+    for (auto& t : prompt) t = rng.uniform_int(0, 511);
+    w.prompts.push_back(std::move(prompt));
+    w.max_new.push_back(rng.uniform_int(4, 12));
+  }
+  return w;
+}
+
+struct RunOutcome {
+  std::vector<std::vector<int>> streams;
+  EngineStats stats;
+};
+
+RunOutcome run_engine(const Workload& w, int shards, const EngineConfig& cfg,
+                      const RequestOptions& base_opts = {}) {
+  QuantizedModel model(fixture().weights,
+                       QuantSchemeConfig::qserve_w4a8kv4_g128(),
+                       TpConfig{shards});
+  ServingEngine engine(&model, cfg);
+  std::vector<int> ids;
+  for (size_t i = 0; i < w.prompts.size(); ++i) {
+    RequestOptions opts = base_opts;
+    opts.max_new_tokens = w.max_new[i];
+    ids.push_back(engine.submit(w.prompts[i], opts, nullptr, nullptr));
+  }
+  RunOutcome out;
+  out.stats = engine.run_to_completion();
+  for (int id : ids) out.streams.push_back(engine.request(id).generated);
+  EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
+  return out;
+}
+
+TEST(GqaConfig, Group4LayoutAndKvBytesReduction) {
+  const ModelConfig gqa = toy_config_gqa4(1);
+  ASSERT_EQ(gqa.n_heads / gqa.n_kv_heads, 4);
+  ASSERT_EQ(gqa.n_heads % gqa.n_kv_heads, 0);
+  // Same query width (8 heads x 32 = 256), 4x fewer KV heads: the per-token
+  // KV bytes — and every cache page — shrink exactly 4x vs MHA.
+  KvCacheConfig mha_kv, gqa_kv;
+  mha_kv.n_kv_heads = gqa.n_heads;
+  mha_kv.head_dim = gqa.head_dim;
+  gqa_kv.n_kv_heads = gqa.n_kv_heads;
+  gqa_kv.head_dim = gqa.head_dim;
+  EXPECT_EQ(kv_page_bytes(mha_kv), 4 * kv_page_bytes(gqa_kv));
+  const ModelConfig mha_like = [&] {
+    ModelConfig m = gqa;
+    m.n_kv_heads = m.n_heads;
+    return m;
+  }();
+  EXPECT_EQ(mha_like.kv_bytes_per_token(4), 4 * gqa.kv_bytes_per_token(4));
+}
+
+TEST(GqaConfig, IndivisibleHeadLayoutThrowsLoudly) {
+  ModelConfig bad = toy_config_gqa4(1);
+  bad.n_kv_heads = 3;  // 8 % 3 != 0: no whole query group per KV head
+  EXPECT_THROW(QuantizedModel(make_synthetic_weights(bad),
+                              QuantSchemeConfig::qserve_w4a8kv4_g128()),
+               CheckError);
+  // More shards than KV heads cannot give each shard a whole query group.
+  EXPECT_THROW(QuantizedModel(fixture().weights,
+                              QuantSchemeConfig::qserve_w4a8kv4_g128(),
+                              TpConfig{4}),
+               CheckError);
+}
+
+TEST(GqaEngine, StreamsBitwiseAcrossIsaThreadsAndShards) {
+  EnvGuard guard;
+  Rng rng(4100);
+  const Workload w = random_workload(rng, 5);
+  EngineConfig cfg;
+  cfg.scheduler.max_batch = 3;
+  cfg.scheduler.prefill_chunk = 8;
+  std::vector<cpu::Isa> isas = {cpu::Isa::kScalar};
+  if (cpu::detected_isa() != cpu::Isa::kScalar)
+    isas.push_back(cpu::detected_isa());
+  set_num_threads(1);
+  cpu::set_isa(cpu::Isa::kScalar);
+  const RunOutcome base = run_engine(w, 1, cfg);
+  for (const cpu::Isa isa : isas) {
+    cpu::set_isa(isa);
+    for (const int threads : {1, 8}) {
+      set_num_threads(threads);
+      for (const int shards : {1, 2}) {
+        const RunOutcome run = run_engine(w, shards, cfg);
+        EXPECT_EQ(base.streams, run.streams)
+            << "isa=" << cpu::isa_name(isa) << " threads=" << threads
+            << " shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(GqaEngine, PreemptionChurnStreamsMatch) {
+  EnvGuard guard;
+  Workload w;
+  for (int i = 0; i < 3; ++i) {
+    w.prompts.push_back(std::vector<int>(8, 2 + i));
+    w.max_new.push_back(18 + 4 * i);
+  }
+  EngineConfig cfg;
+  cfg.scheduler.max_batch = 4;
+  auto run_pool = [&](int64_t pages, int shards) {
+    QuantizedModel model(fixture().weights, [&] {
+      QuantSchemeConfig s = QuantSchemeConfig::qserve_w4a8kv4_g128();
+      s.kv_max_pages = pages;
+      return s;
+    }(), TpConfig{shards});
+    ServingEngine engine(&model, cfg);
+    std::vector<int> ids;
+    for (size_t i = 0; i < w.prompts.size(); ++i)
+      ids.push_back(engine.submit(w.prompts[i], w.max_new[i]));
+    RunOutcome out;
+    out.stats = engine.run_to_completion();
+    for (int id : ids) out.streams.push_back(engine.request(id).generated);
+    EXPECT_EQ(model.kv_cache().pages_in_use(), 0);
+    return out;
+  };
+  const RunOutcome roomy = run_pool(1 << 20, 1);
+  const RunOutcome tight = run_pool(3, 1);
+  EXPECT_GE(tight.stats.preemptions, 1);
+  EXPECT_EQ(roomy.streams, tight.streams);
+  const RunOutcome tight_tp = run_pool(3, 2);
+  EXPECT_EQ(roomy.streams, tight_tp.streams);
+  EXPECT_EQ(tight.stats.preemptions, tight_tp.stats.preemptions);
+}
+
+TEST(GqaEngine, SlidingWindowComposesWithGroupedHeads) {
+  // GQA + windowed KV: the ring walks KV heads, query groups walk the ring's
+  // runs; streams must be shard-invariant and recycling must engage.
+  EnvGuard guard;
+  Rng rng(4101);
+  Workload w = random_workload(rng, 3);
+  // Cross sink + window + slack + boundary page (= 80 tokens at the
+  // engine's 16-token slack) so the ring genuinely recycles.
+  for (auto& m : w.max_new) m += 90;
+  EngineConfig cfg;
+  cfg.scheduler.max_batch = 3;
+  cfg.scheduler.prefill_chunk = 16;
+  RequestOptions opts;
+  opts.attention_window = 32;
+  opts.sink_tokens = 16;
+  const RunOutcome base = run_engine(w, 1, cfg, opts);
+  EXPECT_EQ(base.stats.windowed_requests, 3);
+  EXPECT_GT(base.stats.kv_recycled_pages, 0);
+  const RunOutcome tp = run_engine(w, 2, cfg, opts);
+  EXPECT_EQ(base.streams, tp.streams);
+  // The same workload without a window streams identically while every
+  // context stays under sink + window... which it does not here, so the
+  // windowed run is genuinely exercising the grouped windowed kernels:
+  // recycled pages prove pages were reused in place.
+  EXPECT_EQ(base.stats.kv_recycled_pages, tp.stats.kv_recycled_pages);
+}
+
+}  // namespace
+}  // namespace qserve
